@@ -1,0 +1,51 @@
+//! # mlir-rl-agent
+//!
+//! The actor-critic agent of MLIR RL: the multi-discrete policy network
+//! (producer-consumer LSTM embedding, ReLU backbone, transformation /
+//! tile-size / interchange heads with level pointers), the value network,
+//! the flat-action-space policy used by the Fig. 6 ablation, and the PPO
+//! trainer with the paper's hyper-parameters.
+//!
+//! ## Example
+//!
+//! ```
+//! use mlir_rl_agent::{PolicyHyperparams, PpoConfig, PpoTrainer};
+//! use mlir_rl_costmodel::{CostModel, MachineModel};
+//! use mlir_rl_env::{EnvConfig, OptimizationEnv};
+//! use mlir_rl_ir::ModuleBuilder;
+//!
+//! let config = EnvConfig::small();
+//! let mut env = OptimizationEnv::new(config.clone(), CostModel::new(MachineModel::default()));
+//! let mut trainer = PpoTrainer::new(
+//!     &config,
+//!     PolicyHyperparams { hidden_size: 16, backbone_layers: 1 },
+//!     PpoConfig { trajectories_per_iteration: 2, minibatch_size: 4, update_epochs: 1, ..PpoConfig::paper() },
+//!     0,
+//! );
+//!
+//! let mut b = ModuleBuilder::new("m");
+//! let a = b.argument("A", vec![64, 64]);
+//! let w = b.argument("B", vec![64, 64]);
+//! b.matmul(a, w);
+//! let dataset = vec![b.finish()];
+//!
+//! let stats = trainer.train_iteration(&mut env, &dataset);
+//! assert!(stats.mean_speedup.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod flat;
+pub mod policy;
+pub mod ppo;
+pub mod value;
+
+pub use flat::FlatPolicyNetwork;
+pub use policy::{
+    permutation_log_prob, sample_permutation, ActionRecord, PolicyHyperparams, PolicyNetwork,
+};
+pub use ppo::{
+    collect_episode, compute_gae, IterationStats, PolicyModel, PpoConfig, PpoTrainer, Trajectory,
+    Transition,
+};
+pub use value::ValueNetwork;

@@ -1,0 +1,144 @@
+//! The critic (value network, Sec. V-B).
+//!
+//! The first two components are identical to the policy network (the
+//! producer-consumer LSTM embedding and the ReLU backbone); a final linear
+//! layer with a single output estimates the state value `v_pi(s)`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use mlir_rl_env::{EnvConfig, Observation};
+use mlir_rl_nn::{Linear, Lstm, Mlp, Param};
+
+use crate::policy::PolicyHyperparams;
+
+/// The value network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValueNetwork {
+    lstm: Lstm,
+    backbone: Mlp,
+    head: Linear,
+}
+
+impl ValueNetwork {
+    /// Creates a value network for the given environment configuration.
+    pub fn new<R: Rng>(env_config: &EnvConfig, hyper: PolicyHyperparams, rng: &mut R) -> Self {
+        let feature_len = env_config.feature_len();
+        let h = hyper.hidden_size;
+        let lstm = Lstm::new(feature_len, h, rng);
+        let mut sizes = vec![h];
+        sizes.extend(std::iter::repeat(h).take(hyper.backbone_layers));
+        let backbone = Mlp::new(&sizes, true, rng);
+        let head = Linear::new(h, 1, rng);
+        Self {
+            lstm,
+            backbone,
+            head,
+        }
+    }
+
+    /// Estimates the state value without caching (rollout collection).
+    pub fn predict(&self, obs: &Observation) -> f64 {
+        let sequence = vec![obs.producer.clone(), obs.consumer.clone()];
+        let embedding = self.lstm.forward_inference(&sequence);
+        let z = self.backbone.forward_inference(&embedding);
+        self.head.forward_inference(&z)[0]
+    }
+
+    /// Estimates the state value, caching activations for
+    /// [`ValueNetwork::backward`].
+    pub fn forward(&mut self, obs: &Observation) -> f64 {
+        let sequence = vec![obs.producer.clone(), obs.consumer.clone()];
+        let embedding = self.lstm.forward(&sequence);
+        let z = self.backbone.forward(&embedding);
+        self.head.forward(&z)[0]
+    }
+
+    /// Backward pass for the most recent un-consumed [`ValueNetwork::forward`]
+    /// call, given `d loss / d value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a matching `forward`.
+    pub fn backward(&mut self, grad_value: f64) {
+        let grad_z = self.head.backward(&[grad_value]);
+        let grad_embedding = self.backbone.backward(&grad_z);
+        self.lstm.backward(&grad_embedding);
+    }
+
+    /// Clears gradients and caches.
+    pub fn zero_grad(&mut self) {
+        self.lstm.zero_grad();
+        self.backbone.zero_grad();
+        self.head.zero_grad();
+    }
+
+    /// All trainable parameters, in a stable order.
+    pub fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = self.lstm.parameters_mut();
+        out.extend(self.backbone.parameters_mut());
+        out.extend(self.head.parameters_mut());
+        out
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_parameters(&mut self) -> usize {
+        self.parameters_mut().iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlir_rl_costmodel::{CostModel, MachineModel};
+    use mlir_rl_env::OptimizationEnv;
+    use mlir_rl_ir::ModuleBuilder;
+    use mlir_rl_nn::Adam;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn observation() -> Observation {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.argument("A", vec![64, 64]);
+        let w = b.argument("B", vec![64, 64]);
+        b.matmul(a, w);
+        let mut env = OptimizationEnv::new(
+            EnvConfig::small(),
+            CostModel::new(MachineModel::default()),
+        );
+        env.reset(b.finish()).unwrap()
+    }
+
+    #[test]
+    fn predict_and_forward_agree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut v = ValueNetwork::new(&EnvConfig::small(), PolicyHyperparams::default(), &mut rng);
+        let obs = observation();
+        let a = v.predict(&obs);
+        let b = v.forward(&obs);
+        assert!((a - b).abs() < 1e-12);
+        v.zero_grad();
+        assert!(v.num_parameters() > 1000);
+    }
+
+    #[test]
+    fn value_regression_converges_to_target() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut v = ValueNetwork::new(&EnvConfig::small(), PolicyHyperparams::default(), &mut rng);
+        let obs = observation();
+        let target = 2.5;
+        let mut adam = Adam::new(1e-2);
+        for _ in 0..100 {
+            v.zero_grad();
+            let pred = v.forward(&obs);
+            // Loss = 0.5 (pred - target)^2, dL/dpred = pred - target.
+            v.backward(pred - target);
+            adam.step(&mut v.parameters_mut());
+        }
+        let final_pred = v.predict(&obs);
+        assert!(
+            (final_pred - target).abs() < 0.2,
+            "value head should fit a constant target, got {final_pred}"
+        );
+    }
+}

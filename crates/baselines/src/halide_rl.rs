@@ -1,0 +1,179 @@
+//! The Halide RL analogue (Pecenin et al., Fig. 5).
+//!
+//! Halide RL selects schedules from an *initial set of user-provided
+//! directives*: it is semi-automatic and its action set is much narrower
+//! than MLIR RL's (no loop interchange, no producer fusion, tiling limited
+//! to the two outermost loops). We substitute the behaviour of its
+//! converged agent by exhaustively scoring that small directive set with the
+//! cost model and keeping the best combination per operation — an upper
+//! bound on what the restricted RL agent can find, which keeps the
+//! comparison conservative.
+
+use mlir_rl_costmodel::{CodegenQuality, CostModel, MachineModel};
+use mlir_rl_ir::{IteratorType, Module};
+use mlir_rl_transforms::{ScheduledModule, Transformation};
+
+use crate::{Baseline, BaselineResult};
+
+/// The restricted-directive-set scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HalideRl {
+    /// Tile sizes the user-style directives may request for the two
+    /// outermost loops.
+    pub tile_choices: Vec<u64>,
+    /// Machine used to score directive combinations.
+    pub machine: MachineModel,
+}
+
+impl HalideRl {
+    /// Creates the baseline with the directive set used in the evaluation
+    /// (tiles of 16/32/64 on the outer two loops, optional parallelization
+    /// and vectorization).
+    pub fn new() -> Self {
+        Self {
+            tile_choices: vec![16, 32, 64],
+            machine: MachineModel::default(),
+        }
+    }
+}
+
+impl Default for HalideRl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Baseline for HalideRl {
+    fn name(&self) -> String {
+        "Halide RL".to_string()
+    }
+
+    fn optimize(&self, module: &Module) -> BaselineResult {
+        let cost = CostModel::with_quality(self.machine.clone(), CodegenQuality::Generic);
+        let mut best = ScheduledModule::new(module.clone());
+        let mut best_time = cost.estimate_scheduled(&best).total_s;
+
+        // Enumerate directive combinations per operation greedily (operation
+        // by operation, keeping the best so far), which matches the
+        // sequential decision process of the original system.
+        for op in module.op_order() {
+            let Ok(linalg_op) = module.op(op) else { continue };
+            let n = linalg_op.num_loops();
+            let mut candidates: Vec<Vec<Transformation>> = vec![vec![]];
+            for &tile in &self.tile_choices {
+                // Tile (and parallelize) the up-to-two outermost parallel
+                // loops; deeper loops are outside the directive set.
+                let mut tiles = vec![0u64; n];
+                for (i, t) in tiles.iter_mut().enumerate().take(2) {
+                    if linalg_op.iterator_types[i] == IteratorType::Parallel
+                        && linalg_op.loop_bounds[i] >= tile
+                    {
+                        *t = tile;
+                    }
+                }
+                if tiles.iter().all(|t| *t == 0) {
+                    continue;
+                }
+                candidates.push(vec![Transformation::Tiling {
+                    tile_sizes: tiles.clone(),
+                }]);
+                candidates.push(vec![Transformation::TiledParallelization {
+                    tile_sizes: tiles.clone(),
+                }]);
+                candidates.push(vec![
+                    Transformation::TiledParallelization { tile_sizes: tiles },
+                    Transformation::Vectorization,
+                ]);
+            }
+            candidates.push(vec![Transformation::Vectorization]);
+
+            let mut best_for_op: Option<(f64, ScheduledModule)> = None;
+            for candidate in candidates {
+                let mut trial = best.clone();
+                let mut ok = true;
+                for t in candidate {
+                    if trial.apply(op, t).is_err() {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let time = cost.estimate_scheduled(&trial).total_s;
+                if best_for_op
+                    .as_ref()
+                    .map(|(t, _)| time < *t)
+                    .unwrap_or(true)
+                {
+                    best_for_op = Some((time, trial));
+                }
+            }
+            if let Some((time, schedule)) = best_for_op {
+                if time <= best_time {
+                    best_time = time;
+                    best = schedule;
+                }
+            }
+        }
+
+        BaselineResult {
+            name: self.name(),
+            scheduled: best,
+            quality: CodegenQuality::Generic,
+            extra_overhead_s: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speedup_over_mlir;
+    use mlir_rl_ir::{ModuleBuilder, OpId};
+
+    fn relu_module() -> Module {
+        let mut b = ModuleBuilder::new("r");
+        let x = b.argument("x", vec![256, 3136]);
+        b.relu(x);
+        b.finish()
+    }
+
+    #[test]
+    fn picks_a_profitable_directive_combination() {
+        let module = relu_module();
+        let result = HalideRl::new().optimize(&module);
+        let machine = MachineModel::default();
+        assert!(speedup_over_mlir(&result, &module, &machine) > 1.0);
+        // The chosen schedule only uses the restricted directive set: no
+        // interchange, no fusion.
+        let state = result.scheduled.state(OpId(0));
+        assert!(state.fused_producers.is_empty());
+        assert_eq!(state.order, vec![0, 1], "no interchange in the directive set");
+    }
+
+    #[test]
+    fn never_makes_the_code_slower() {
+        // Even for a tiny op where every directive hurts, the baseline keeps
+        // the untransformed schedule.
+        let mut b = ModuleBuilder::new("tiny");
+        let x = b.argument("x", vec![8, 8]);
+        b.relu(x);
+        let module = b.finish();
+        let machine = MachineModel::default();
+        let result = HalideRl::new().optimize(&module);
+        let s = speedup_over_mlir(&result, &module, &machine);
+        assert!(s >= 0.999, "restricted search must not regress: {s}");
+    }
+
+    #[test]
+    fn deep_reduction_nests_limit_the_directive_set() {
+        // On an LQCD-style nest whose outer loops are parallel but whose
+        // performance depends on inner reductions, the restricted set can
+        // only touch the two outermost loops.
+        let module = mlir_rl_workloads::lqcd::lqcd_kernel(16, 10, 3, 3);
+        let result = HalideRl::new().optimize(&module);
+        let state = result.scheduled.state(OpId(0));
+        assert!(state.tile_sizes[2..].iter().all(|t| *t == 0));
+    }
+}

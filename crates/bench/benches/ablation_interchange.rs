@@ -1,0 +1,29 @@
+//! Criterion bench behind the interchange ablation: level-pointer
+//! (Plackett-Luce) permutation sampling against enumerated-candidate
+//! selection.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlir_rl_agent::{permutation_log_prob, sample_permutation};
+use mlir_rl_env::enumerated_candidates;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_interchange(c: &mut Criterion) {
+    let logits: Vec<f64> = (0..12).map(|i| (i as f64) * 0.1 - 0.5).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+
+    let mut group = c.benchmark_group("interchange");
+    group.bench_function("level_pointers_sample_n12", |b| {
+        b.iter(|| sample_permutation(&logits, false, &mut rng).1)
+    });
+    group.bench_function("level_pointers_log_prob_n12", |b| {
+        let perm: Vec<usize> = (0..12).rev().collect();
+        b.iter(|| permutation_log_prob(&logits, &perm).0)
+    });
+    group.bench_function("enumerate_candidates_n12", |b| {
+        b.iter(|| enumerated_candidates(12).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interchange);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench behind Fig. 5: scheduling and evaluating each DL operator
+//! family with the baselines and with one greedy pass of the RL policy.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlir_rl_baselines::{Baseline, HalideRl, VendorLibrary, VendorMode};
+use mlir_rl_bench::{train_mlir_rl, ExperimentScale};
+use mlir_rl_costmodel::MachineModel;
+use mlir_rl_env::EnvConfig;
+use mlir_rl_workloads::dl_ops;
+
+fn bench_fig5(c: &mut Criterion) {
+    let machine = MachineModel::xeon_e5_2680_v4();
+    let matmul = dl_ops::matmul_module(512, 512, 1024);
+    let conv = dl_ops::conv2d_module(1, 64, 56, 56, 64, 3, 1);
+
+    let mut group = c.benchmark_group("fig5_operators");
+    group.sample_size(10);
+    group.bench_function("vendor_schedule_matmul", |b| {
+        let vendor = VendorLibrary::new(VendorMode::Compiled);
+        b.iter(|| mlir_rl_baselines::evaluate(&vendor.optimize(&matmul), &machine))
+    });
+    group.bench_function("halide_rl_schedule_conv2d", |b| {
+        let halide = HalideRl::new();
+        b.iter(|| mlir_rl_baselines::evaluate(&halide.optimize(&conv), &machine))
+    });
+    group.bench_function("mlir_rl_greedy_optimize_matmul", |b| {
+        let scale = ExperimentScale::smoke();
+        let mut rl = train_mlir_rl(EnvConfig::small(), &[matmul.clone()], &scale, 1);
+        b.iter(|| rl.optimize(&matmul).speedup)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench behind Figs. 6 and 7: one PPO training iteration under
+//! the multi-discrete/flat action spaces and the final/immediate reward
+//! modes.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlir_rl_agent::{PolicyHyperparams, PpoConfig, PpoTrainer};
+use mlir_rl_costmodel::{CostModel, MachineModel};
+use mlir_rl_env::{EnvConfig, OptimizationEnv, RewardMode};
+use mlir_rl_workloads::dl_ops;
+
+fn bench_training(c: &mut Criterion) {
+    let dataset = dl_ops::training_dataset(0.005, 3);
+    let hyper = PolicyHyperparams {
+        hidden_size: 16,
+        backbone_layers: 1,
+    };
+    let ppo = PpoConfig {
+        trajectories_per_iteration: 2,
+        minibatch_size: 4,
+        update_epochs: 1,
+        ..PpoConfig::paper()
+    };
+
+    let mut group = c.benchmark_group("training_iteration");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("final_reward", RewardMode::Final),
+        ("immediate_reward", RewardMode::Immediate),
+    ] {
+        group.bench_function(name, |b| {
+            let mut config = EnvConfig::small();
+            config.reward_mode = mode;
+            let mut env = OptimizationEnv::new(
+                config.clone(),
+                CostModel::new(MachineModel::xeon_e5_2680_v4()),
+            );
+            let mut trainer = PpoTrainer::new(&config, hyper, ppo, 0);
+            b.iter(|| trainer.train_iteration(&mut env, &dataset).mean_speedup)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench behind the Sec. VII-B overhead numbers: policy inference
+//! per observation and transformation application per operation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlir_rl_agent::{PolicyHyperparams, PolicyNetwork, PolicyModel};
+use mlir_rl_costmodel::{CostModel, MachineModel};
+use mlir_rl_env::{EnvConfig, OptimizationEnv};
+use mlir_rl_ir::OpId;
+use mlir_rl_transforms::{ScheduledModule, Transformation};
+use mlir_rl_workloads::dl_ops;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_overhead(c: &mut Criterion) {
+    let module = dl_ops::matmul_module(256, 256, 1024);
+    let config = EnvConfig::small();
+    let mut env = OptimizationEnv::new(
+        config.clone(),
+        CostModel::new(MachineModel::xeon_e5_2680_v4()),
+    );
+    let obs = env.reset(module.clone()).expect("module has one op");
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut policy = PolicyNetwork::new(config, PolicyHyperparams::default(), &mut rng);
+
+    let mut group = c.benchmark_group("overhead");
+    group.bench_function("policy_inference", |b| {
+        b.iter(|| policy.select_action(&obs, false, &mut rng).log_prob)
+    });
+    group.bench_function("transformation_application", |b| {
+        b.iter(|| {
+            let mut sm = ScheduledModule::new(module.clone());
+            sm.apply(
+                OpId(0),
+                Transformation::TiledParallelization {
+                    tile_sizes: vec![32, 32, 64],
+                },
+            )
+            .unwrap();
+            sm.apply(OpId(0), Transformation::Vectorization).unwrap();
+            sm.lower_all().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

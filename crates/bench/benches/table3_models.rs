@@ -1,0 +1,27 @@
+//! Criterion bench behind Table III: scheduling and evaluating whole neural
+//! network models.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlir_rl_baselines::{Baseline, VendorLibrary, VendorMode};
+use mlir_rl_costmodel::{CostModel, MachineModel};
+use mlir_rl_workloads::NeuralNetwork;
+
+fn bench_table3(c: &mut Criterion) {
+    let machine = MachineModel::xeon_e5_2680_v4();
+    let mut group = c.benchmark_group("table3_models");
+    group.sample_size(10);
+    for model in NeuralNetwork::ALL {
+        let module = model.module();
+        group.bench_function(format!("baseline_estimate_{}", model.name()), |b| {
+            let cm = CostModel::new(machine.clone());
+            b.iter(|| cm.estimate_baseline(&module).total_s)
+        });
+        group.bench_function(format!("pytorch_compiler_schedule_{}", model.name()), |b| {
+            let vendor = VendorLibrary::new(VendorMode::Compiled);
+            b.iter(|| mlir_rl_baselines::evaluate(&vendor.optimize(&module), &machine))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

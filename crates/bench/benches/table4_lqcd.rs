@@ -1,0 +1,27 @@
+//! Criterion bench behind Table IV: scheduling and evaluating the LQCD
+//! correlator applications.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlir_rl_baselines::{Baseline, MullapudiAutoscheduler};
+use mlir_rl_costmodel::{CostModel, MachineModel};
+use mlir_rl_workloads::LqcdApplication;
+
+fn bench_table4(c: &mut Criterion) {
+    let machine = MachineModel::xeon_e5_2680_v4();
+    let mut group = c.benchmark_group("table4_lqcd");
+    group.sample_size(10);
+    for app in LqcdApplication::ALL {
+        let module = app.module();
+        group.bench_function(format!("baseline_estimate_{}", app.name()), |b| {
+            let cm = CostModel::new(machine.clone());
+            b.iter(|| cm.estimate_baseline(&module).total_s)
+        });
+        group.bench_function(format!("mullapudi_schedule_{}", app.name()), |b| {
+            let mullapudi = MullapudiAutoscheduler::new();
+            b.iter(|| mlir_rl_baselines::evaluate(&mullapudi.optimize(&module), &machine))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Regenerates the Sec. VII-D interchange ablation: level pointers vs
+//! enumerated candidates.
+use mlir_rl_bench::{ablation_interchange, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let table = ablation_interchange(&scale);
+    println!("{table}");
+    println!("{}", table.to_json());
+}

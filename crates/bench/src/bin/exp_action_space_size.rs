@@ -1,0 +1,6 @@
+//! Regenerates the Sec. IV-A action-space size accounting.
+use mlir_rl_bench::action_space_size;
+
+fn main() {
+    println!("{}", action_space_size());
+}

@@ -1,0 +1,20 @@
+//! Runs every experiment at the configured scale and prints all tables and
+//! figures (the analogue of the artifact's `scripts/paper.sh`).
+use mlir_rl_bench::*;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("{}", action_space_size());
+    let (t2, t5) = datasets();
+    println!("{t2}\n{t5}");
+    println!("{}", fig5_operators(&scale));
+    println!("{}", table3_models(&scale));
+    println!("{}", table4_lqcd(&scale));
+    println!("{}", ablation_interchange(&scale));
+    println!("{}", fig6_action_space(&scale));
+    let (f7a, f7b) = fig7_reward_modes(&scale);
+    println!("{f7a}\n{f7b}");
+    for (label, seconds) in overhead(&scale) {
+        println!("{label:<60} {seconds:>12.6}");
+    }
+}

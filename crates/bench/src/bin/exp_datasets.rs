@@ -1,0 +1,9 @@
+//! Regenerates Table II (dataset composition) and Table V (model
+//! composition).
+use mlir_rl_bench::datasets;
+
+fn main() {
+    let (table2, table5) = datasets();
+    println!("{table2}");
+    println!("{table5}");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 5: per-operator speedups for MLIR RL, Halide RL,
+//! PyTorch and the PyTorch compiler over the MLIR baseline.
+use mlir_rl_bench::{fig5_operators, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let table = fig5_operators(&scale);
+    println!("{table}");
+    println!("{}", table.to_json());
+}

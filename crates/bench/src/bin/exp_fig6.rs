@@ -1,0 +1,9 @@
+//! Regenerates Fig. 6: flat vs multi-discrete action-space training curves.
+use mlir_rl_bench::{fig6_action_space, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let figure = fig6_action_space(&scale);
+    println!("{figure}");
+    println!("{}", figure.to_json());
+}

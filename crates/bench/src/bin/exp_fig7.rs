@@ -1,0 +1,12 @@
+//! Regenerates Fig. 7: immediate vs final reward training curves, over
+//! iterations and over training cost (code executions).
+use mlir_rl_bench::{fig7_reward_modes, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let (by_iteration, by_time) = fig7_reward_modes(&scale);
+    println!("{by_iteration}");
+    println!("{by_time}");
+    println!("{}", by_iteration.to_json());
+    println!("{}", by_time.to_json());
+}

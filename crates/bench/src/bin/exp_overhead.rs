@@ -1,0 +1,10 @@
+//! Regenerates the Sec. VII-B compilation-pass overhead measurements.
+use mlir_rl_bench::{overhead, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    println!("== Compilation-pass overhead (Sec. VII-B) ==");
+    for (label, seconds) in overhead(&scale) {
+        println!("{label:<60} {seconds:>12.6}");
+    }
+}

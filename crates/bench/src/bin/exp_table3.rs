@@ -1,0 +1,9 @@
+//! Regenerates Table III: neural-network model speedups.
+use mlir_rl_bench::{table3_models, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let table = table3_models(&scale);
+    println!("{table}");
+    println!("{}", table.to_json());
+}

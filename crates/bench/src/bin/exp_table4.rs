@@ -1,0 +1,9 @@
+//! Regenerates Table IV: LQCD application speedups (MLIR RL vs Mullapudi).
+use mlir_rl_bench::{table4_lqcd, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let table = table4_lqcd(&scale);
+    println!("{table}");
+    println!("{}", table.to_json());
+}

@@ -1,0 +1,573 @@
+//! # mlir-rl-bench
+//!
+//! The experiment harness: one function per table/figure of the paper's
+//! evaluation (Sec. VII), each returning a [`SpeedupTable`] or [`Figure`]
+//! that the `exp_*` binaries print and the Criterion benches exercise.
+//!
+//! Every experiment is parameterized by an [`ExperimentScale`] so the same
+//! code runs in seconds (`ExperimentScale::smoke`, used in tests), minutes
+//! (`ExperimentScale::standard`, used by the binaries) or much longer
+//! (`ExperimentScale::full`, approaching the paper's training budget).
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use mlir_rl_agent::{FlatPolicyNetwork, PolicyHyperparams, PpoConfig, PpoTrainer, ValueNetwork};
+use mlir_rl_baselines::{
+    speedup_over_mlir, Baseline, HalideRl, MullapudiAutoscheduler, VendorLibrary, VendorMode,
+};
+use mlir_rl_core::{Figure, MlirRlOptimizer, OptimizerConfig, Series, SpeedupTable};
+use mlir_rl_costmodel::{CostModel, MachineModel};
+use mlir_rl_env::{ActionSpaceMode, EnvConfig, InterchangeMode, OptimizationEnv, RewardMode};
+use mlir_rl_ir::Module;
+use mlir_rl_transforms::{flat_action_space_size, multi_discrete_decision_count};
+use mlir_rl_workloads::{
+    dl_ops, full_training_dataset, lqcd, models, DlOperator, LqcdApplication, NeuralNetwork,
+};
+use rand_chacha::ChaCha8Rng;
+
+/// How much work each experiment does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentScale {
+    /// PPO iterations for experiments that train an agent.
+    pub train_iterations: usize,
+    /// Fraction of the paper-sized dataset to train on.
+    pub dataset_scale: f64,
+    /// Trajectories per PPO iteration.
+    pub trajectories_per_iteration: usize,
+    /// Hidden size of the policy/value networks.
+    pub hidden_size: usize,
+}
+
+impl ExperimentScale {
+    /// Seconds-scale configuration for unit tests.
+    pub fn smoke() -> Self {
+        Self {
+            train_iterations: 2,
+            dataset_scale: 0.005,
+            trajectories_per_iteration: 3,
+            hidden_size: 16,
+        }
+    }
+
+    /// Minutes-scale configuration used by the `exp_*` binaries.
+    pub fn standard() -> Self {
+        Self {
+            train_iterations: 12,
+            dataset_scale: 0.02,
+            trajectories_per_iteration: 12,
+            hidden_size: 32,
+        }
+    }
+
+    /// Closer to the paper's budget (hours).
+    pub fn full() -> Self {
+        Self {
+            train_iterations: 200,
+            dataset_scale: 1.0,
+            trajectories_per_iteration: 64,
+            hidden_size: 512,
+        }
+    }
+
+    /// Reads the scale from the `MLIR_RL_SCALE` environment variable
+    /// (`smoke`, `standard` or `full`), defaulting to `standard`.
+    pub fn from_env() -> Self {
+        match std::env::var("MLIR_RL_SCALE").as_deref() {
+            Ok("smoke") => Self::smoke(),
+            Ok("full") => Self::full(),
+            _ => Self::standard(),
+        }
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+fn optimizer_config(env: EnvConfig, scale: &ExperimentScale, seed: u64) -> OptimizerConfig {
+    OptimizerConfig {
+        env,
+        machine: MachineModel::xeon_e5_2680_v4(),
+        hyper: PolicyHyperparams {
+            hidden_size: scale.hidden_size,
+            backbone_layers: 2,
+        },
+        ppo: PpoConfig {
+            trajectories_per_iteration: scale.trajectories_per_iteration,
+            minibatch_size: 16,
+            update_epochs: 2,
+            ..PpoConfig::paper()
+        },
+        seed,
+    }
+}
+
+/// Environment configuration for the deep (up to 12-level) LQCD nests.
+pub fn lqcd_env_config() -> EnvConfig {
+    EnvConfig {
+        max_loops: 12,
+        tile_candidates: vec![0, 1, 4, 8, 16, 32, 64, 128],
+        max_operands: 6,
+        max_rank: 6,
+        max_schedule_len: 5,
+        interchange_mode: InterchangeMode::LevelPointers,
+        reward_mode: RewardMode::Final,
+        action_space_mode: ActionSpaceMode::MultiDiscrete,
+        noise_seed: None,
+    }
+}
+
+/// Trains an MLIR RL optimizer on the given dataset and returns it.
+pub fn train_mlir_rl(
+    env: EnvConfig,
+    dataset: &[Module],
+    scale: &ExperimentScale,
+    seed: u64,
+) -> MlirRlOptimizer {
+    let mut opt = MlirRlOptimizer::new(optimizer_config(env, scale, seed));
+    opt.train(dataset, scale.train_iterations);
+    opt
+}
+
+// ---------------------------------------------------------------------------
+// E1 — Fig. 5: speedups per DL operator family.
+// ---------------------------------------------------------------------------
+
+/// Reproduces Fig. 5: average speedup over the MLIR baseline per operator
+/// family for MLIR RL, Halide RL, PyTorch and the PyTorch compiler.
+pub fn fig5_operators(scale: &ExperimentScale) -> SpeedupTable {
+    let machine = MachineModel::xeon_e5_2680_v4();
+    let dataset = dl_ops::training_dataset(scale.dataset_scale, 11);
+    let mut rl = train_mlir_rl(EnvConfig::small(), &dataset, scale, 1);
+
+    let columns = vec![
+        "MLIR RL".to_string(),
+        "Halide RL".to_string(),
+        "PyTorch".to_string(),
+        "PyTorch compiler".to_string(),
+    ];
+    let mut table = SpeedupTable::new(
+        "Fig. 5: speedups over MLIR baseline per DL operator",
+        columns,
+    );
+
+    let halide_rl = HalideRl::new();
+    let eager = VendorLibrary::new(VendorMode::Eager);
+    let compiled = VendorLibrary::new(VendorMode::Compiled);
+
+    for family in DlOperator::ALL {
+        let shapes: Vec<Module> = dl_ops::evaluation_benchmark()
+            .into_iter()
+            .filter(|(k, _)| *k == family)
+            .map(|(_, m)| m)
+            .collect();
+        let mut speedups = vec![Vec::new(); 4];
+        for module in &shapes {
+            speedups[0].push(rl.optimize(module).speedup);
+            speedups[1].push(speedup_over_mlir(
+                &halide_rl.optimize(module),
+                module,
+                &machine,
+            ));
+            speedups[2].push(speedup_over_mlir(&eager.optimize(module), module, &machine));
+            speedups[3].push(speedup_over_mlir(
+                &compiled.optimize(module),
+                module,
+                &machine,
+            ));
+        }
+        let averages = speedups
+            .iter()
+            .map(|v| v.iter().sum::<f64>() / v.len().max(1) as f64)
+            .collect();
+        table.push_row(family.name(), averages);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E2 — Table III: neural-network models.
+// ---------------------------------------------------------------------------
+
+/// Reproduces Table III: speedups over the MLIR baseline for ResNet-18,
+/// MobileNetV2 and VGG under MLIR RL, PyTorch and the PyTorch compiler.
+pub fn table3_models(scale: &ExperimentScale) -> SpeedupTable {
+    let machine = MachineModel::xeon_e5_2680_v4();
+    let dataset = full_training_dataset(scale.dataset_scale, 23);
+    let mut rl = train_mlir_rl(EnvConfig::small(), &dataset, scale, 2);
+
+    let columns = vec![
+        "MLIR RL".to_string(),
+        "PyTorch".to_string(),
+        "PyTorch compiler".to_string(),
+    ];
+    let mut table = SpeedupTable::new("Table III: neural-network models", columns);
+    let eager = VendorLibrary::new(VendorMode::Eager);
+    let compiled = VendorLibrary::new(VendorMode::Compiled);
+    for model in NeuralNetwork::ALL {
+        let module = model.module();
+        let rl_speedup = rl.optimize(&module).speedup;
+        let eager_speedup = speedup_over_mlir(&eager.optimize(&module), &module, &machine);
+        let compiled_speedup = speedup_over_mlir(&compiled.optimize(&module), &module, &machine);
+        table.push_row(model.name(), vec![rl_speedup, eager_speedup, compiled_speedup]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E3 — Table IV: LQCD applications.
+// ---------------------------------------------------------------------------
+
+/// Reproduces Table IV: speedups over the MLIR baseline on the three LQCD
+/// applications for MLIR RL and the Halide autoscheduler (Mullapudi).
+pub fn table4_lqcd(scale: &ExperimentScale) -> SpeedupTable {
+    let machine = MachineModel::xeon_e5_2680_v4();
+    let dataset = lqcd::training_dataset(scale.dataset_scale, 31);
+    let mut rl = train_mlir_rl(lqcd_env_config(), &dataset, scale, 3);
+
+    let columns = vec!["MLIR RL".to_string(), "Mullapudi".to_string()];
+    let mut table = SpeedupTable::new("Table IV: LQCD applications", columns);
+    let mullapudi = MullapudiAutoscheduler::new();
+    for app in LqcdApplication::ALL {
+        let module = app.module();
+        let rl_speedup = rl.optimize(&module).speedup;
+        let mp_speedup = speedup_over_mlir(&mullapudi.optimize(&module), &module, &machine);
+        table.push_row(
+            format!("{} (S = {})", app.name(), app.input_size()),
+            vec![rl_speedup, mp_speedup],
+        );
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E4 — interchange ablation: level pointers vs enumerated candidates.
+// ---------------------------------------------------------------------------
+
+/// Reproduces the Sec. VII-D interchange ablation: two agents differing only
+/// in the interchange formulation, trained identically and evaluated on the
+/// DL-operator benchmark; reports the average speedup of each.
+pub fn ablation_interchange(scale: &ExperimentScale) -> SpeedupTable {
+    let dataset = dl_ops::training_dataset(scale.dataset_scale, 41);
+    let eval: Vec<Module> = dl_ops::evaluation_benchmark()
+        .into_iter()
+        .map(|(_, m)| m)
+        .collect();
+
+    let mut table = SpeedupTable::new(
+        "Interchange ablation: average speedup over MLIR baseline",
+        vec!["average speedup".to_string()],
+    );
+    for (name, mode) in [
+        ("Level Pointers", InterchangeMode::LevelPointers),
+        ("Enumerated Candidates", InterchangeMode::EnumeratedCandidates),
+    ] {
+        let mut env_config = EnvConfig::small();
+        env_config.interchange_mode = mode;
+        let mut opt = train_mlir_rl(env_config, &dataset, scale, 4);
+        let speedups: Vec<f64> = eval.iter().map(|m| opt.optimize(m).speedup).collect();
+        let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        table.push_row(name, vec![avg]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// E5 — Fig. 6: flat vs multi-discrete action space.
+// ---------------------------------------------------------------------------
+
+/// Reproduces Fig. 6: training-speedup curves of the flat and the
+/// multi-discrete action-space formulations.
+pub fn fig6_action_space(scale: &ExperimentScale) -> Figure {
+    let env_config = EnvConfig::small();
+    let dataset = dl_ops::training_dataset(scale.dataset_scale, 51);
+    let machine = MachineModel::xeon_e5_2680_v4();
+    let ppo = PpoConfig {
+        trajectories_per_iteration: scale.trajectories_per_iteration,
+        minibatch_size: 16,
+        update_epochs: 2,
+        ..PpoConfig::paper()
+    };
+    let hyper = PolicyHyperparams {
+        hidden_size: scale.hidden_size,
+        backbone_layers: 2,
+    };
+
+    let mut figure = Figure::new(
+        "Fig. 6: flat vs multi-discrete action space",
+        "training iteration",
+        "geomean speedup over MLIR baseline",
+    );
+
+    // Multi-discrete agent.
+    {
+        let mut env = OptimizationEnv::new(env_config.clone(), CostModel::new(machine.clone()));
+        let mut trainer = PpoTrainer::new(&env_config, hyper, ppo, 5);
+        let mut series = Series::new("Multi-Discrete Action Space");
+        for i in 0..scale.train_iterations {
+            let stats = trainer.train_iteration(&mut env, &dataset);
+            series.push(i as f64, stats.geomean_speedup);
+        }
+        figure.series.push(series);
+    }
+
+    // Flat agent.
+    {
+        use rand::SeedableRng;
+        let mut env = OptimizationEnv::new(env_config.clone(), CostModel::new(machine));
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let policy = FlatPolicyNetwork::new(env_config.clone(), hyper, &mut rng);
+        let value = ValueNetwork::new(&env_config, hyper, &mut rng);
+        let mut trainer = PpoTrainer::with_policy(policy, value, ppo, rng);
+        let mut series = Series::new("Flat Action Space");
+        for i in 0..scale.train_iterations {
+            let stats = trainer.train_iteration(&mut env, &dataset);
+            series.push(i as f64, stats.geomean_speedup);
+        }
+        figure.series.push(series);
+    }
+    figure
+}
+
+// ---------------------------------------------------------------------------
+// E6 — Fig. 7: immediate vs final reward.
+// ---------------------------------------------------------------------------
+
+/// Reproduces Fig. 7: speedup over training iterations (right plot) and over
+/// accumulated cost-model evaluations — the proxy for wall-clock training
+/// time (left plot) — for the final-reward and immediate-reward agents.
+pub fn fig7_reward_modes(scale: &ExperimentScale) -> (Figure, Figure) {
+    let dataset = dl_ops::training_dataset(scale.dataset_scale, 61);
+    let machine = MachineModel::xeon_e5_2680_v4();
+    let hyper = PolicyHyperparams {
+        hidden_size: scale.hidden_size,
+        backbone_layers: 2,
+    };
+    let ppo = PpoConfig {
+        trajectories_per_iteration: scale.trajectories_per_iteration,
+        minibatch_size: 16,
+        update_epochs: 2,
+        ..PpoConfig::paper()
+    };
+
+    let mut by_iteration = Figure::new(
+        "Fig. 7 (right): reward modes over iterations",
+        "training iteration",
+        "geomean speedup",
+    );
+    let mut by_time = Figure::new(
+        "Fig. 7 (left): reward modes over training cost",
+        "cumulative code executions (cost-model evaluations)",
+        "geomean speedup",
+    );
+
+    for (name, mode) in [
+        ("Final Reward", RewardMode::Final),
+        ("Immediate Reward", RewardMode::Immediate),
+    ] {
+        let mut env_config = EnvConfig::small();
+        env_config.reward_mode = mode;
+        let mut env = OptimizationEnv::new(env_config.clone(), CostModel::new(machine.clone()));
+        let mut trainer = PpoTrainer::new(&env_config, hyper, ppo, 7);
+        let mut iteration_series = Series::new(name);
+        let mut time_series = Series::new(name);
+        for i in 0..scale.train_iterations {
+            let stats = trainer.train_iteration(&mut env, &dataset);
+            iteration_series.push(i as f64, stats.geomean_speedup);
+            time_series.push(stats.cumulative_evaluations as f64, stats.geomean_speedup);
+        }
+        by_iteration.series.push(iteration_series);
+        by_time.series.push(time_series);
+    }
+    (by_iteration, by_time)
+}
+
+// ---------------------------------------------------------------------------
+// E7 — Sec. VII-B: compilation-pass overhead.
+// ---------------------------------------------------------------------------
+
+/// Reproduces the Sec. VII-B overhead measurements: average policy-inference
+/// time and transformation-application time per code sample, for single DL
+/// operators and for the LQCD applications. Returns `(label, seconds)` rows.
+pub fn overhead(scale: &ExperimentScale) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+
+    // Policy inference time per code sample (DL operators + LQCD kernels).
+    let mut rl = MlirRlOptimizer::new(optimizer_config(
+        EnvConfig::small(),
+        &ExperimentScale {
+            train_iterations: 0,
+            ..*scale
+        },
+        8,
+    ));
+    let operators: Vec<Module> = dl_ops::evaluation_benchmark()
+        .into_iter()
+        .map(|(_, m)| m)
+        .take(6)
+        .collect();
+    let start = Instant::now();
+    for module in &operators {
+        let _ = rl.optimize(module);
+    }
+    let per_sample = start.elapsed().as_secs_f64() / operators.len() as f64;
+    rows.push((
+        "policy inference + scheduling, DL operator (s/sample)".to_string(),
+        per_sample,
+    ));
+
+    // Transformation-application time: applying an expert schedule to every
+    // operation of a module (DL operator vs LQCD application).
+    let machine = MachineModel::xeon_e5_2680_v4();
+    let vendor = VendorLibrary::new(VendorMode::Compiled);
+    let dl_module = dl_ops::matmul_module(512, 512, 512);
+    let start = Instant::now();
+    for _ in 0..10 {
+        let _ = vendor.optimize(&dl_module);
+    }
+    rows.push((
+        "transformation application, DL operator (s/sample)".to_string(),
+        start.elapsed().as_secs_f64() / 10.0,
+    ));
+
+    let lqcd_module = LqcdApplication::HexaquarkHexaquark.module();
+    let start = Instant::now();
+    let result = vendor.optimize(&lqcd_module);
+    rows.push((
+        "transformation application, LQCD application (s/sample)".to_string(),
+        start.elapsed().as_secs_f64(),
+    ));
+    // Keep the result alive so the optimizer work is not optimized away.
+    let _ = mlir_rl_baselines::evaluate(&result, &machine);
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// E8 — Tables II and V: dataset and model composition.
+// ---------------------------------------------------------------------------
+
+/// Reproduces Table II (training-set composition per DL operator) and
+/// Table V (operator composition of the benchmark models).
+pub fn datasets() -> (SpeedupTable, SpeedupTable) {
+    let mut table2 = SpeedupTable::new(
+        "Table II: single-operator training set",
+        vec!["training examples".to_string()],
+    );
+    for (op, count) in dl_ops::dataset_composition(1.0) {
+        table2.push_row(op.name(), vec![count as f64]);
+    }
+    table2.push_row("Total", vec![1135.0]);
+
+    let mut table5 = SpeedupTable::new(
+        "Table V: operator composition of the benchmarked models",
+        vec![
+            "total".to_string(),
+            "conv2d".to_string(),
+            "pool".to_string(),
+            "matmul".to_string(),
+            "generic".to_string(),
+        ],
+    );
+    for model in NeuralNetwork::ALL {
+        let module = model.module();
+        let comp = models::op_composition(&module);
+        let get = |k: &str| comp.get(k).copied().unwrap_or(0) as f64;
+        table5.push_row(
+            model.name(),
+            vec![
+                get("total"),
+                get("conv2d"),
+                get("pool"),
+                get("matmul"),
+                get("generic"),
+            ],
+        );
+    }
+    (table2, table5)
+}
+
+// ---------------------------------------------------------------------------
+// E9 — action-space size accounting (Sec. IV-A).
+// ---------------------------------------------------------------------------
+
+/// Reproduces the Sec. IV-A action-space size accounting: the flat action
+/// space `|A| = 3 M^N + N! + 2` against the number of multi-discrete
+/// decisions, for N = 1..=12 and M = 8.
+pub fn action_space_size() -> SpeedupTable {
+    let mut table = SpeedupTable::new(
+        "Action-space size: flat vs multi-discrete (M = 8)",
+        vec![
+            "flat |A|".to_string(),
+            "multi-discrete (level pointers)".to_string(),
+            "multi-discrete (enumerated)".to_string(),
+        ],
+    );
+    for n in 1..=12u32 {
+        table.push_row(
+            format!("N = {n}"),
+            vec![
+                flat_action_space_size(n, 8) as f64,
+                multi_discrete_decision_count(n, 8, true) as f64,
+                multi_discrete_decision_count(n, 8, false) as f64,
+            ],
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_space_table_matches_formula() {
+        let t = action_space_size();
+        assert_eq!(t.rows.len(), 12);
+        // N = 3: 3*8^3 + 6 + 2 = 1544.
+        assert_eq!(t.rows[2].1[0], 1544.0);
+        assert!(t.rows[11].1[0] > t.rows[11].1[1]);
+    }
+
+    #[test]
+    fn dataset_tables_match_the_paper_counts() {
+        let (table2, table5) = datasets();
+        assert_eq!(table2.rows.last().unwrap().1[0], 1135.0);
+        assert_eq!(table5.rows.len(), 3);
+        for (_, row) in &table5.rows {
+            assert!(row[0] >= row[1], "total >= conv2d");
+        }
+    }
+
+    #[test]
+    fn smoke_fig5_has_all_operators_and_systems() {
+        let table = fig5_operators(&ExperimentScale::smoke());
+        assert_eq!(table.rows.len(), 5);
+        assert_eq!(table.columns.len(), 4);
+        for (_, values) in &table.rows {
+            assert!(values.iter().all(|v| v.is_finite() && *v > 0.0));
+        }
+    }
+
+    #[test]
+    fn smoke_table4_runs_and_is_positive() {
+        let table = table4_lqcd(&ExperimentScale::smoke());
+        assert_eq!(table.rows.len(), 3);
+        for (_, values) in &table.rows {
+            assert!(values[1] > 1.0, "Mullapudi should beat the baseline");
+            assert!(values[0].is_finite());
+        }
+    }
+
+    #[test]
+    fn smoke_overhead_reports_three_measurements() {
+        let rows = overhead(&ExperimentScale::smoke());
+        assert_eq!(rows.len(), 3);
+        for (_, seconds) in &rows {
+            assert!(*seconds >= 0.0 && *seconds < 60.0);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! High-level optimizer facade: train an MLIR RL agent and use it to
+//! optimize modules, mirroring how the released artifact wraps the trained
+//! policy behind `scripts/evaluate.sh`.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use mlir_rl_agent::{collect_episode, IterationStats, PolicyHyperparams, PpoConfig, PpoTrainer};
+use mlir_rl_agent::PolicyNetwork;
+use mlir_rl_costmodel::{CostModel, MachineModel};
+use mlir_rl_env::{EnvConfig, EpisodeStats, OptimizationEnv};
+use mlir_rl_ir::Module;
+
+/// The outcome of optimizing one module.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationOutcome {
+    /// Baseline (untransformed) execution-time estimate, seconds.
+    pub baseline_s: f64,
+    /// Optimized execution-time estimate, seconds.
+    pub optimized_s: f64,
+    /// Speedup over the baseline.
+    pub speedup: f64,
+    /// Environment steps used.
+    pub steps: usize,
+}
+
+impl From<EpisodeStats> for OptimizationOutcome {
+    fn from(stats: EpisodeStats) -> Self {
+        Self {
+            baseline_s: stats.baseline_s,
+            optimized_s: stats.final_s,
+            speedup: stats.speedup,
+            steps: stats.steps,
+        }
+    }
+}
+
+/// Configuration of the [`MlirRlOptimizer`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizerConfig {
+    /// Environment configuration (action space, feature sizes, reward mode).
+    pub env: EnvConfig,
+    /// Machine the cost model targets.
+    pub machine: MachineModel,
+    /// Policy/value network sizes.
+    pub hyper: PolicyHyperparams,
+    /// PPO hyper-parameters.
+    pub ppo: PpoConfig,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl OptimizerConfig {
+    /// The paper-faithful configuration (large networks, 64-trajectory
+    /// iterations). Training at this size takes a long time on one machine.
+    pub fn paper() -> Self {
+        Self {
+            env: EnvConfig::paper(),
+            machine: MachineModel::xeon_e5_2680_v4(),
+            hyper: PolicyHyperparams::paper(),
+            ppo: PpoConfig::paper(),
+            seed: 0,
+        }
+    }
+
+    /// A laptop-scale configuration used by the examples and the benchmark
+    /// harness: small feature space, small networks, few trajectories.
+    pub fn quick() -> Self {
+        Self {
+            env: EnvConfig::small(),
+            machine: MachineModel::xeon_e5_2680_v4(),
+            hyper: PolicyHyperparams {
+                hidden_size: 32,
+                backbone_layers: 2,
+            },
+            ppo: PpoConfig {
+                trajectories_per_iteration: 12,
+                minibatch_size: 16,
+                update_epochs: 2,
+                ..PpoConfig::paper()
+            },
+            seed: 0,
+        }
+    }
+}
+
+/// The end-to-end optimizer: an environment plus a PPO-trained agent.
+#[derive(Debug)]
+pub struct MlirRlOptimizer {
+    config: OptimizerConfig,
+    env: OptimizationEnv,
+    trainer: PpoTrainer<PolicyNetwork>,
+    rng: ChaCha8Rng,
+}
+
+impl MlirRlOptimizer {
+    /// Creates an untrained optimizer.
+    pub fn new(config: OptimizerConfig) -> Self {
+        let env = OptimizationEnv::new(
+            config.env.clone(),
+            CostModel::new(config.machine.clone()),
+        );
+        let trainer = PpoTrainer::new(&config.env, config.hyper, config.ppo, config.seed);
+        let rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(97));
+        Self {
+            config,
+            env,
+            trainer,
+            rng,
+        }
+    }
+
+    /// The optimizer configuration.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// Per-iteration training history.
+    pub fn training_history(&self) -> &[IterationStats] {
+        self.trainer.history()
+    }
+
+    /// Trains the agent for the given number of PPO iterations on a dataset
+    /// of modules.
+    pub fn train(&mut self, dataset: &[Module], iterations: usize) -> Vec<IterationStats> {
+        self.trainer.train(&mut self.env, dataset, iterations)
+    }
+
+    /// Optimizes one module with the current (greedy) policy.
+    pub fn optimize(&mut self, module: &Module) -> OptimizationOutcome {
+        let traj = collect_episode(
+            &mut self.env,
+            module,
+            &mut self.trainer.policy,
+            &self.trainer.value,
+            true,
+            &mut self.rng,
+        );
+        traj.stats.into()
+    }
+
+    /// Optimizes a batch of modules, returning `(module name, outcome)`
+    /// pairs.
+    pub fn optimize_all(&mut self, modules: &[Module]) -> Vec<(String, OptimizationOutcome)> {
+        modules
+            .iter()
+            .map(|m| (m.name().to_string(), self.optimize(m)))
+            .collect()
+    }
+
+    /// Average policy-inference plus transformation-application time per
+    /// code sample over the given modules, in seconds (the Sec. VII-B
+    /// overhead measurement).
+    pub fn compilation_overhead_s(&mut self, modules: &[Module]) -> f64 {
+        if modules.is_empty() {
+            return 0.0;
+        }
+        let start = std::time::Instant::now();
+        for module in modules {
+            let _ = self.optimize(module);
+        }
+        start.elapsed().as_secs_f64() / modules.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlir_rl_ir::ModuleBuilder;
+
+    fn tiny_dataset() -> Vec<Module> {
+        (0..3)
+            .map(|i| {
+                let size = 64 * (i + 1) as u64;
+                let mut b = ModuleBuilder::new(format!("mm{size}"));
+                let a = b.argument("A", vec![size, size]);
+                let w = b.argument("B", vec![size, size]);
+                let mm = b.matmul(a, w);
+                b.relu(mm);
+                b.finish()
+            })
+            .collect()
+    }
+
+    fn tiny_config() -> OptimizerConfig {
+        OptimizerConfig {
+            hyper: PolicyHyperparams {
+                hidden_size: 16,
+                backbone_layers: 1,
+            },
+            ppo: PpoConfig {
+                trajectories_per_iteration: 2,
+                minibatch_size: 4,
+                update_epochs: 1,
+                ..PpoConfig::paper()
+            },
+            ..OptimizerConfig::quick()
+        }
+    }
+
+    #[test]
+    fn untrained_optimizer_produces_valid_outcomes() {
+        let mut opt = MlirRlOptimizer::new(tiny_config());
+        let modules = tiny_dataset();
+        let outcome = opt.optimize(&modules[0]);
+        assert!(outcome.baseline_s > 0.0);
+        assert!(outcome.speedup > 0.0);
+        assert!(outcome.steps > 0);
+    }
+
+    #[test]
+    fn training_then_batch_evaluation() {
+        let mut opt = MlirRlOptimizer::new(tiny_config());
+        let modules = tiny_dataset();
+        let history = opt.train(&modules, 2);
+        assert_eq!(history.len(), 2);
+        assert_eq!(opt.training_history().len(), 2);
+        let results = opt.optimize_all(&modules);
+        assert_eq!(results.len(), 3);
+        for (name, outcome) in &results {
+            assert!(!name.is_empty());
+            assert!(outcome.speedup.is_finite());
+        }
+    }
+
+    #[test]
+    fn compilation_overhead_is_measured() {
+        let mut opt = MlirRlOptimizer::new(tiny_config());
+        let modules = tiny_dataset();
+        let overhead = opt.compilation_overhead_s(&modules[..1]);
+        assert!(overhead > 0.0 && overhead < 10.0);
+        assert_eq!(opt.compilation_overhead_s(&[]), 0.0);
+    }
+
+    #[test]
+    fn config_presets() {
+        let paper = OptimizerConfig::paper();
+        assert_eq!(paper.env.max_loops, 12);
+        assert_eq!(paper.hyper.hidden_size, 512);
+        let quick = OptimizerConfig::quick();
+        assert!(quick.hyper.hidden_size < paper.hyper.hidden_size);
+    }
+}

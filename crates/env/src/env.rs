@@ -1,0 +1,554 @@
+//! The MLIR RL optimization environment (Sec. III and IV).
+//!
+//! An episode optimizes one module: operations are visited in reverse
+//! program order (consumers before producers, so fusion opportunities are
+//! preserved); at every step the agent applies one transformation to the
+//! operation currently being optimized; terminal actions (vectorization or
+//! "no transformation") move to the next operation; the episode ends when
+//! every operation has been visited. The reward is the log-speedup of the
+//! optimized module over the untransformed baseline, estimated by the
+//! analytical cost model (the substitute for the paper's real executions).
+
+use serde::{Deserialize, Serialize};
+
+use mlir_rl_costmodel::{CostModel, MeasurementNoise};
+use mlir_rl_ir::{Module, OpId};
+use mlir_rl_transforms::{ScheduledModule, TransformError, TransformationKind};
+
+use crate::action::Action;
+use crate::config::{EnvConfig, RewardMode};
+use crate::features::{extract_features, zero_features, ActionHistory};
+use crate::mask::{compute_mask, ActionMask};
+use crate::reward::{log_speedup, step_reward};
+
+/// What the agent observes before choosing an action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Representation vector of the operation being optimized (the
+    /// consumer).
+    pub consumer: Vec<f64>,
+    /// Representation vector of its last producer (all zeros when there is
+    /// none).
+    pub producer: Vec<f64>,
+    /// Action masks for every policy head.
+    pub mask: ActionMask,
+    /// Number of loops of the operation being optimized.
+    pub num_loops: usize,
+    /// The operation being optimized.
+    pub op: OpId,
+}
+
+/// Result of one environment step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepOutcome {
+    /// The next observation, or `None` when the episode has ended.
+    pub observation: Option<Observation>,
+    /// The reward of this step.
+    pub reward: f64,
+    /// Whether the episode has ended.
+    pub done: bool,
+    /// Whether the requested transformation was actually applied (illegal
+    /// requests are ignored but still consume a step).
+    pub applied: bool,
+    /// Execution-time estimate of the module after this step, in seconds
+    /// (only refreshed when the reward mode required an evaluation).
+    pub current_time_s: f64,
+}
+
+/// The per-episode statistics the training loop and the benchmark harness
+/// consume.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeStats {
+    /// Baseline (untransformed) execution time, seconds.
+    pub baseline_s: f64,
+    /// Final optimized execution time, seconds.
+    pub final_s: f64,
+    /// End-to-end speedup over the baseline.
+    pub speedup: f64,
+    /// Environment steps taken.
+    pub steps: usize,
+    /// Cost-model evaluations performed (the execution count that makes the
+    /// immediate-reward mode expensive, Fig. 7).
+    pub evaluations: usize,
+}
+
+/// The optimization environment.
+#[derive(Debug, Clone)]
+pub struct OptimizationEnv {
+    config: EnvConfig,
+    cost_model: CostModel,
+    noise: Option<MeasurementNoise>,
+    scheduled: Option<ScheduledModule>,
+    op_order: Vec<OpId>,
+    current_index: usize,
+    histories: Vec<ActionHistory>,
+    baseline_s: f64,
+    current_s: f64,
+    steps_on_current_op: usize,
+    total_steps: usize,
+    evaluations: usize,
+}
+
+impl OptimizationEnv {
+    /// Creates an environment with the given configuration and cost model.
+    pub fn new(config: EnvConfig, cost_model: CostModel) -> Self {
+        config.validate();
+        let noise = config.noise_seed.map(MeasurementNoise::new);
+        Self {
+            config,
+            cost_model,
+            noise,
+            scheduled: None,
+            op_order: Vec::new(),
+            current_index: 0,
+            histories: Vec::new(),
+            baseline_s: 0.0,
+            current_s: 0.0,
+            steps_on_current_op: 0,
+            total_steps: 0,
+            evaluations: 0,
+        }
+    }
+
+    /// The environment configuration.
+    pub fn config(&self) -> &EnvConfig {
+        &self.config
+    }
+
+    /// The cost model used for rewards.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// Starts a new episode on the given module and returns the first
+    /// observation (`None` if the module has no operations).
+    pub fn reset(&mut self, module: Module) -> Option<Observation> {
+        let scheduled =
+            ScheduledModule::with_max_schedule_len(module, self.config.max_schedule_len);
+        self.op_order = scheduled.module().reverse_order();
+        self.histories = vec![ActionHistory::new(); scheduled.module().ops().len()];
+        self.current_index = 0;
+        self.steps_on_current_op = 0;
+        self.total_steps = 0;
+        self.evaluations = 0;
+        self.baseline_s = self.measure(
+            self.cost_model
+                .estimate_baseline(scheduled.module())
+                .total_s,
+        );
+        self.evaluations += 1;
+        self.current_s = self.baseline_s;
+        self.scheduled = Some(scheduled);
+        self.skip_unavailable_ops();
+        self.observation()
+    }
+
+    /// The operation currently being optimized, if the episode is live.
+    pub fn current_op(&self) -> Option<OpId> {
+        self.op_order.get(self.current_index).copied()
+    }
+
+    /// The scheduled module of the current episode.
+    pub fn scheduled(&self) -> Option<&ScheduledModule> {
+        self.scheduled.as_ref()
+    }
+
+    /// Baseline execution time of the episode's module.
+    pub fn baseline_time_s(&self) -> f64 {
+        self.baseline_s
+    }
+
+    /// Number of cost-model evaluations performed so far this episode.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Episode statistics; meaningful once the episode is done (but callable
+    /// at any point).
+    pub fn stats(&mut self) -> EpisodeStats {
+        let final_s = self.evaluate_current();
+        EpisodeStats {
+            baseline_s: self.baseline_s,
+            final_s,
+            speedup: if final_s > 0.0 {
+                self.baseline_s / final_s
+            } else {
+                1.0
+            },
+            steps: self.total_steps,
+            evaluations: self.evaluations,
+        }
+    }
+
+    fn measure(&mut self, time_s: f64) -> f64 {
+        match &mut self.noise {
+            Some(noise) => noise.measure_median(time_s, 5),
+            None => time_s,
+        }
+    }
+
+    /// Evaluates the current schedule with the cost model (counts as an
+    /// evaluation).
+    pub fn evaluate_current(&mut self) -> f64 {
+        let Some(scheduled) = &self.scheduled else {
+            return self.current_s;
+        };
+        let t = self.cost_model.estimate_scheduled(scheduled).total_s;
+        self.evaluations += 1;
+        let measured = self.measure(t);
+        self.current_s = measured;
+        measured
+    }
+
+    fn observation(&self) -> Option<Observation> {
+        let scheduled = self.scheduled.as_ref()?;
+        let op = self.current_op()?;
+        let num_loops = scheduled.module().op(op).ok()?.num_loops();
+        let consumer = extract_features(scheduled, op, &self.histories[op.0], &self.config);
+        let producer = match scheduled.module().last_producer(op) {
+            Some(p) => extract_features(scheduled, p, &self.histories[p.0], &self.config),
+            None => zero_features(&self.config),
+        };
+        Some(Observation {
+            consumer,
+            producer,
+            mask: compute_mask(scheduled, op, &self.config),
+            num_loops,
+            op,
+        })
+    }
+
+    /// Skips operations that can no longer be optimized (already fused into
+    /// a consumer).
+    fn skip_unavailable_ops(&mut self) {
+        while let (Some(op), Some(scheduled)) = (self.current_op(), self.scheduled.as_ref()) {
+            if scheduled.state(op).fused_into.is_some() {
+                self.current_index += 1;
+                self.steps_on_current_op = 0;
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn episode_done(&self) -> bool {
+        self.current_index >= self.op_order.len()
+    }
+
+    /// Applies one agent action.
+    ///
+    /// Illegal actions (which the masks normally prevent) are not applied
+    /// but still consume a step; a tiled parallelization whose outermost
+    /// tiled loop is a reduction is downgraded to plain tiling, mirroring
+    /// how `scf.forall` tiling skips reduction dimensions.
+    pub fn step(&mut self, action: &Action) -> StepOutcome {
+        if self.episode_done() || self.scheduled.is_none() {
+            return StepOutcome {
+                observation: None,
+                reward: 0.0,
+                done: true,
+                applied: false,
+                current_time_s: self.current_s,
+            };
+        }
+        let op = self.current_op().expect("episode not done");
+        let scheduled = self.scheduled.as_mut().expect("episode live");
+        let num_loops = scheduled
+            .module()
+            .op(op)
+            .expect("op belongs to module")
+            .num_loops();
+        let producer = scheduled.module().last_producer(op);
+
+        self.total_steps += 1;
+        self.steps_on_current_op += 1;
+        let previous_s = self.current_s;
+
+        // Decode and apply.
+        let mut applied = false;
+        let mut applied_kind = action.kind();
+        match action.to_transformation(&self.config, num_loops, producer) {
+            Ok(transformation) => {
+                let result = scheduled.apply(op, transformation.clone());
+                match result {
+                    Ok(()) => applied = true,
+                    Err(TransformError::ParallelizingReduction { .. }) => {
+                        // Downgrade to plain tiling.
+                        if let mlir_rl_transforms::Transformation::TiledParallelization {
+                            tile_sizes,
+                        } = transformation
+                        {
+                            if scheduled
+                                .apply(op, mlir_rl_transforms::Transformation::Tiling { tile_sizes })
+                                .is_ok()
+                            {
+                                applied = true;
+                                applied_kind = TransformationKind::Tiling;
+                            }
+                        }
+                    }
+                    Err(_) => {}
+                }
+            }
+            Err(_) => {}
+        }
+
+        // Record the action history (terminal actions record nothing,
+        // Appendix A).
+        if applied && !applied_kind.is_terminal() {
+            let state = self.scheduled.as_ref().expect("episode live").state(op);
+            match action {
+                Action::Tiling { tile_indices }
+                | Action::TiledParallelization { tile_indices }
+                | Action::TiledFusion { tile_indices } => {
+                    self.histories[op.0].push_tiled(tile_indices.clone());
+                }
+                Action::Interchange(_) => {
+                    self.histories[op.0].push_interchange(state.order.clone());
+                }
+                _ => self.histories[op.0].push_empty(),
+            }
+        }
+
+        // Does this step end the optimization of the current operation?
+        let schedule_len = self
+            .scheduled
+            .as_ref()
+            .expect("episode live")
+            .state(op)
+            .schedule
+            .len();
+        let op_finished = applied_kind.is_terminal()
+            || (applied && schedule_len >= self.config.max_schedule_len)
+            || self.steps_on_current_op >= self.config.max_schedule_len + 2;
+        if op_finished {
+            // Freeze the op if it was not already terminated so that later
+            // masks report it as closed.
+            let scheduled = self.scheduled.as_mut().expect("episode live");
+            if !scheduled.state(op).is_terminated() {
+                let _ = scheduled.apply(op, mlir_rl_transforms::Transformation::NoTransformation);
+            }
+            self.current_index += 1;
+            self.steps_on_current_op = 0;
+            self.skip_unavailable_ops();
+        }
+        let done = self.episode_done();
+
+        // Reward.
+        let needs_evaluation = matches!(self.config.reward_mode, RewardMode::Immediate)
+            || (done && matches!(self.config.reward_mode, RewardMode::Final));
+        let current_s = if needs_evaluation {
+            self.evaluate_current()
+        } else {
+            self.current_s
+        };
+        let reward = step_reward(
+            self.config.reward_mode,
+            done,
+            self.baseline_s,
+            previous_s,
+            current_s,
+        );
+
+        StepOutcome {
+            observation: if done { None } else { self.observation() },
+            reward,
+            done,
+            applied,
+            current_time_s: current_s,
+        }
+    }
+
+    /// Final speedup of the episode (1.0 before any step).
+    pub fn final_speedup(&self) -> f64 {
+        if self.current_s > 0.0 {
+            self.baseline_s / self.current_s
+        } else {
+            1.0
+        }
+    }
+
+    /// Accumulated log-speedup, for comparing against episode rewards.
+    pub fn log_speedup(&self) -> f64 {
+        log_speedup(self.baseline_s, self.current_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::InterchangeSpec;
+    use mlir_rl_costmodel::MachineModel;
+    use mlir_rl_ir::ModuleBuilder;
+
+    fn matmul_relu_module() -> Module {
+        let mut b = ModuleBuilder::new("chain");
+        let a = b.argument("A", vec![128, 256]);
+        let w = b.argument("B", vec![256, 64]);
+        let mm = b.matmul(a, w);
+        b.relu(mm);
+        b.finish()
+    }
+
+    fn env() -> OptimizationEnv {
+        OptimizationEnv::new(
+            EnvConfig::small(),
+            CostModel::new(MachineModel::default()),
+        )
+    }
+
+    #[test]
+    fn reset_visits_last_consumer_first() {
+        let mut e = env();
+        let obs = e.reset(matmul_relu_module()).unwrap();
+        // The relu (op 1) is the last consumer and is optimized first.
+        assert_eq!(obs.op, OpId(1));
+        assert_eq!(obs.num_loops, 2);
+        assert!(e.baseline_time_s() > 0.0);
+        // Its producer slot holds the matmul features (non-zero).
+        assert!(obs.producer.iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn full_episode_with_stop_actions() {
+        let mut e = env();
+        e.reset(matmul_relu_module()).unwrap();
+        let out1 = e.step(&Action::NoTransformation);
+        assert!(!out1.done);
+        assert_eq!(out1.observation.as_ref().unwrap().op, OpId(0));
+        let out2 = e.step(&Action::NoTransformation);
+        assert!(out2.done);
+        assert!(out2.observation.is_none());
+        // Doing nothing gives (approximately) zero reward.
+        assert!(out2.reward.abs() < 1e-9);
+        let stats = e.stats();
+        assert_eq!(stats.steps, 2);
+        assert!((stats.speedup - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimizing_yields_positive_final_reward() {
+        let mut e = env();
+        e.reset(matmul_relu_module()).unwrap();
+        // Fuse the matmul into the relu, then stop; then parallelize nothing
+        // further (the matmul is fused away, so the episode ends).
+        let out = e.step(&Action::TiledFusion {
+            tile_indices: vec![2, 2],
+        });
+        assert!(out.applied);
+        let out = e.step(&Action::NoTransformation);
+        assert!(out.done, "the fused-away matmul is skipped");
+        assert!(out.reward > 0.0, "fusion should speed the module up");
+        assert!(e.final_speedup() > 1.0);
+    }
+
+    #[test]
+    fn parallelization_gives_large_speedup() {
+        let mut e = env();
+        e.reset(matmul_relu_module()).unwrap();
+        // Optimize the relu trivially, then parallelize the matmul.
+        e.step(&Action::NoTransformation);
+        let out = e.step(&Action::TiledParallelization {
+            tile_indices: vec![2, 2, 0],
+        });
+        assert!(out.applied);
+        let out = e.step(&Action::Vectorization);
+        assert!(out.done);
+        assert!(out.reward > 1.0, "log-speedup should exceed 1 (e >= 2.7x)");
+    }
+
+    #[test]
+    fn illegal_action_is_not_applied_but_consumes_a_step() {
+        let mut e = env();
+        e.reset(matmul_relu_module()).unwrap();
+        // Wrong arity for the relu (2 loops).
+        let out = e.step(&Action::Tiling {
+            tile_indices: vec![1, 1, 1, 1],
+        });
+        assert!(!out.applied);
+        assert!(!out.done);
+    }
+
+    #[test]
+    fn parallelizing_a_reduction_outer_loop_downgrades_to_tiling() {
+        let mut b = ModuleBuilder::new("softmax");
+        let x = b.argument("x", vec![64, 128]);
+        b.softmax_2d(x);
+        let mut e = env();
+        e.reset(b.finish()).unwrap();
+        // Interchange so the reduction is outermost, then ask for tiled
+        // parallelization: the environment downgrades it to plain tiling.
+        e.step(&Action::Interchange(InterchangeSpec::Permutation(vec![
+            1, 0,
+        ])));
+        let out = e.step(&Action::TiledParallelization {
+            tile_indices: vec![1, 1],
+        });
+        assert!(out.applied);
+        let scheduled = e.scheduled().unwrap();
+        assert!(!scheduled.state(OpId(0)).parallelized);
+        assert!(scheduled.state(OpId(0)).tile_sizes.iter().any(|t| *t > 0));
+    }
+
+    #[test]
+    fn schedule_length_limit_moves_to_next_op() {
+        let mut e = env();
+        e.reset(matmul_relu_module()).unwrap();
+        // Apply more non-terminal actions than the schedule allows.
+        let mut moved = false;
+        for _ in 0..10 {
+            let out = e.step(&Action::Tiling {
+                tile_indices: vec![1, 1],
+            });
+            if out.done || out.observation.as_ref().map(|o| o.op) == Some(OpId(0)) {
+                moved = true;
+                break;
+            }
+        }
+        assert!(moved, "the environment must eventually move to the next op");
+    }
+
+    #[test]
+    fn immediate_reward_mode_evaluates_every_step() {
+        let mut config = EnvConfig::small();
+        config.reward_mode = RewardMode::Immediate;
+        let mut e = OptimizationEnv::new(config, CostModel::new(MachineModel::default()));
+        e.reset(matmul_relu_module()).unwrap();
+        let evals_before = e.evaluations();
+        e.step(&Action::Tiling {
+            tile_indices: vec![1, 1],
+        });
+        e.step(&Action::NoTransformation);
+        assert!(e.evaluations() >= evals_before + 2);
+
+        // Final mode evaluates only at the end.
+        let mut e2 = env();
+        e2.reset(matmul_relu_module()).unwrap();
+        let evals_start = e2.evaluations();
+        e2.step(&Action::Tiling {
+            tile_indices: vec![1, 1],
+        });
+        assert_eq!(e2.evaluations(), evals_start);
+    }
+
+    #[test]
+    fn noise_seed_produces_reproducible_baselines() {
+        let mut config = EnvConfig::small();
+        config.noise_seed = Some(7);
+        let cm = CostModel::new(MachineModel::default());
+        let mut a = OptimizationEnv::new(config.clone(), cm.clone());
+        let mut b = OptimizationEnv::new(config, cm);
+        a.reset(matmul_relu_module());
+        b.reset(matmul_relu_module());
+        assert_eq!(a.baseline_time_s(), b.baseline_time_s());
+    }
+
+    #[test]
+    fn empty_module_episode_is_immediately_done() {
+        let mut e = env();
+        let obs = e.reset(Module::new("empty"));
+        assert!(obs.is_none());
+        let out = e.step(&Action::NoTransformation);
+        assert!(out.done);
+    }
+}

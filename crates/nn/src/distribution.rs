@@ -1,0 +1,239 @@
+//! Masked categorical distributions over action logits.
+//!
+//! The multi-discrete policy of the paper samples one sub-action per head
+//! from a categorical distribution; invalid sub-actions are removed with an
+//! action mask (Sec. IV-A-2). This module provides sampling, log-probability,
+//! entropy and the gradients of those quantities with respect to the logits,
+//! which is everything PPO needs.
+
+use rand::Rng;
+
+use crate::activation::masked_softmax;
+
+/// A categorical distribution over `n` choices, with an optional mask of
+/// allowed choices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskedCategorical {
+    probs: Vec<f64>,
+    mask: Vec<bool>,
+}
+
+impl MaskedCategorical {
+    /// Builds the distribution from raw logits and a mask of allowed
+    /// entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ or every entry is masked out.
+    pub fn new(logits: &[f64], mask: &[bool]) -> Self {
+        let probs = masked_softmax(logits, mask);
+        Self {
+            probs,
+            mask: mask.to_vec(),
+        }
+    }
+
+    /// Builds the distribution from raw logits with every entry allowed.
+    pub fn from_logits(logits: &[f64]) -> Self {
+        Self::new(logits, &vec![true; logits.len()])
+    }
+
+    /// The probabilities (masked entries have probability 0).
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// True if the distribution has no categories.
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Samples a category index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let mut acc = 0.0;
+        for (i, p) in self.probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return i;
+            }
+        }
+        // Floating-point slack: return the last allowed entry.
+        self.probs
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, p)| **p > 0.0)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// The most probable category (greedy action).
+    pub fn argmax(&self) -> usize {
+        self.probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Natural log-probability of a category.
+    ///
+    /// Returns a very negative value (`-1e9`) for masked-out categories so
+    /// that importance ratios involving them vanish instead of producing
+    /// NaNs.
+    pub fn log_prob(&self, index: usize) -> f64 {
+        let p = self.probs.get(index).copied().unwrap_or(0.0);
+        if p <= 0.0 {
+            -1.0e9
+        } else {
+            p.ln()
+        }
+    }
+
+    /// Entropy of the distribution (masked entries contribute zero).
+    pub fn entropy(&self) -> f64 {
+        -self
+            .probs
+            .iter()
+            .filter(|p| **p > 0.0)
+            .map(|p| p * p.ln())
+            .sum::<f64>()
+    }
+
+    /// Gradient of `log_prob(index)` with respect to the *logits*:
+    /// `d log p_a / d logit_i = 1[i == a] - p_i` (zero on masked entries).
+    pub fn log_prob_grad(&self, index: usize) -> Vec<f64> {
+        self.probs
+            .iter()
+            .zip(&self.mask)
+            .enumerate()
+            .map(|(i, (p, m))| {
+                if !m {
+                    0.0
+                } else if i == index {
+                    1.0 - p
+                } else {
+                    -p
+                }
+            })
+            .collect()
+    }
+
+    /// Gradient of the entropy with respect to the logits:
+    /// `dH/dlogit_i = -p_i * (log p_i + H)` on allowed entries.
+    pub fn entropy_grad(&self) -> Vec<f64> {
+        let h = self.entropy();
+        self.probs
+            .iter()
+            .zip(&self.mask)
+            .map(|(p, m)| {
+                if !m || *p <= 0.0 {
+                    0.0
+                } else {
+                    -p * (p.ln() + h)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::softmax;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn probabilities_sum_to_one_and_respect_mask() {
+        let d = MaskedCategorical::new(&[1.0, 2.0, 3.0, 4.0], &[true, false, true, true]);
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert!((d.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(d.probs()[1], 0.0);
+        assert_eq!(d.argmax(), 3);
+    }
+
+    #[test]
+    fn sampling_respects_mask_and_distribution() {
+        let d = MaskedCategorical::new(&[0.0, 5.0, 0.0], &[true, false, true]);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..1000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "masked action must never be sampled");
+        // The two allowed actions have equal logits, so roughly 50/50.
+        assert!(counts[0] > 350 && counts[2] > 350);
+    }
+
+    #[test]
+    fn log_prob_matches_softmax() {
+        let logits = [0.5, -1.0, 2.0];
+        let d = MaskedCategorical::from_logits(&logits);
+        let probs = softmax(&logits);
+        for i in 0..3 {
+            assert!((d.log_prob(i) - probs[i].ln()).abs() < 1e-12);
+        }
+        // Masked category has an extremely low log-prob but no NaN.
+        let dm = MaskedCategorical::new(&logits, &[true, false, true]);
+        assert!(dm.log_prob(1) < -1.0e8);
+    }
+
+    #[test]
+    fn entropy_is_maximal_for_uniform() {
+        let uniform = MaskedCategorical::from_logits(&[1.0; 4]);
+        let peaked = MaskedCategorical::from_logits(&[10.0, 0.0, 0.0, 0.0]);
+        assert!(uniform.entropy() > peaked.entropy());
+        assert!((uniform.entropy() - (4.0f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_prob_grad_matches_finite_difference() {
+        let logits = [0.2, -0.3, 0.8, 0.0];
+        let mask = [true, true, false, true];
+        let target = 0;
+        let d = MaskedCategorical::new(&logits, &mask);
+        let grad = d.log_prob_grad(target);
+        let eps = 1e-6;
+        for i in 0..logits.len() {
+            let mut lp = logits.to_vec();
+            lp[i] += eps;
+            let dp = MaskedCategorical::new(&lp, &mask);
+            let fd = (dp.log_prob(target) - d.log_prob(target)) / eps;
+            if mask[i] {
+                assert!((fd - grad[i]).abs() < 1e-4, "i={i}: {fd} vs {}", grad[i]);
+            } else {
+                assert_eq!(grad[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn entropy_grad_matches_finite_difference() {
+        let logits = [0.1, 0.9, -0.5];
+        let mask = [true, true, true];
+        let d = MaskedCategorical::new(&logits, &mask);
+        let grad = d.entropy_grad();
+        let eps = 1e-6;
+        for i in 0..logits.len() {
+            let mut lp = logits.to_vec();
+            lp[i] += eps;
+            let fd = (MaskedCategorical::new(&lp, &mask).entropy() - d.entropy()) / eps;
+            assert!((fd - grad[i]).abs() < 1e-4, "i={i}: {fd} vs {}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn argmax_of_masked_distribution() {
+        let d = MaskedCategorical::new(&[5.0, 10.0, 1.0], &[true, false, true]);
+        assert_eq!(d.argmax(), 0);
+    }
+}

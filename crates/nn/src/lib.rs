@@ -1,0 +1,49 @@
+//! # mlir-rl-nn
+//!
+//! A minimal, dependency-free neural-network library: dense layers, a
+//! single-layer LSTM, masked categorical distributions and the Adam
+//! optimizer — exactly the building blocks the paper's actor-critic
+//! networks need (LSTM producer-consumer embedding, 3x512 ReLU backbone,
+//! softmax action heads, value head, PPO training).
+//!
+//! All layers operate on single samples (`&[f64]` feature vectors); a
+//! minibatch is processed by calling `forward` once per sample and
+//! `backward` once per sample in reverse order, which accumulates gradients
+//! exactly like summing a batched loss.
+//!
+//! ## Example
+//!
+//! ```
+//! use mlir_rl_nn::{Adam, Linear, MaskedCategorical};
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(0);
+//! let mut head = Linear::new(16, 6, &mut rng);
+//! let logits = head.forward(&vec![0.1; 16]);
+//! let dist = MaskedCategorical::new(&logits, &[true, true, true, true, false, true]);
+//! let action = dist.argmax();
+//! assert!(action != 4, "masked actions are never selected");
+//!
+//! // One policy-gradient step on that action.
+//! let grad_logits: Vec<f64> = dist.log_prob_grad(action).iter().map(|g| -g).collect();
+//! head.backward(&grad_logits);
+//! let mut adam = Adam::new(1e-3);
+//! adam.step(&mut head.parameters_mut());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod adam;
+pub mod distribution;
+pub mod linear;
+pub mod lstm;
+pub mod param;
+
+pub use activation::{masked_softmax, relu, sigmoid, softmax, softmax_backward, tanh};
+pub use adam::{clip_grad_norm, Adam};
+pub use distribution::MaskedCategorical;
+pub use linear::{Linear, Mlp};
+pub use lstm::Lstm;
+pub use param::Param;

@@ -1,0 +1,353 @@
+//! Fully connected (dense) layers and the ReLU MLP used as the policy
+//! backbone.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::{relu, relu_backward};
+use crate::param::Param;
+
+/// A fully connected layer `y = W x + b`.
+///
+/// The layer caches the inputs of every forward call since the last
+/// [`Linear::zero_grad`] so that backward passes can be replayed in reverse
+/// order (the usual pattern when processing a minibatch one sample at a
+/// time).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    #[serde(skip)]
+    cached_inputs: Vec<Vec<f64>>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-initialized weights.
+    pub fn new<R: Rng>(input: usize, output: usize, rng: &mut R) -> Self {
+        Self {
+            weight: Param::xavier(output, input, rng),
+            bias: Param::zeros(output, 1),
+            cached_inputs: Vec::new(),
+        }
+    }
+
+    /// Input feature count.
+    pub fn input_size(&self) -> usize {
+        self.weight.cols
+    }
+
+    /// Output feature count.
+    pub fn output_size(&self) -> usize {
+        self.weight.rows
+    }
+
+    /// Forward pass, caching the input for a later backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the input size.
+    pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.weight.matvec(x);
+        for (yi, b) in y.iter_mut().zip(&self.bias.value) {
+            *yi += b;
+        }
+        self.cached_inputs.push(x.to_vec());
+        y
+    }
+
+    /// Forward pass without caching (inference only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the input size.
+    pub fn forward_inference(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.weight.matvec(x);
+        for (yi, b) in y.iter_mut().zip(&self.bias.value) {
+            *yi += b;
+        }
+        y
+    }
+
+    /// Backward pass for the most recent un-consumed forward call.
+    /// Accumulates parameter gradients and returns the gradient with respect
+    /// to the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no cached forward call to consume or the gradient
+    /// length does not match the output size.
+    pub fn backward(&mut self, grad_output: &[f64]) -> Vec<f64> {
+        assert_eq!(grad_output.len(), self.weight.rows, "gradient size mismatch");
+        let x = self
+            .cached_inputs
+            .pop()
+            .expect("backward called without a matching forward");
+        self.weight.add_outer_to_grad(grad_output, &x);
+        for (gb, g) in self.bias.grad.iter_mut().zip(grad_output) {
+            *gb += g;
+        }
+        self.weight.matvec_transposed(grad_output)
+    }
+
+    /// Clears gradients and cached activations.
+    pub fn zero_grad(&mut self) {
+        self.weight.zero_grad();
+        self.bias.zero_grad();
+        self.cached_inputs.clear();
+    }
+
+    /// The layer's parameters (weight, bias), for the optimizer.
+    pub fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_parameters(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}
+
+/// A multi-layer perceptron with ReLU activations after every layer except
+/// the last (the paper's backbone uses three 512-unit ReLU layers; heads add
+/// a final linear layer without activation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    relu_output: bool,
+    #[serde(skip)]
+    cached_activations: Vec<Vec<Vec<f64>>>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer sizes, e.g. `[64, 512, 512]`
+    /// builds two layers 64->512 and 512->512. With `relu_output == true`
+    /// every layer is followed by ReLU; otherwise the final layer is linear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new<R: Rng>(sizes: &[usize], relu_output: bool, rng: &mut R) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least one layer");
+        let layers = sizes
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Self {
+            layers,
+            relu_output,
+            cached_activations: Vec::new(),
+        }
+    }
+
+    /// Output feature count.
+    pub fn output_size(&self) -> usize {
+        self.layers.last().expect("at least one layer").output_size()
+    }
+
+    /// Input feature count.
+    pub fn input_size(&self) -> usize {
+        self.layers.first().expect("at least one layer").input_size()
+    }
+
+    /// Forward pass with caching for backward.
+    pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
+        let mut activations = Vec::with_capacity(self.layers.len());
+        let mut h = x.to_vec();
+        let n = self.layers.len();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let pre = layer.forward(&h);
+            h = if i + 1 < n || self.relu_output {
+                relu(&pre)
+            } else {
+                pre
+            };
+            activations.push(h.clone());
+        }
+        self.cached_activations.push(activations);
+        h
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn forward_inference(&self, x: &[f64]) -> Vec<f64> {
+        let mut h = x.to_vec();
+        let n = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let pre = layer.forward_inference(&h);
+            h = if i + 1 < n || self.relu_output {
+                relu(&pre)
+            } else {
+                pre
+            };
+        }
+        h
+    }
+
+    /// Backward pass for the most recent un-consumed forward call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no cached forward call.
+    pub fn backward(&mut self, grad_output: &[f64]) -> Vec<f64> {
+        let activations = self
+            .cached_activations
+            .pop()
+            .expect("backward called without a matching forward");
+        let n = self.layers.len();
+        let mut grad = grad_output.to_vec();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            if i + 1 < n || self.relu_output {
+                grad = relu_backward(&activations[i], &grad);
+            }
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    /// Clears gradients and cached activations of all layers.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+        self.cached_activations.clear();
+    }
+
+    /// All parameters, for the optimizer.
+    pub fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(Linear::parameters_mut)
+            .collect()
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_parameters(&self) -> usize {
+        self.layers.iter().map(Linear::num_parameters).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn linear_shapes() {
+        let mut l = Linear::new(4, 3, &mut rng());
+        assert_eq!(l.input_size(), 4);
+        assert_eq!(l.output_size(), 3);
+        assert_eq!(l.num_parameters(), 15);
+        let y = l.forward(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(y.len(), 3);
+        assert_eq!(y, l.forward_inference(&[1.0, 2.0, 3.0, 4.0]));
+    }
+
+    #[test]
+    fn linear_gradient_matches_finite_difference() {
+        let mut l = Linear::new(3, 2, &mut rng());
+        let x = vec![0.5, -1.0, 2.0];
+        let eps = 1e-6;
+
+        // Loss = sum of outputs.
+        let y = l.forward(&x);
+        let _gx = l.backward(&[1.0, 1.0]);
+        let loss = |layer: &Linear, x: &[f64]| layer.forward_inference(x).iter().sum::<f64>();
+        let base = y.iter().sum::<f64>();
+
+        // Check a few weight entries.
+        for (r, c) in [(0, 0), (1, 2), (0, 1)] {
+            let mut perturbed = l.clone();
+            {
+                let mut params = perturbed.parameters_mut();
+                let idx = r * 3 + c;
+                params[0].value[idx] += eps;
+            }
+            let fd = (loss(&perturbed, &x) - base) / eps;
+            let analytic = l.parameters_mut()[0].grad[r * 3 + c];
+            assert!(
+                (fd - analytic).abs() < 1e-4,
+                "weight ({r},{c}): fd {fd} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_input_gradient_matches_finite_difference() {
+        let mut l = Linear::new(3, 2, &mut rng());
+        let x = vec![0.5, -1.0, 2.0];
+        let eps = 1e-6;
+        let base: f64 = l.forward(&x).iter().sum();
+        let gx = l.backward(&[1.0, 1.0]);
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let fd = (l.forward_inference(&xp).iter().sum::<f64>() - base) / eps;
+            assert!((fd - gx[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn mlp_forward_backward_and_finite_difference() {
+        let mut mlp = Mlp::new(&[4, 8, 3], false, &mut rng());
+        assert_eq!(mlp.input_size(), 4);
+        assert_eq!(mlp.output_size(), 3);
+        let x = vec![0.1, -0.2, 0.3, 0.7];
+        let y = mlp.forward(&x);
+        assert_eq!(y.len(), 3);
+        let gx = mlp.backward(&[1.0, 0.0, -1.0]);
+        assert_eq!(gx.len(), 4);
+
+        // Finite-difference check of the input gradient.
+        let eps = 1e-6;
+        let loss = |m: &Mlp, x: &[f64]| {
+            let y = m.forward_inference(x);
+            y[0] - y[2]
+        };
+        let base = loss(&mlp, &x);
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let fd = (loss(&mlp, &xp) - base) / eps;
+            assert!((fd - gx[i]).abs() < 1e-4, "input {i}: {fd} vs {}", gx[i]);
+        }
+    }
+
+    #[test]
+    fn backward_without_forward_panics() {
+        let mut l = Linear::new(2, 2, &mut rng());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            l.backward(&[1.0, 1.0]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn minibatch_backward_in_reverse_order() {
+        // Two forward calls, two backward calls: gradients accumulate.
+        let mut l = Linear::new(2, 1, &mut rng());
+        l.forward(&[1.0, 0.0]);
+        l.forward(&[0.0, 1.0]);
+        l.backward(&[1.0]);
+        l.backward(&[1.0]);
+        let params = l.parameters_mut();
+        // dW = [1,0] + [0,1] = [1,1]; db = 2.
+        assert_eq!(params[0].grad, vec![1.0, 1.0]);
+        assert_eq!(params[1].grad, vec![2.0]);
+    }
+
+    #[test]
+    fn zero_grad_clears_state() {
+        let mut mlp = Mlp::new(&[2, 4, 2], true, &mut rng());
+        mlp.forward(&[1.0, 1.0]);
+        mlp.backward(&[1.0, 1.0]);
+        mlp.zero_grad();
+        assert!(mlp
+            .parameters_mut()
+            .iter()
+            .all(|p| p.grad.iter().all(|g| *g == 0.0)));
+    }
+}

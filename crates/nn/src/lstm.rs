@@ -1,0 +1,347 @@
+//! A single-layer LSTM used for the producer-consumer embedding.
+//!
+//! The paper feeds the representation vectors of the producer and the
+//! consumer sequentially into an LSTM with 512 units and uses the final
+//! hidden state as the embedding (Sec. V-A-1). This module implements the
+//! standard LSTM cell with full backpropagation through time over the short
+//! sequences involved.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::{sigmoid, tanh};
+use crate::param::Param;
+
+/// Cached values of one LSTM time step, needed for backpropagation.
+#[derive(Debug, Clone, PartialEq)]
+struct StepCache {
+    x: Vec<f64>,
+    h_prev: Vec<f64>,
+    c_prev: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    g: Vec<f64>,
+    o: Vec<f64>,
+    c: Vec<f64>,
+    tanh_c: Vec<f64>,
+}
+
+/// A single-layer LSTM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lstm {
+    input_size: usize,
+    hidden_size: usize,
+    // Gate order: input (i), forget (f), cell (g), output (o).
+    w: [Param; 4],
+    u: [Param; 4],
+    b: [Param; 4],
+    #[serde(skip)]
+    cached_sequences: Vec<Vec<StepCache>>,
+}
+
+impl Lstm {
+    /// Creates an LSTM with Xavier-initialized weights and a forget-gate
+    /// bias of 1 (the usual initialization that helps gradient flow).
+    pub fn new<R: Rng>(input_size: usize, hidden_size: usize, rng: &mut R) -> Self {
+        let w = std::array::from_fn(|_| Param::xavier(hidden_size, input_size, rng));
+        let u = std::array::from_fn(|_| Param::xavier(hidden_size, hidden_size, rng));
+        let mut b: [Param; 4] = std::array::from_fn(|_| Param::zeros(hidden_size, 1));
+        b[1].value.iter_mut().for_each(|v| *v = 1.0);
+        Self {
+            input_size,
+            hidden_size,
+            w,
+            u,
+            b,
+            cached_sequences: Vec::new(),
+        }
+    }
+
+    /// Input feature count.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Hidden-state size.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    fn step(
+        &self,
+        x: &[f64],
+        h_prev: &[f64],
+        c_prev: &[f64],
+    ) -> (Vec<f64>, Vec<f64>, StepCache) {
+        let pre = |gate: usize| -> Vec<f64> {
+            let mut z = self.w[gate].matvec(x);
+            let uh = self.u[gate].matvec(h_prev);
+            for ((zi, uhi), bi) in z.iter_mut().zip(&uh).zip(&self.b[gate].value) {
+                *zi += uhi + bi;
+            }
+            z
+        };
+        let i = sigmoid(&pre(0));
+        let f = sigmoid(&pre(1));
+        let g = tanh(&pre(2));
+        let o = sigmoid(&pre(3));
+        let c: Vec<f64> = f
+            .iter()
+            .zip(c_prev)
+            .zip(i.iter().zip(&g))
+            .map(|((f, cp), (i, g))| f * cp + i * g)
+            .collect();
+        let tanh_c = tanh(&c);
+        let h: Vec<f64> = o.iter().zip(&tanh_c).map(|(o, t)| o * t).collect();
+        let cache = StepCache {
+            x: x.to_vec(),
+            h_prev: h_prev.to_vec(),
+            c_prev: c_prev.to_vec(),
+            i,
+            f,
+            g,
+            o,
+            c: c.clone(),
+            tanh_c,
+        };
+        (h, c, cache)
+    }
+
+    /// Runs the LSTM over a sequence of input vectors, starting from zero
+    /// state, and returns the final hidden state. Caches everything needed
+    /// for [`Lstm::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or any input has the wrong size.
+    pub fn forward(&mut self, sequence: &[Vec<f64>]) -> Vec<f64> {
+        assert!(!sequence.is_empty(), "LSTM sequence must not be empty");
+        let mut h = vec![0.0; self.hidden_size];
+        let mut c = vec![0.0; self.hidden_size];
+        let mut caches = Vec::with_capacity(sequence.len());
+        for x in sequence {
+            assert_eq!(x.len(), self.input_size, "LSTM input size mismatch");
+            let (nh, nc, cache) = self.step(x, &h, &c);
+            h = nh;
+            c = nc;
+            caches.push(cache);
+        }
+        self.cached_sequences.push(caches);
+        h
+    }
+
+    /// Inference-only forward (no caching).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or any input has the wrong size.
+    pub fn forward_inference(&self, sequence: &[Vec<f64>]) -> Vec<f64> {
+        assert!(!sequence.is_empty(), "LSTM sequence must not be empty");
+        let mut h = vec![0.0; self.hidden_size];
+        let mut c = vec![0.0; self.hidden_size];
+        for x in sequence {
+            assert_eq!(x.len(), self.input_size, "LSTM input size mismatch");
+            let (nh, nc, _) = self.step(x, &h, &c);
+            h = nh;
+            c = nc;
+        }
+        h
+    }
+
+    /// Backpropagation through time for the most recent un-consumed forward
+    /// call, given the gradient with respect to the final hidden state.
+    /// Accumulates parameter gradients and returns the gradients with
+    /// respect to the input sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cached forward call is available.
+    pub fn backward(&mut self, grad_h_final: &[f64]) -> Vec<Vec<f64>> {
+        let caches = self
+            .cached_sequences
+            .pop()
+            .expect("backward called without a matching forward");
+        let h = self.hidden_size;
+        let mut grad_x = vec![vec![0.0; self.input_size]; caches.len()];
+        let mut dh = grad_h_final.to_vec();
+        let mut dc = vec![0.0; h];
+
+        for (t, cache) in caches.iter().enumerate().rev() {
+            // h = o * tanh(c)
+            let do_gate: Vec<f64> = dh.iter().zip(&cache.tanh_c).map(|(d, t)| d * t).collect();
+            for k in 0..h {
+                dc[k] += dh[k] * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k]);
+            }
+            // c = f * c_prev + i * g
+            let di: Vec<f64> = dc.iter().zip(&cache.g).map(|(d, g)| d * g).collect();
+            let dg: Vec<f64> = dc.iter().zip(&cache.i).map(|(d, i)| d * i).collect();
+            let df: Vec<f64> = dc.iter().zip(&cache.c_prev).map(|(d, c)| d * c).collect();
+            let dc_prev: Vec<f64> = dc.iter().zip(&cache.f).map(|(d, f)| d * f).collect();
+
+            // Pre-activation gradients.
+            let di_pre: Vec<f64> = di
+                .iter()
+                .zip(&cache.i)
+                .map(|(d, v)| d * v * (1.0 - v))
+                .collect();
+            let df_pre: Vec<f64> = df
+                .iter()
+                .zip(&cache.f)
+                .map(|(d, v)| d * v * (1.0 - v))
+                .collect();
+            let dg_pre: Vec<f64> = dg
+                .iter()
+                .zip(&cache.g)
+                .map(|(d, v)| d * (1.0 - v * v))
+                .collect();
+            let do_pre: Vec<f64> = do_gate
+                .iter()
+                .zip(&cache.o)
+                .map(|(d, v)| d * v * (1.0 - v))
+                .collect();
+
+            let gate_grads = [&di_pre, &df_pre, &dg_pre, &do_pre];
+            let mut dh_prev = vec![0.0; h];
+            for (gate, dpre) in gate_grads.iter().enumerate() {
+                self.w[gate].add_outer_to_grad(dpre, &cache.x);
+                self.u[gate].add_outer_to_grad(dpre, &cache.h_prev);
+                for (gb, g) in self.b[gate].grad.iter_mut().zip(dpre.iter()) {
+                    *gb += g;
+                }
+                let dx = self.w[gate].matvec_transposed(dpre);
+                for (acc, v) in grad_x[t].iter_mut().zip(&dx) {
+                    *acc += v;
+                }
+                let dhp = self.u[gate].matvec_transposed(dpre);
+                for (acc, v) in dh_prev.iter_mut().zip(&dhp) {
+                    *acc += v;
+                }
+            }
+            dh = dh_prev;
+            dc = dc_prev;
+        }
+        grad_x
+    }
+
+    /// Clears gradients and cached activations.
+    pub fn zero_grad(&mut self) {
+        for p in self.parameters_mut() {
+            p.zero_grad();
+        }
+        self.cached_sequences.clear();
+    }
+
+    /// All parameters, for the optimizer.
+    pub fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::with_capacity(12);
+        out.extend(self.w.iter_mut());
+        out.extend(self.u.iter_mut());
+        out.extend(self.b.iter_mut());
+        out
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_parameters(&self) -> usize {
+        4 * (self.hidden_size * self.input_size + self.hidden_size * self.hidden_size
+            + self.hidden_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let mut lstm = Lstm::new(4, 6, &mut rng());
+        assert_eq!(lstm.input_size(), 4);
+        assert_eq!(lstm.hidden_size(), 6);
+        assert_eq!(lstm.num_parameters(), 4 * (6 * 4 + 36 + 6));
+        let seq = vec![vec![0.1, 0.2, -0.3, 0.4], vec![1.0, -1.0, 0.5, 0.0]];
+        let h1 = lstm.forward(&seq);
+        let h2 = lstm.forward_inference(&seq);
+        assert_eq!(h1.len(), 6);
+        assert_eq!(h1, h2);
+        // Different inputs give different embeddings.
+        let h3 = lstm.forward_inference(&[vec![0.0; 4], vec![0.0; 4]]);
+        assert_ne!(h1, h3);
+    }
+
+    #[test]
+    fn hidden_state_bounded_by_tanh() {
+        let mut lstm = Lstm::new(3, 5, &mut rng());
+        let h = lstm.forward(&[vec![10.0, -10.0, 10.0]]);
+        assert!(h.iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut lstm = Lstm::new(3, 4, &mut rng());
+        let seq = vec![vec![0.2, -0.4, 0.6], vec![-0.1, 0.3, 0.5]];
+        // Loss = sum of final hidden state.
+        let base: f64 = lstm.forward(&seq).iter().sum();
+        let grad_x = lstm.backward(&vec![1.0; 4]);
+        let eps = 1e-6;
+        for t in 0..seq.len() {
+            for i in 0..3 {
+                let mut perturbed = seq.clone();
+                perturbed[t][i] += eps;
+                let fd = (lstm.forward_inference(&perturbed).iter().sum::<f64>() - base) / eps;
+                assert!(
+                    (fd - grad_x[t][i]).abs() < 1e-4,
+                    "t={t} i={i}: fd {fd} vs analytic {}",
+                    grad_x[t][i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut lstm = Lstm::new(2, 3, &mut rng());
+        let seq = vec![vec![0.5, -0.2], vec![0.1, 0.9]];
+        let base: f64 = lstm.forward(&seq).iter().sum();
+        lstm.backward(&vec![1.0; 3]);
+        let eps = 1e-6;
+        // Check an entry of the input-gate W, the forget-gate U and the
+        // output-gate bias.
+        let checks: [(usize, usize); 3] = [(0, 1), (5, 2), (11, 0)];
+        for (param_idx, entry) in checks {
+            let analytic = {
+                let mut lstm_ref = lstm.clone();
+                lstm_ref.parameters_mut()[param_idx].grad[entry]
+            };
+            let mut perturbed = lstm.clone();
+            perturbed.parameters_mut()[param_idx].value[entry] += eps;
+            let fd = (perturbed.forward_inference(&seq).iter().sum::<f64>() - base) / eps;
+            assert!(
+                (fd - analytic).abs() < 1e-4,
+                "param {param_idx} entry {entry}: fd {fd} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_sequence_panics() {
+        Lstm::new(2, 2, &mut rng()).forward(&[]);
+    }
+
+    #[test]
+    fn zero_grad_clears_everything() {
+        let mut lstm = Lstm::new(2, 2, &mut rng());
+        lstm.forward(&[vec![1.0, 1.0]]);
+        lstm.backward(&[1.0, 1.0]);
+        lstm.zero_grad();
+        assert!(lstm
+            .parameters_mut()
+            .iter()
+            .all(|p| p.grad.iter().all(|g| *g == 0.0)));
+    }
+}

@@ -1,0 +1,199 @@
+//! Trainable parameter tensors.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A trainable parameter: a dense matrix (or vector when `cols == 1`) with
+/// an accumulated gradient.
+///
+/// Values are stored row-major. Layers accumulate into [`Param::grad`]
+/// during the backward pass; the optimizer consumes and clears it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Number of rows (output features for a weight matrix).
+    pub rows: usize,
+    /// Number of columns (input features for a weight matrix).
+    pub cols: usize,
+    /// Row-major values.
+    pub value: Vec<f64>,
+    /// Row-major accumulated gradient.
+    pub grad: Vec<f64>,
+}
+
+impl Param {
+    /// Creates a parameter filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            value: vec![0.0; rows * cols],
+            grad: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a parameter with Xavier/Glorot-uniform initialization.
+    pub fn xavier<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let limit = (6.0 / (rows + cols) as f64).sqrt();
+        let value = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        Self {
+            rows,
+            cols,
+            value,
+            grad: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Number of scalar values.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True if the parameter holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.value[row * self.cols + col]
+    }
+
+    /// Adds `g` to the gradient at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn add_grad(&mut self, row: usize, col: usize, g: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.grad[row * self.cols + col] += g;
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Matrix-vector product `value * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.value[r * self.cols..(r + 1) * self.cols];
+            out[r] = row.iter().zip(x).map(|(w, xi)| w * xi).sum();
+        }
+        out
+    }
+
+    /// Transposed matrix-vector product `value^T * y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != rows`.
+    pub fn matvec_transposed(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "matvec_transposed dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = &self.value[r * self.cols..(r + 1) * self.cols];
+            for (c, w) in row.iter().enumerate() {
+                out[c] += w * y[r];
+            }
+        }
+        out
+    }
+
+    /// Accumulates the outer product `y * x^T` into the gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != rows` or `x.len() != cols`.
+    pub fn add_outer_to_grad(&mut self, y: &[f64], x: &[f64]) {
+        assert_eq!(y.len(), self.rows, "outer product row mismatch");
+        assert_eq!(x.len(), self.cols, "outer product col mismatch");
+        for (r, yr) in y.iter().enumerate() {
+            let row = &mut self.grad[r * self.cols..(r + 1) * self.cols];
+            for (c, xc) in x.iter().enumerate() {
+                row[c] += yr * xc;
+            }
+        }
+    }
+
+    /// L2 norm of the gradient (used for gradient clipping).
+    pub fn grad_norm_squared(&self) -> f64 {
+        self.grad.iter().map(|g| g * g).sum()
+    }
+
+    /// Scales the gradient in place.
+    pub fn scale_grad(&mut self, factor: f64) {
+        self.grad.iter_mut().for_each(|g| *g *= factor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn zeros_and_shape() {
+        let p = Param::zeros(3, 4);
+        assert_eq!(p.len(), 12);
+        assert!(!p.is_empty());
+        assert_eq!(p.at(2, 3), 0.0);
+    }
+
+    #[test]
+    fn xavier_init_within_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let p = Param::xavier(64, 32, &mut rng);
+        let limit = (6.0 / 96.0f64).sqrt();
+        assert!(p.value.iter().all(|v| v.abs() <= limit));
+        // Not all zeros.
+        assert!(p.value.iter().any(|v| v.abs() > 1e-6));
+    }
+
+    #[test]
+    fn matvec_and_transpose() {
+        let mut p = Param::zeros(2, 3);
+        p.value = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(p.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(p.matvec_transposed(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn outer_product_grad_accumulation() {
+        let mut p = Param::zeros(2, 2);
+        p.add_outer_to_grad(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(p.grad, vec![3.0, 4.0, 6.0, 8.0]);
+        p.add_outer_to_grad(&[1.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(p.grad, vec![4.0, 5.0, 6.0, 8.0]);
+        p.zero_grad();
+        assert!(p.grad.iter().all(|g| *g == 0.0));
+    }
+
+    #[test]
+    fn grad_norm_and_scaling() {
+        let mut p = Param::zeros(1, 2);
+        p.grad = vec![3.0, 4.0];
+        assert_eq!(p.grad_norm_squared(), 25.0);
+        p.scale_grad(0.5);
+        assert_eq!(p.grad, vec![1.5, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_checks_dims() {
+        Param::zeros(2, 3).matvec(&[1.0, 2.0]);
+    }
+}

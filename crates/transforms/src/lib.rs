@@ -1,0 +1,40 @@
+//! # mlir-rl-transforms
+//!
+//! Loop-nest transformations over the miniature Linalg IR: tiling, tiled
+//! parallelization, tiled fusion, loop interchange and vectorization — the
+//! action vocabulary of the MLIR RL environment (Sec. IV-A of the paper) —
+//! together with legality checking and lowering of scheduled operations to
+//! explicit loop nests for cost evaluation.
+//!
+//! ## Example
+//!
+//! ```
+//! use mlir_rl_ir::{ModuleBuilder, OpId};
+//! use mlir_rl_transforms::{ScheduledModule, Transformation};
+//!
+//! let mut b = ModuleBuilder::new("m");
+//! let a = b.argument("A", vec![256, 1024]);
+//! let w = b.argument("B", vec![1024, 512]);
+//! b.matmul(a, w);
+//!
+//! let mut scheduled = ScheduledModule::new(b.finish());
+//! scheduled.apply(OpId(0), Transformation::TiledParallelization { tile_sizes: vec![8, 8, 0] })?;
+//! let nest = scheduled.lower(OpId(0));
+//! assert_eq!(nest.parallel_degree(), 32 * 64);
+//! # Ok::<(), mlir_rl_transforms::TransformError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod apply;
+pub mod error;
+pub mod nest;
+pub mod transform;
+
+pub use apply::{OpScheduleState, ScheduledModule, DEFAULT_MAX_SCHEDULE_LEN, MAX_VECTORIZABLE_INNER_EXTENT};
+pub use error::TransformError;
+pub use nest::{FusedProducer, LoopDim, LoopKind, LoopNest};
+pub use transform::{
+    flat_action_space_size, multi_discrete_decision_count, Schedule, Transformation,
+    TransformationKind,
+};

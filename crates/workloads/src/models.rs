@@ -1,0 +1,300 @@
+//! Neural-network model graphs (Sec. VII-A-2, Table III and Table V).
+//!
+//! The paper exports ResNet-18, VGG and MobileNetV2 from PyTorch through
+//! Torch-MLIR. Here the three architectures are built operator by operator
+//! with the miniature IR builder: convolutions, pooling, elementwise
+//! residual additions, ReLU activations (lowered as `linalg.generic` in
+//! MLIR, hence counted under "generic" in Table V) and the final
+//! classification matmul. Convolutions use valid padding (the builder does
+//! not model zero padding), and MobileNetV2's depthwise convolutions are
+//! approximated by dense 3x3 convolutions with the same channel count —
+//! both substitutions keep the operator mix and shapes representative.
+
+use std::collections::BTreeMap;
+
+use mlir_rl_ir::{Module, ModuleBuilder, OpKind, ValueId};
+
+/// The three benchmark models of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NeuralNetwork {
+    /// ResNet-18 (residual blocks).
+    ResNet18,
+    /// MobileNetV2 (inverted residual blocks).
+    MobileNetV2,
+    /// VGG-16 (plain stacked convolutions).
+    Vgg,
+}
+
+impl NeuralNetwork {
+    /// All models, in the order of Table III.
+    pub const ALL: [NeuralNetwork; 3] = [
+        NeuralNetwork::ResNet18,
+        NeuralNetwork::MobileNetV2,
+        NeuralNetwork::Vgg,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            NeuralNetwork::ResNet18 => "ResNet-18",
+            NeuralNetwork::MobileNetV2 => "MobileNetV2",
+            NeuralNetwork::Vgg => "VGG",
+        }
+    }
+
+    /// Builds the model graph as a module.
+    pub fn module(self) -> Module {
+        match self {
+            NeuralNetwork::ResNet18 => resnet18(),
+            NeuralNetwork::MobileNetV2 => mobilenet_v2(),
+            NeuralNetwork::Vgg => vgg16(),
+        }
+    }
+}
+
+struct GraphBuilder {
+    b: ModuleBuilder,
+    h: u64,
+    w: u64,
+    c: u64,
+    act: ValueId,
+    conv_count: usize,
+}
+
+impl GraphBuilder {
+    fn new(name: &str, h: u64, w: u64, c: u64) -> Self {
+        let mut b = ModuleBuilder::new(name);
+        let act = b.argument("input", vec![1, c, h, w]);
+        Self {
+            b,
+            h,
+            w,
+            c,
+            act,
+            conv_count: 0,
+        }
+    }
+
+    fn conv(&mut self, filters: u64, kernel: u64, stride: u64) {
+        // Convolutions shrink the image (valid padding); guard against
+        // degenerate shapes on small feature maps.
+        if self.h <= kernel || self.w <= kernel {
+            return;
+        }
+        let name = format!("w{}", self.conv_count);
+        self.conv_count += 1;
+        let wgt = self.b.argument(&name, vec![filters, self.c, kernel, kernel]);
+        self.act = self.b.conv2d(self.act, wgt, stride);
+        self.h = (self.h - kernel) / stride + 1;
+        self.w = (self.w - kernel) / stride + 1;
+        self.c = filters;
+    }
+
+    fn relu(&mut self) {
+        self.act = self.b.relu(self.act);
+    }
+
+    fn max_pool(&mut self, window: u64, stride: u64) {
+        if self.h < window || self.w < window {
+            return;
+        }
+        self.act = self.b.max_pool(self.act, window, stride);
+        self.h = (self.h - window) / stride + 1;
+        self.w = (self.w - window) / stride + 1;
+    }
+
+    fn residual_add(&mut self, other: ValueId, other_shape: (u64, u64, u64)) {
+        // Residual connections require identical shapes; skip the skip
+        // connection when the block changed the spatial shape (the paper's
+        // models use projection shortcuts there, which show up as extra
+        // convolutions instead).
+        if other_shape == (self.c, self.h, self.w) {
+            self.act = self.b.add(self.act, other);
+        }
+    }
+
+    fn classifier(&mut self, hidden: &[u64], classes: u64) {
+        // Global average pool to 1x1 and flatten into a [1, C] activation.
+        if self.h > 1 {
+            self.act = self.b.avg_pool(self.act, self.h.min(self.w), self.h.min(self.w));
+        }
+        // Flatten is a metadata operation in MLIR; model it by introducing a
+        // [1, C] view as a fresh argument chain via matmul weights.
+        let mut features = self.c;
+        let mut x = self.b.argument("flattened", vec![1, features]);
+        for (i, h) in hidden.iter().enumerate() {
+            let w = self.b.argument(&format!("fc{i}"), vec![features, *h]);
+            x = self.b.matmul(x, w);
+            x = self.b.relu(x);
+            features = *h;
+        }
+        let w = self.b.argument("fc_out", vec![features, classes]);
+        let logits = self.b.matmul(x, w);
+        self.b.softmax_2d(logits);
+    }
+
+    fn finish(self) -> Module {
+        self.b.finish()
+    }
+}
+
+/// ResNet-18: a 7x7 stem, four stages of two residual basic blocks each, and
+/// a fully connected classifier.
+pub fn resnet18() -> Module {
+    let mut g = GraphBuilder::new("resnet18", 224, 224, 3);
+    g.conv(64, 7, 2);
+    g.relu();
+    g.max_pool(3, 2);
+    let stage_channels = [64u64, 128, 256, 512];
+    for (stage, channels) in stage_channels.iter().enumerate() {
+        for block in 0..2 {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            let skip = g.act;
+            let skip_shape = (g.c, g.h, g.w);
+            g.conv(*channels, 3, stride);
+            g.relu();
+            g.conv(*channels, 3, 1);
+            g.residual_add(skip, skip_shape);
+            g.relu();
+        }
+    }
+    g.classifier(&[], 1000);
+    g.finish()
+}
+
+/// MobileNetV2: a stem convolution followed by inverted residual blocks
+/// (1x1 expansion, 3x3 "depthwise" stand-in, 1x1 projection) and the
+/// classifier.
+pub fn mobilenet_v2() -> Module {
+    let mut g = GraphBuilder::new("mobilenet_v2", 224, 224, 3);
+    g.conv(32, 3, 2);
+    g.relu();
+    // (expansion factor, output channels, repeats, stride)
+    let blocks = [
+        (1u64, 16u64, 1usize, 1u64),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    for (expand, out_c, repeats, first_stride) in blocks {
+        for r in 0..repeats {
+            let stride = if r == 0 { first_stride } else { 1 };
+            let skip = g.act;
+            let skip_shape = (g.c, g.h, g.w);
+            let expanded = g.c * expand;
+            g.conv(expanded, 1, 1);
+            g.relu();
+            g.conv(expanded, 3, stride);
+            g.relu();
+            g.conv(out_c, 1, 1);
+            g.residual_add(skip, skip_shape);
+        }
+    }
+    g.conv(1280, 1, 1);
+    g.relu();
+    g.classifier(&[], 1000);
+    g.finish()
+}
+
+/// VGG-16: five blocks of 3x3 convolutions with max pooling, followed by
+/// three fully connected layers.
+pub fn vgg16() -> Module {
+    let mut g = GraphBuilder::new("vgg16", 224, 224, 3);
+    let blocks = [(64u64, 2usize), (128, 2), (256, 3), (512, 3), (512, 3)];
+    for (channels, convs) in blocks {
+        for _ in 0..convs {
+            g.conv(channels, 3, 1);
+            g.relu();
+        }
+        g.max_pool(2, 2);
+    }
+    g.classifier(&[4096, 4096], 1000);
+    g.finish()
+}
+
+/// Operator composition of a model, in the categories of Table V:
+/// `conv2d`, `pool`, `matmul`, `generic` (elementwise and softmax ops,
+/// which MLIR lowers to `linalg.generic`), and `other`.
+pub fn op_composition(module: &Module) -> BTreeMap<&'static str, usize> {
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for op in module.ops() {
+        let key = match op.kind {
+            OpKind::Conv2D => "conv2d",
+            OpKind::MaxPool | OpKind::AvgPool => "pool",
+            OpKind::Matmul | OpKind::BatchMatmul => "matmul",
+            OpKind::Relu | OpKind::Sigmoid | OpKind::Softmax2D | OpKind::Add | OpKind::Generic => {
+                "generic"
+            }
+            _ => "other",
+        };
+        *counts.entry(key).or_insert(0) += 1;
+        *counts.entry("total").or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_build_and_validate() {
+        for model in NeuralNetwork::ALL {
+            let m = model.module();
+            m.validate()
+                .unwrap_or_else(|e| panic!("{} failed validation: {e}", model.name()));
+            assert!(m.ops().len() > 20, "{} is too small", model.name());
+        }
+    }
+
+    #[test]
+    fn resnet_has_residual_structure() {
+        let m = resnet18();
+        let comp = op_composition(&m);
+        // Roughly 17 convolutions (stem + 16 in blocks, minus any skipped on
+        // tiny feature maps).
+        assert!(comp["conv2d"] >= 12, "composition: {comp:?}");
+        assert!(comp["generic"] > comp["conv2d"], "ReLU/adds dominate");
+        assert!(comp["matmul"] >= 1);
+        assert!(comp["pool"] >= 1);
+    }
+
+    #[test]
+    fn vgg_has_more_matmuls_than_resnet() {
+        // Table V: VGG has 3 matmuls (the fully connected head), ResNet 1.
+        let vgg = op_composition(&vgg16());
+        let resnet = op_composition(&resnet18());
+        assert!(vgg["matmul"] > resnet["matmul"]);
+        assert!(vgg["conv2d"] >= 10);
+        assert!(vgg["pool"] >= 4);
+    }
+
+    #[test]
+    fn mobilenet_is_convolution_heavy() {
+        let mobilenet = mobilenet_v2();
+        let resnet = resnet18();
+        let comp = op_composition(&mobilenet);
+        assert!(comp["conv2d"] >= 20, "composition: {comp:?}");
+        // MobileNetV2 has more (smaller) operations than ResNet-18, as in
+        // Table V (524 vs 510 ops in the Torch-MLIR export).
+        assert!(mobilenet.ops().len() >= resnet.ops().len());
+    }
+
+    #[test]
+    fn composition_totals_are_consistent() {
+        for model in NeuralNetwork::ALL {
+            let m = model.module();
+            let comp = op_composition(&m);
+            let sum: usize = comp
+                .iter()
+                .filter(|(k, _)| **k != "total")
+                .map(|(_, v)| *v)
+                .sum();
+            assert_eq!(sum, comp["total"]);
+            assert_eq!(comp["total"], m.ops().len());
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Random deep-learning operator sequences (Sec. VI-A).
+//!
+//! The second half of the DL training data consists of randomly synthesized
+//! sequences of `L = 5` operations, where each operation consumes the output
+//! of the previous one, drawn from `{add, matmul, relu, conv_2d, pooling,
+//! sigmoid, softmax_2d}` with random shapes. These teach the agent to handle
+//! multiple operations (and fusion opportunities) in one code sample.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use mlir_rl_ir::{Module, ModuleBuilder, ValueId};
+
+/// The operator set used by the random-sequence generator.
+const SEQUENCE_OPS: [&str; 7] = [
+    "add",
+    "matmul",
+    "relu",
+    "conv_2d",
+    "pooling",
+    "sigmoid",
+    "softmax_2d",
+];
+
+/// The paper's sequence length.
+pub const SEQUENCE_LENGTH: usize = 5;
+
+/// Generates one random operator sequence of length `length`.
+///
+/// Each operation takes the output of the previous operation as input; 4-D
+/// activations are produced by convolutions/pooling, 2-D activations by the
+/// rest, and the generator inserts the operators that fit the current
+/// activation rank.
+pub fn random_sequence(length: usize, rng: &mut ChaCha8Rng) -> Module {
+    let mut b = ModuleBuilder::new(format!("seq_{}", rng.gen::<u32>()));
+
+    // Start from a random 4-D or 2-D activation.
+    let start_4d = rng.gen_bool(0.5);
+    let mut current: ValueId;
+    let mut current_shape: Vec<u64>;
+    if start_4d {
+        let c = [16u64, 32, 64][rng.gen_range(0..3)];
+        let hw = [28u64, 56, 112][rng.gen_range(0..3)];
+        current_shape = vec![1, c, hw, hw];
+    } else {
+        let r = [64u64, 128, 256][rng.gen_range(0..3)];
+        let c = [128u64, 256, 512][rng.gen_range(0..3)];
+        current_shape = vec![r, c];
+    }
+    current = b.argument("input", current_shape.clone());
+
+    for step in 0..length {
+        let op = SEQUENCE_OPS[rng.gen_range(0..SEQUENCE_OPS.len())];
+        match (op, current_shape.len()) {
+            ("conv_2d", 4) => {
+                let c = current_shape[1];
+                let f = [16u64, 32, 64][rng.gen_range(0..3)];
+                let k = [1u64, 3][rng.gen_range(0..2)];
+                if current_shape[2] > k {
+                    let w = b.argument(&format!("w{step}"), vec![f, c, k, k]);
+                    current = b.conv2d(current, w, 1);
+                    let out_hw = current_shape[2] - k + 1;
+                    current_shape = vec![1, f, out_hw, out_hw];
+                }
+            }
+            ("pooling", 4) => {
+                if current_shape[2] >= 4 {
+                    current = b.max_pool(current, 2, 2);
+                    let out_hw = (current_shape[2] - 2) / 2 + 1;
+                    current_shape = vec![1, current_shape[1], out_hw, out_hw];
+                }
+            }
+            ("matmul", 2) => {
+                let n = [64u64, 128, 256][rng.gen_range(0..3)];
+                let w = b.argument(&format!("w{step}"), vec![current_shape[1], n]);
+                current = b.matmul(current, w);
+                current_shape = vec![current_shape[0], n];
+            }
+            ("add", _) => {
+                let other = b.argument(&format!("b{step}"), current_shape.clone());
+                current = b.add(current, other);
+            }
+            ("relu", _) => {
+                current = b.relu(current);
+            }
+            ("sigmoid", _) => {
+                current = b.sigmoid(current);
+            }
+            ("softmax_2d", 2) => {
+                current = b.softmax_2d(current);
+            }
+            // Operator does not fit the current activation rank: fall back to
+            // a rank-agnostic elementwise op so the sequence keeps its length.
+            _ => {
+                current = b.relu(current);
+            }
+        }
+    }
+    b.finish()
+}
+
+/// Generates a dataset of `count` random sequences of the paper's length
+/// (L = 5).
+pub fn sequence_dataset(count: usize, seed: u64) -> Vec<Module> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| random_sequence(SEQUENCE_LENGTH, &mut rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_have_the_requested_length() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..20 {
+            let m = random_sequence(SEQUENCE_LENGTH, &mut rng);
+            m.validate().unwrap();
+            assert_eq!(m.ops().len(), SEQUENCE_LENGTH);
+        }
+    }
+
+    #[test]
+    fn sequences_form_a_chain_of_producers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let m = random_sequence(SEQUENCE_LENGTH, &mut rng);
+        // Every operation after the first consumes the result of an earlier
+        // operation (the chain structure that creates fusion opportunities).
+        for op in &m.ops()[1..] {
+            assert!(
+                !m.producers(op.id).is_empty(),
+                "operation {} has no producer",
+                op.id
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_generation_is_reproducible_and_valid() {
+        let a = sequence_dataset(10, 42);
+        let b = sequence_dataset(10, 42);
+        assert_eq!(a.len(), 10);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.ops().len(), y.ops().len());
+            x.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn sequences_are_diverse() {
+        let ds = sequence_dataset(20, 7);
+        let kinds: std::collections::HashSet<_> = ds
+            .iter()
+            .flat_map(|m| m.ops().iter().map(|o| o.kind))
+            .collect();
+        assert!(kinds.len() >= 4, "expected several distinct operator kinds");
+    }
+}

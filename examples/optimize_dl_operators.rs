@@ -1,0 +1,33 @@
+//! Optimize the Fig. 5 deep-learning operator benchmark with a quickly
+//! trained MLIR RL agent and print per-family speedups.
+//!
+//! Run with `cargo run --release --example optimize_dl_operators`.
+
+use mlir_rl_core::{MlirRlOptimizer, OptimizerConfig};
+use mlir_rl_workloads::{dl_ops, DlOperator};
+
+fn main() {
+    let dataset = dl_ops::training_dataset(0.02, 7);
+    let mut optimizer = MlirRlOptimizer::new(OptimizerConfig::quick());
+    println!("training on {} single-operator examples ...", dataset.len());
+    let history = optimizer.train(&dataset, 6);
+    if let Some(last) = history.last() {
+        println!(
+            "after {} iterations: geomean training speedup {:.2}x",
+            history.len(),
+            last.geomean_speedup
+        );
+    }
+
+    println!("\nper-family evaluation (unseen shapes):");
+    for family in DlOperator::ALL {
+        let shapes: Vec<_> = dl_ops::evaluation_benchmark()
+            .into_iter()
+            .filter(|(k, _)| *k == family)
+            .map(|(_, m)| m)
+            .collect();
+        let speedups: Vec<f64> = shapes.iter().map(|m| optimizer.optimize(m).speedup).collect();
+        let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        println!("  {:<12} average speedup over MLIR baseline: {avg:.2}x", family.name());
+    }
+}

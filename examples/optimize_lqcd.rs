@@ -1,0 +1,43 @@
+//! Optimize the LQCD correlator applications of Table IV and compare MLIR RL
+//! against the Halide-autoscheduler analogue (Mullapudi).
+//!
+//! Run with `cargo run --release --example optimize_lqcd`.
+
+use mlir_rl_agent::{PolicyHyperparams, PpoConfig};
+use mlir_rl_baselines::{speedup_over_mlir, Baseline, MullapudiAutoscheduler};
+use mlir_rl_core::{MlirRlOptimizer, OptimizerConfig};
+use mlir_rl_costmodel::MachineModel;
+use mlir_rl_env::{EnvConfig, InterchangeMode};
+use mlir_rl_workloads::{lqcd, LqcdApplication};
+
+fn main() {
+    // Deep LQCD nests need the full 12-loop representation.
+    let env = EnvConfig {
+        max_loops: 12,
+        max_operands: 6,
+        max_rank: 6,
+        interchange_mode: InterchangeMode::LevelPointers,
+        ..EnvConfig::paper()
+    };
+    let config = OptimizerConfig {
+        env,
+        machine: MachineModel::xeon_e5_2680_v4(),
+        hyper: PolicyHyperparams { hidden_size: 32, backbone_layers: 2 },
+        ppo: PpoConfig { trajectories_per_iteration: 8, minibatch_size: 16, update_epochs: 2, ..PpoConfig::paper() },
+        seed: 0,
+    };
+    let mut optimizer = MlirRlOptimizer::new(config);
+    let dataset = lqcd::training_dataset(0.01, 5);
+    println!("training on {} LQCD kernels ...", dataset.len());
+    optimizer.train(&dataset, 5);
+
+    let machine = MachineModel::xeon_e5_2680_v4();
+    let mullapudi = MullapudiAutoscheduler::new();
+    println!("\n{:<28}{:>12}{:>12}", "benchmark", "MLIR RL", "Mullapudi");
+    for app in LqcdApplication::ALL {
+        let module = app.module();
+        let rl = optimizer.optimize(&module).speedup;
+        let mp = speedup_over_mlir(&mullapudi.optimize(&module), &module, &machine);
+        println!("{:<28}{rl:>12.2}{mp:>12.2}", format!("{} (S={})", app.name(), app.input_size()));
+    }
+}

@@ -1,0 +1,38 @@
+//! Optimize a full neural-network model (ResNet-18) operator by operator,
+//! as in Table III, and compare against the PyTorch-analogue baselines.
+//!
+//! Run with `cargo run --release --example optimize_resnet`.
+
+use mlir_rl_baselines::{speedup_over_mlir, Baseline, VendorLibrary, VendorMode};
+use mlir_rl_core::{MlirRlOptimizer, OptimizerConfig};
+use mlir_rl_costmodel::MachineModel;
+use mlir_rl_workloads::{models, NeuralNetwork};
+
+fn main() {
+    let model = NeuralNetwork::ResNet18;
+    let module = model.module();
+    println!(
+        "{}: {} operations, composition {:?}",
+        model.name(),
+        module.ops().len(),
+        models::op_composition(&module)
+    );
+
+    let mut optimizer = MlirRlOptimizer::new(OptimizerConfig::quick());
+    optimizer.train(std::slice::from_ref(&module), 3);
+    let outcome = optimizer.optimize(&module);
+    println!(
+        "MLIR RL speedup over MLIR baseline: {:.2}x ({} environment steps)",
+        outcome.speedup, outcome.steps
+    );
+
+    let machine = MachineModel::xeon_e5_2680_v4();
+    for mode in [VendorMode::Eager, VendorMode::Compiled] {
+        let vendor = VendorLibrary::new(mode);
+        println!(
+            "{:<18} speedup over MLIR baseline: {:.2}x",
+            vendor.name(),
+            speedup_over_mlir(&vendor.optimize(&module), &module, &machine)
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: build a small Linalg module, optimize it with an (untrained)
+//! MLIR RL agent, and compare against the hand-written baselines.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use mlir_rl_baselines::{speedup_over_mlir, Baseline, VendorLibrary, VendorMode};
+use mlir_rl_core::{MlirRlOptimizer, OptimizerConfig};
+use mlir_rl_costmodel::MachineModel;
+use mlir_rl_ir::{printer::print_module, ModuleBuilder};
+
+fn main() {
+    // The paper's running example: a 256x1024 by 1024x512 matmul followed by
+    // a ReLU.
+    let mut b = ModuleBuilder::new("quickstart");
+    let a = b.argument("A", vec![256, 1024]);
+    let w = b.argument("B", vec![1024, 512]);
+    let mm = b.matmul(a, w);
+    b.relu(mm);
+    let module = b.finish();
+
+    println!("--- input module ---\n{}", print_module(&module));
+
+    // Optimize with MLIR RL (a quick, laptop-scale configuration; train for a
+    // few iterations on the module itself to specialize the policy).
+    let mut optimizer = MlirRlOptimizer::new(OptimizerConfig::quick());
+    optimizer.train(std::slice::from_ref(&module), 4);
+    let outcome = optimizer.optimize(&module);
+    println!(
+        "MLIR RL:         baseline {:.4}s -> optimized {:.4}s  (speedup {:.2}x, {} steps)",
+        outcome.baseline_s, outcome.optimized_s, outcome.speedup, outcome.steps
+    );
+
+    // Compare against the vendor-library analogue of PyTorch.
+    let machine = MachineModel::xeon_e5_2680_v4();
+    for mode in [VendorMode::Eager, VendorMode::Compiled] {
+        let baseline = VendorLibrary::new(mode);
+        let result = baseline.optimize(&module);
+        println!(
+            "{:<16} speedup over MLIR baseline: {:.2}x",
+            baseline.name(),
+            speedup_over_mlir(&result, &module, &machine)
+        );
+    }
+}

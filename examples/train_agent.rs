@@ -1,0 +1,31 @@
+//! Train an MLIR RL agent with PPO on the mixed dataset (DL operators,
+//! operator sequences and LQCD kernels) and print the training curve.
+//!
+//! Run with `cargo run --release --example train_agent`. Use the
+//! `MLIR_RL_ITERATIONS` environment variable to train longer.
+
+use mlir_rl_core::{MlirRlOptimizer, OptimizerConfig};
+use mlir_rl_workloads::full_training_dataset;
+
+fn main() {
+    let iterations: usize = std::env::var("MLIR_RL_ITERATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let dataset = full_training_dataset(0.01, 17);
+    println!(
+        "training for {iterations} PPO iterations on {} code samples",
+        dataset.len()
+    );
+
+    let mut optimizer = MlirRlOptimizer::new(OptimizerConfig::quick());
+    optimizer.train(&dataset, iterations);
+
+    println!("\niteration   geomean-speedup   mean-reward   policy-loss   value-loss   evaluations");
+    for s in optimizer.training_history() {
+        println!(
+            "{:>9}   {:>15.3}   {:>11.3}   {:>11.4}   {:>10.4}   {:>11}",
+            s.iteration, s.geomean_speedup, s.mean_reward, s.policy_loss, s.value_loss, s.cumulative_evaluations
+        );
+    }
+}

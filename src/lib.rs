@@ -1,0 +1,10 @@
+//! # mlir-rl
+//!
+//! Umbrella crate of the MLIR RL reproduction: re-exports the facade crate
+//! and hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). See `README.md` for the project overview
+//! and `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology.
+
+#![warn(missing_docs)]
+
+pub use mlir_rl_core::*;

@@ -1,0 +1,97 @@
+//! Cross-crate integration tests: IR -> transformations -> cost model ->
+//! environment -> agent, exercised together the way the examples and the
+//! experiment harness use them.
+
+use mlir_rl_baselines::{speedup_over_mlir, Baseline, MullapudiAutoscheduler, VendorLibrary, VendorMode};
+use mlir_rl_core::{MlirRlOptimizer, OptimizerConfig};
+use mlir_rl_costmodel::{CostModel, MachineModel};
+use mlir_rl_env::{Action, EnvConfig, OptimizationEnv};
+use mlir_rl_ir::{parser::parse_module, printer::print_module, ModuleBuilder, OpId};
+use mlir_rl_transforms::{ScheduledModule, Transformation};
+use mlir_rl_workloads::{dl_ops, LqcdApplication, NeuralNetwork};
+
+fn matmul_relu() -> mlir_rl_ir::Module {
+    let mut b = ModuleBuilder::new("chain");
+    let a = b.argument("A", vec![256, 512]);
+    let w = b.argument("B", vec![512, 128]);
+    let mm = b.matmul(a, w);
+    b.relu(mm);
+    b.finish()
+}
+
+#[test]
+fn ir_roundtrips_and_schedules_end_to_end() {
+    let module = matmul_relu();
+    // Print -> parse -> validate.
+    let reparsed = parse_module(&print_module(&module)).unwrap();
+    reparsed.validate().unwrap();
+
+    // Schedule the reparsed module and check the cost model sees the same
+    // improvement as for the original.
+    let cm = CostModel::new(MachineModel::xeon_e5_2680_v4());
+    for m in [&module, &reparsed] {
+        let baseline = cm.estimate_baseline(m).total_s;
+        let mut sm = ScheduledModule::new(m.clone());
+        sm.apply(
+            OpId(0),
+            Transformation::TiledParallelization {
+                tile_sizes: vec![32, 32, 0],
+            },
+        )
+        .unwrap();
+        let optimized = cm.estimate_scheduled(&sm).total_s;
+        assert!(optimized < baseline);
+    }
+}
+
+#[test]
+fn a_hand_written_schedule_beats_the_baseline_through_the_env() {
+    let mut env = OptimizationEnv::new(
+        EnvConfig::small(),
+        CostModel::new(MachineModel::xeon_e5_2680_v4()),
+    );
+    env.reset(matmul_relu()).unwrap();
+    // Optimize the relu by fusing its producer, then stop.
+    let out = env.step(&Action::TiledFusion {
+        tile_indices: vec![2, 2],
+    });
+    assert!(out.applied);
+    let out = env.step(&Action::NoTransformation);
+    assert!(out.done);
+    assert!(env.final_speedup() > 1.0);
+}
+
+#[test]
+fn rl_optimizer_handles_every_workload_family() {
+    let mut optimizer = MlirRlOptimizer::new(OptimizerConfig::quick());
+    // One representative module from each family.
+    let modules = vec![
+        dl_ops::matmul_module(128, 128, 256),
+        dl_ops::conv2d_module(1, 16, 28, 28, 32, 3, 1),
+        NeuralNetwork::Vgg.module(),
+        LqcdApplication::HexaquarkHexaquark.module(),
+    ];
+    for module in &modules {
+        let outcome = optimizer.optimize(module);
+        assert!(
+            outcome.speedup.is_finite() && outcome.speedup > 0.0,
+            "{} produced speedup {}",
+            module.name(),
+            outcome.speedup
+        );
+    }
+}
+
+#[test]
+fn baselines_and_rl_agree_on_the_measurement_protocol() {
+    let machine = MachineModel::xeon_e5_2680_v4();
+    let module = dl_ops::matmul_module(512, 512, 512);
+    let vendor = VendorLibrary::new(VendorMode::Compiled).optimize(&module);
+    let mullapudi = MullapudiAutoscheduler::new().optimize(&module);
+    let v = speedup_over_mlir(&vendor, &module, &machine);
+    let m = speedup_over_mlir(&mullapudi, &module, &machine);
+    // Fig. 5 shape: the expert-kernel library dominates generic codegen on
+    // compute-bound matmul.
+    assert!(v > m, "vendor {v} should beat mullapudi {m} on matmul");
+    assert!(m > 1.0);
+}

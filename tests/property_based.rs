@@ -1,0 +1,79 @@
+//! Property-based integration tests over the IR, the transformation engine
+//! and the cost model.
+
+use proptest::prelude::*;
+
+use mlir_rl_costmodel::{CostModel, MachineModel};
+use mlir_rl_ir::{parser::parse_module, printer::print_module, ModuleBuilder, OpId};
+use mlir_rl_transforms::{ScheduledModule, Transformation};
+
+fn matmul(m: u64, n: u64, k: u64) -> mlir_rl_ir::Module {
+    let mut b = ModuleBuilder::new("pm");
+    let a = b.argument("A", vec![m, k]);
+    let w = b.argument("B", vec![k, n]);
+    b.matmul(a, w);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Printing and re-parsing a module preserves its structure.
+    #[test]
+    fn printer_parser_roundtrip(m in 1u64..256, n in 1u64..256, k in 1u64..256) {
+        let module = matmul(m, n, k);
+        let reparsed = parse_module(&print_module(&module)).unwrap();
+        prop_assert_eq!(module.ops().len(), reparsed.ops().len());
+        prop_assert_eq!(&module.ops()[0].loop_bounds, &reparsed.ops()[0].loop_bounds);
+        prop_assert_eq!(module.ops()[0].kind, reparsed.ops()[0].kind);
+    }
+
+    /// Any legal tiling keeps the total iteration count and never produces a
+    /// non-finite or non-positive time estimate.
+    #[test]
+    fn tiling_preserves_iteration_domain(
+        m in 2u64..512, n in 2u64..512, k in 2u64..512,
+        t0 in 0u64..64, t1 in 0u64..64, t2 in 0u64..64,
+    ) {
+        let module = matmul(m, n, k);
+        let mut sm = ScheduledModule::new(module);
+        let tiles = vec![t0.min(m), t1.min(n), t2.min(k)];
+        sm.apply(OpId(0), Transformation::Tiling { tile_sizes: tiles }).unwrap();
+        let nest = sm.lower(OpId(0));
+        prop_assert_eq!(nest.total_iterations(), m * n * k);
+        let cm = CostModel::new(MachineModel::xeon_e5_2680_v4());
+        let est = cm.estimate_scheduled(&sm).total_s;
+        prop_assert!(est.is_finite() && est > 0.0);
+    }
+
+    /// Interchange never changes the iteration domain, and two applications
+    /// of the same swap cancel out.
+    #[test]
+    fn interchange_is_an_involution_for_swaps(m in 2u64..128, n in 2u64..128, k in 2u64..128) {
+        let module = matmul(m, n, k);
+        let mut sm = ScheduledModule::new(module);
+        let swap = Transformation::Interchange { permutation: vec![1, 0, 2] };
+        sm.apply(OpId(0), swap.clone()).unwrap();
+        let once = sm.lower(OpId(0));
+        prop_assert_eq!(once.total_iterations(), m * n * k);
+        sm.apply(OpId(0), swap).unwrap();
+        let twice = sm.lower(OpId(0));
+        prop_assert_eq!(twice.order, vec![0, 1, 2]);
+    }
+
+    /// The speedup of any schedule is the ratio the cost model reports; it
+    /// is always strictly positive and finite.
+    #[test]
+    fn speedups_are_positive_and_finite(m in 2u64..256, n in 2u64..256, k in 2u64..256, tile in 1u64..64) {
+        let module = matmul(m, n, k);
+        let cm = CostModel::new(MachineModel::xeon_e5_2680_v4());
+        let baseline = cm.estimate_baseline(&module).total_s;
+        let mut sm = ScheduledModule::new(module);
+        sm.apply(OpId(0), Transformation::TiledParallelization {
+            tile_sizes: vec![tile.min(m), tile.min(n), 0],
+        }).unwrap();
+        let optimized = cm.estimate_scheduled(&sm).total_s;
+        let speedup = mlir_rl_costmodel::speedup(baseline, optimized);
+        prop_assert!(speedup.is_finite() && speedup > 0.0);
+    }
+}
