@@ -12,7 +12,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use mlir_rl_env::{flat_action_space, Action, EnvConfig, FlatAction, Observation};
-use mlir_rl_nn::{Linear, Lstm, MaskedCategorical, Mlp, Param};
+use mlir_rl_nn::{Linear, Lstm, MaskedCategorical, Mlp, Param, Scratch};
 
 use crate::policy::{ActionRecord, PolicyHyperparams};
 use crate::ppo::PolicyModel;
@@ -27,6 +27,13 @@ pub struct FlatPolicyNetwork {
     lstm: Lstm,
     backbone: Mlp,
     head: Linear,
+    /// Reusable logits buffer for rollout-time action selection.
+    #[serde(skip)]
+    logits_scratch: Scratch<Vec<f64>>,
+    /// Logits of pending `evaluate` calls, consumed in reverse order by
+    /// `backward` so the backward pass never re-runs the forward network.
+    #[serde(skip)]
+    pending_logits: Scratch<Vec<Vec<f64>>>,
 }
 
 impl FlatPolicyNetwork {
@@ -37,7 +44,7 @@ impl FlatPolicyNetwork {
         let h = hyper.hidden_size;
         let lstm = Lstm::new(env_config.feature_len(), h, rng);
         let mut sizes = vec![h];
-        sizes.extend(std::iter::repeat(h).take(hyper.backbone_layers));
+        sizes.extend(std::iter::repeat_n(h, hyper.backbone_layers));
         let backbone = Mlp::new(&sizes, true, rng);
         let head = Linear::new(h, actions.len(), rng);
         Self {
@@ -46,12 +53,19 @@ impl FlatPolicyNetwork {
             lstm,
             backbone,
             head,
+            logits_scratch: Scratch::default(),
+            pending_logits: Scratch::default(),
         }
     }
 
     /// Number of flat actions.
     pub fn num_actions(&self) -> usize {
         self.actions.len()
+    }
+
+    /// The environment configuration the policy was built for.
+    pub fn env_config(&self) -> &EnvConfig {
+        &self.env_config
     }
 
     fn flat_mask(&self, obs: &Observation) -> Vec<bool> {
@@ -63,17 +77,16 @@ impl FlatPolicyNetwork {
                 let tiles_ok = match &expanded {
                     Action::Tiling { tile_indices }
                     | Action::TiledParallelization { tile_indices }
-                    | Action::TiledFusion { tile_indices } => tile_indices
-                        .iter()
-                        .enumerate()
-                        .all(|(level, idx)| {
+                    | Action::TiledFusion { tile_indices } => {
+                        tile_indices.iter().enumerate().all(|(level, idx)| {
                             obs.mask
                                 .tile_sizes
                                 .get(level)
                                 .and_then(|m| m.get(*idx))
                                 .copied()
                                 .unwrap_or(false)
-                        }),
+                        })
+                    }
                     Action::Interchange(mlir_rl_env::InterchangeSpec::Candidate(c)) => {
                         *c < mlir_rl_env::enumerated_candidates(obs.num_loops).len()
                     }
@@ -84,11 +97,13 @@ impl FlatPolicyNetwork {
             .collect()
     }
 
-    fn logits_inference(&self, obs: &Observation) -> Vec<f64> {
-        let sequence = vec![obs.producer.clone(), obs.consumer.clone()];
-        let embedding = self.lstm.forward_inference(&sequence);
-        let z = self.backbone.forward_inference(&embedding);
-        self.head.forward_inference(&z)
+    /// Allocation-free inference logits into `out`.
+    fn infer_logits(&mut self, obs: &Observation, out: &mut Vec<f64>) {
+        let embedding = self
+            .lstm
+            .infer(&[obs.producer.as_slice(), obs.consumer.as_slice()]);
+        let z = self.backbone.infer(embedding);
+        self.head.infer_into(z, out);
     }
 
     fn logits_train(&mut self, obs: &Observation) -> Vec<f64> {
@@ -98,7 +113,13 @@ impl FlatPolicyNetwork {
         self.head.forward(&z)
     }
 
-    fn record_for(&self, obs: &Observation, index: usize, log_prob: f64, entropy: f64) -> ActionRecord {
+    fn record_for(
+        &self,
+        obs: &Observation,
+        index: usize,
+        log_prob: f64,
+        entropy: f64,
+    ) -> ActionRecord {
         let action = self.actions[index].to_action(obs.num_loops);
         ActionRecord {
             action,
@@ -119,19 +140,28 @@ impl PolicyModel for FlatPolicyNetwork {
         greedy: bool,
         rng: &mut ChaCha8Rng,
     ) -> ActionRecord {
-        let logits = self.logits_inference(obs);
+        let mut logits = std::mem::take(&mut self.logits_scratch).0;
+        self.infer_logits(obs, &mut logits);
         let mask = self.flat_mask(obs);
         // NoTransformation is always allowed, so the mask is never empty.
         let dist = MaskedCategorical::new(&logits, &mask);
-        let index = if greedy { dist.argmax() } else { dist.sample(rng) };
-        self.record_for(obs, index, dist.log_prob(index), dist.entropy())
+        let index = if greedy {
+            dist.argmax()
+        } else {
+            dist.sample(rng)
+        };
+        let record = self.record_for(obs, index, dist.log_prob(index), dist.entropy());
+        self.logits_scratch = Scratch(logits);
+        record
     }
 
     fn evaluate(&mut self, obs: &Observation, record: &ActionRecord) -> (f64, f64) {
         let logits = self.logits_train(obs);
         let mask = self.flat_mask(obs);
         let dist = MaskedCategorical::new(&logits, &mask);
-        (dist.log_prob(record.kind_index), dist.entropy())
+        let out = (dist.log_prob(record.kind_index), dist.entropy());
+        self.pending_logits.0.push(logits);
+        out
     }
 
     fn backward(
@@ -141,7 +171,11 @@ impl PolicyModel for FlatPolicyNetwork {
         coeff_logprob: f64,
         coeff_entropy: f64,
     ) {
-        let logits = self.logits_inference(obs);
+        let logits = self
+            .pending_logits
+            .0
+            .pop()
+            .expect("backward called without a matching evaluate");
         let mask = self.flat_mask(obs);
         let dist = MaskedCategorical::new(&logits, &mask);
         let lp = dist.log_prob_grad(record.kind_index);
@@ -160,6 +194,7 @@ impl PolicyModel for FlatPolicyNetwork {
         self.lstm.zero_grad();
         self.backbone.zero_grad();
         self.head.zero_grad();
+        self.pending_logits.0.clear();
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Param> {
@@ -184,10 +219,8 @@ mod tests {
         let w = b.argument("B", vec![128, 32]);
         let mm = b.matmul(a, w);
         b.relu(mm);
-        let mut env = OptimizationEnv::new(
-            EnvConfig::small(),
-            CostModel::new(MachineModel::default()),
-        );
+        let mut env =
+            OptimizationEnv::new(EnvConfig::small(), CostModel::new(MachineModel::default()));
         env.reset(b.finish()).unwrap()
     }
 

@@ -45,7 +45,7 @@ pub use policy::{
     permutation_log_prob, sample_permutation, ActionRecord, PolicyHyperparams, PolicyNetwork,
 };
 pub use ppo::{
-    collect_episode, compute_gae, IterationStats, PolicyModel, PpoConfig, PpoTrainer, Trajectory,
-    Transition,
+    collect_episode, collect_rollouts, compute_gae, default_rollout_workers, episode_seed,
+    IterationStats, PolicyModel, PpoConfig, PpoTrainer, RolloutBatch, Trajectory, Transition,
 };
 pub use value::ValueNetwork;

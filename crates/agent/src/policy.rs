@@ -20,10 +20,8 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use mlir_rl_env::{
-    Action, EnvConfig, InterchangeMode, InterchangeSpec, Observation,
-};
-use mlir_rl_nn::{Linear, Lstm, MaskedCategorical, Mlp, Param};
+use mlir_rl_env::{Action, EnvConfig, InterchangeMode, InterchangeSpec, Observation};
+use mlir_rl_nn::{Linear, Lstm, MaskedCategorical, Mlp, Param, Scratch};
 use mlir_rl_transforms::TransformationKind;
 
 /// Hyper-parameters of the network (the paper uses 512 units everywhere;
@@ -89,11 +87,19 @@ pub struct PolicyNetwork {
     parallelization_head: Linear,
     fusion_head: Linear,
     interchange_head: Linear,
+    /// Reusable head-logit buffers for [`PolicyNetwork::select_action`].
+    #[serde(skip)]
+    head_scratch: Scratch<HeadOutputs>,
+    /// Head outputs of pending [`PolicyNetwork::evaluate`] calls, consumed
+    /// in reverse order by [`PolicyNetwork::backward`] so the backward pass
+    /// never re-runs the forward network.
+    #[serde(skip)]
+    pending_outputs: Scratch<Vec<HeadOutputs>>,
 }
 
 /// Per-head logits of one forward pass (training mode keeps them to build
 /// gradients).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct HeadOutputs {
     transformation: Vec<f64>,
     tiling: Vec<f64>,
@@ -110,7 +116,7 @@ impl PolicyNetwork {
         let h = hyper.hidden_size;
         let lstm = Lstm::new(feature_len, h, rng);
         let mut sizes = vec![h];
-        sizes.extend(std::iter::repeat(h).take(hyper.backbone_layers));
+        sizes.extend(std::iter::repeat_n(h, hyper.backbone_layers));
         let backbone = Mlp::new(&sizes, true, rng);
         let n = env_config.max_loops;
         let m = env_config.num_tile_candidates();
@@ -128,6 +134,8 @@ impl PolicyNetwork {
             interchange_head: Linear::new(h, interchange_out, rng),
             env_config,
             hyper,
+            head_scratch: Scratch::default(),
+            pending_outputs: Scratch::default(),
         }
     }
 
@@ -146,38 +154,38 @@ impl PolicyNetwork {
         self.parameters_mut().iter().map(|p| p.len()).sum()
     }
 
-    fn forward_heads(&mut self, obs: &Observation, train: bool) -> HeadOutputs {
+    /// Training-mode forward pass: caches activations in every layer for a
+    /// later [`PolicyNetwork::backward`].
+    fn forward_heads_train(&mut self, obs: &Observation) -> HeadOutputs {
         let sequence = vec![obs.producer.clone(), obs.consumer.clone()];
-        let embedding = if train {
-            self.lstm.forward(&sequence)
-        } else {
-            self.lstm.forward_inference(&sequence)
-        };
-        let z = if train {
-            self.backbone.forward(&embedding)
-        } else {
-            self.backbone.forward_inference(&embedding)
-        };
-        if train {
-            HeadOutputs {
-                transformation: self.transformation_head.forward(&z),
-                tiling: self.tiling_head.forward(&z),
-                parallelization: self.parallelization_head.forward(&z),
-                fusion: self.fusion_head.forward(&z),
-                interchange: self.interchange_head.forward(&z),
-            }
-        } else {
-            HeadOutputs {
-                transformation: self.transformation_head.forward_inference(&z),
-                tiling: self.tiling_head.forward_inference(&z),
-                parallelization: self.parallelization_head.forward_inference(&z),
-                fusion: self.fusion_head.forward_inference(&z),
-                interchange: self.interchange_head.forward_inference(&z),
-            }
+        let embedding = self.lstm.forward(&sequence);
+        let z = self.backbone.forward(&embedding);
+        HeadOutputs {
+            transformation: self.transformation_head.forward(&z),
+            tiling: self.tiling_head.forward(&z),
+            parallelization: self.parallelization_head.forward(&z),
+            fusion: self.fusion_head.forward(&z),
+            interchange: self.interchange_head.forward(&z),
         }
     }
 
-    fn tile_head_logits<'a>(outputs: &'a HeadOutputs, kind: TransformationKind) -> &'a [f64] {
+    /// Allocation-free inference forward pass into reusable buffers
+    /// (bit-identical to the caching path's numerics).
+    fn infer_heads(&mut self, obs: &Observation, out: &mut HeadOutputs) {
+        let embedding = self
+            .lstm
+            .infer(&[obs.producer.as_slice(), obs.consumer.as_slice()]);
+        let z = self.backbone.infer(embedding);
+        self.transformation_head
+            .infer_into(z, &mut out.transformation);
+        self.tiling_head.infer_into(z, &mut out.tiling);
+        self.parallelization_head
+            .infer_into(z, &mut out.parallelization);
+        self.fusion_head.infer_into(z, &mut out.fusion);
+        self.interchange_head.infer_into(z, &mut out.interchange);
+    }
+
+    fn tile_head_logits(outputs: &HeadOutputs, kind: TransformationKind) -> &[f64] {
         match kind {
             TransformationKind::Tiling => &outputs.tiling,
             TransformationKind::TiledParallelization => &outputs.parallelization,
@@ -195,8 +203,13 @@ impl PolicyNetwork {
         greedy: bool,
         rng: &mut R,
     ) -> ActionRecord {
-        let outputs = self.forward_heads(obs, false);
-        self.decide(obs, &outputs, greedy, rng)
+        // Temporarily take the scratch so `decide` can borrow `self`
+        // immutably while reading the logits.
+        let mut outputs = std::mem::take(&mut self.head_scratch).0;
+        self.infer_heads(obs, &mut outputs);
+        let record = self.decide(obs, &outputs, greedy, rng);
+        self.head_scratch = Scratch(outputs);
+        record
     }
 
     fn decide<R: Rng>(
@@ -212,7 +225,7 @@ impl PolicyNetwork {
 
         // 1. Transformation selection.
         let kind_dist =
-            MaskedCategorical::new(&outputs.transformation, &mask.transformation.to_vec());
+            MaskedCategorical::new(&outputs.transformation, mask.transformation.as_ref());
         let kind_index = if greedy {
             kind_dist.argmax()
         } else {
@@ -240,7 +253,11 @@ impl PolicyNetwork {
                     .cloned()
                     .unwrap_or_else(|| vec![true; m]);
                 let dist = MaskedCategorical::new(level_logits, &level_mask);
-                let idx = if greedy { dist.argmax() } else { dist.sample(rng) };
+                let idx = if greedy {
+                    dist.argmax()
+                } else {
+                    dist.sample(rng)
+                };
                 log_prob += dist.log_prob(idx);
                 entropy += dist.entropy();
                 tile_indices.push(idx);
@@ -249,9 +266,17 @@ impl PolicyNetwork {
             match self.env_config.interchange_mode {
                 InterchangeMode::EnumeratedCandidates => {
                     let num_candidates = mask.interchange_candidates.len();
-                    let logits = &outputs.interchange[..num_candidates.min(outputs.interchange.len())];
-                    let dist = MaskedCategorical::new(logits, &mask.interchange_candidates[..logits.len()]);
-                    let idx = if greedy { dist.argmax() } else { dist.sample(rng) };
+                    let logits =
+                        &outputs.interchange[..num_candidates.min(outputs.interchange.len())];
+                    let dist = MaskedCategorical::new(
+                        logits,
+                        &mask.interchange_candidates[..logits.len()],
+                    );
+                    let idx = if greedy {
+                        dist.argmax()
+                    } else {
+                        dist.sample(rng)
+                    };
                     log_prob += dist.log_prob(idx);
                     entropy += dist.entropy();
                     interchange_candidate = Some(idx);
@@ -279,12 +304,13 @@ impl PolicyNetwork {
             TransformationKind::TiledFusion => Action::TiledFusion {
                 tile_indices: tile_indices.clone(),
             },
-            TransformationKind::Interchange => match (&interchange_candidate, &interchange_permutation)
-            {
-                (Some(c), _) => Action::Interchange(InterchangeSpec::Candidate(*c)),
-                (_, Some(p)) => Action::Interchange(InterchangeSpec::Permutation(p.clone())),
-                _ => Action::NoTransformation,
-            },
+            TransformationKind::Interchange => {
+                match (&interchange_candidate, &interchange_permutation) {
+                    (Some(c), _) => Action::Interchange(InterchangeSpec::Candidate(*c)),
+                    (_, Some(p)) => Action::Interchange(InterchangeSpec::Permutation(p.clone())),
+                    _ => Action::NoTransformation,
+                }
+            }
             TransformationKind::Vectorization => Action::Vectorization,
             TransformationKind::NoTransformation => Action::NoTransformation,
         };
@@ -304,30 +330,36 @@ impl PolicyNetwork {
     /// the *current* parameters, caching activations for
     /// [`PolicyNetwork::backward`].
     pub fn evaluate(&mut self, obs: &Observation, record: &ActionRecord) -> (f64, f64) {
-        let outputs = self.forward_heads(obs, true);
+        let outputs = self.forward_heads_train(obs);
         let (log_prob, entropy, _) = self.log_prob_and_grads(obs, record, &outputs, 0.0, 0.0);
+        self.pending_outputs.0.push(outputs);
         (log_prob, entropy)
     }
 
-    /// Backward pass for the most recent [`PolicyNetwork::evaluate`] call:
-    /// accumulates `coeff_logprob * d log_prob / d θ + coeff_entropy *
-    /// d entropy / d θ` into the parameter gradients.
+    /// Backward pass for the most recent un-consumed
+    /// [`PolicyNetwork::evaluate`] call: accumulates `coeff_logprob *
+    /// d log_prob / d θ + coeff_entropy * d entropy / d θ` into the
+    /// parameter gradients. When a minibatch is processed with several
+    /// `evaluate` calls first, the matching `backward` calls must come in
+    /// reverse order (the layer caches are stacks).
     ///
     /// # Panics
     ///
     /// Panics if called without a matching `evaluate`.
-    pub fn backward(&mut self, obs: &Observation, record: &ActionRecord, coeff_logprob: f64, coeff_entropy: f64) {
-        // Recompute the logits without touching the caches (the caches from
-        // `evaluate` are still pending), then push gradients through the
-        // cached layers.
-        let z = self.backbone_embedding_inference(obs);
-        let outputs = HeadOutputs {
-            transformation: self.transformation_head.forward_inference(&z),
-            tiling: self.tiling_head.forward_inference(&z),
-            parallelization: self.parallelization_head.forward_inference(&z),
-            fusion: self.fusion_head.forward_inference(&z),
-            interchange: self.interchange_head.forward_inference(&z),
-        };
+    pub fn backward(
+        &mut self,
+        obs: &Observation,
+        record: &ActionRecord,
+        coeff_logprob: f64,
+        coeff_entropy: f64,
+    ) {
+        // The head outputs were stored by `evaluate`, so no part of the
+        // forward network has to run again.
+        let outputs = self
+            .pending_outputs
+            .0
+            .pop()
+            .expect("backward called without a matching evaluate");
         let (_, _, grads) =
             self.log_prob_and_grads(obs, record, &outputs, coeff_logprob, coeff_entropy);
 
@@ -346,12 +378,6 @@ impl PolicyNetwork {
         add(self.interchange_head.backward(&grads.interchange));
         let grad_embedding = self.backbone.backward(&grad_z);
         self.lstm.backward(&grad_embedding);
-    }
-
-    fn backbone_embedding_inference(&self, obs: &Observation) -> Vec<f64> {
-        let sequence = vec![obs.producer.clone(), obs.consumer.clone()];
-        let embedding = self.lstm.forward_inference(&sequence);
-        self.backbone.forward_inference(&embedding)
     }
 
     /// Computes the log-prob, entropy and per-head logit gradients
@@ -380,7 +406,7 @@ impl PolicyNetwork {
 
         // Transformation head.
         let kind_dist =
-            MaskedCategorical::new(&outputs.transformation, &mask.transformation.to_vec());
+            MaskedCategorical::new(&outputs.transformation, mask.transformation.as_ref());
         let mut log_prob = kind_dist.log_prob(record.kind_index);
         let mut entropy = kind_dist.entropy();
         let lp_grad = kind_dist.log_prob_grad(record.kind_index);
@@ -440,9 +466,8 @@ impl PolicyNetwork {
                         let (lp, ent, grad) = permutation_log_prob(logits, perm);
                         log_prob += lp;
                         entropy += ent;
-                        for j in 0..len {
-                            grads.interchange[j] =
-                                coeff_logprob * grad[j] + coeff_entropy * 0.0;
+                        for (slot, g) in grads.interchange[..len].iter_mut().zip(&grad) {
+                            *slot = coeff_logprob * g + coeff_entropy * 0.0;
                         }
                     }
                 }
@@ -461,6 +486,7 @@ impl PolicyNetwork {
         self.parallelization_head.zero_grad();
         self.fusion_head.zero_grad();
         self.interchange_head.zero_grad();
+        self.pending_outputs.0.clear();
     }
 
     /// All trainable parameters, in a stable order.
@@ -493,7 +519,11 @@ pub fn sample_permutation<R: Rng>(
     let mut entropy = 0.0;
     for _ in 0..n {
         let dist = MaskedCategorical::new(logits, &remaining);
-        let choice = if greedy { dist.argmax() } else { dist.sample(rng) };
+        let choice = if greedy {
+            dist.argmax()
+        } else {
+            dist.sample(rng)
+        };
         log_prob += dist.log_prob(choice);
         entropy += dist.entropy();
         remaining[choice] = false;
@@ -543,10 +573,8 @@ mod tests {
         let w = b.argument("B", vec![128, 32]);
         let mm = b.matmul(a, w);
         b.relu(mm);
-        let mut env = OptimizationEnv::new(
-            EnvConfig::small(),
-            CostModel::new(MachineModel::default()),
-        );
+        let mut env =
+            OptimizationEnv::new(EnvConfig::small(), CostModel::new(MachineModel::default()));
         env.reset(b.finish()).unwrap()
     }
 
@@ -701,7 +729,10 @@ mod tests {
                 break;
             }
         }
-        assert!(saw_interchange, "interchange was never sampled in 200 tries");
+        assert!(
+            saw_interchange,
+            "interchange was never sampled in 200 tries"
+        );
     }
 
     #[test]

@@ -6,9 +6,24 @@
 //! clipped-surrogate updates over shuffled minibatches, with a value loss
 //! (coefficient 0.5) and an entropy bonus (coefficient 0.01). The paper's
 //! hyper-parameters are the defaults of [`PpoConfig::paper`].
+//!
+//! # Rollout engine
+//!
+//! Episode collection is handled by [`collect_rollouts`]: every episode of
+//! a batch gets its own RNG (and, when measurement noise is enabled, its
+//! own noise stream) derived deterministically from a base seed and the
+//! episode index. Because no state flows between episodes, the batch can be
+//! fanned out across `std::thread` workers — each worker takes an
+//! environment clone, an inference-only snapshot of the policy and a value
+//! network clone, and collects episodes `w, w + W, w + 2W, ...` — and the
+//! merged result is **bit-for-bit identical to serial collection** for a
+//! fixed seed, no matter the worker count. Worker environments inherit the
+//! master environment's schedule-keyed cost-model cache and their entries
+//! are folded back after the batch, so cache warmth persists across
+//! iterations in parallel mode too.
 
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
@@ -22,10 +37,17 @@ use crate::value::ValueNetwork;
 /// Abstraction over policy networks so that the same PPO trainer drives both
 /// the multi-discrete policy and the flat-action-space policy of the Fig. 6
 /// ablation.
-pub trait PolicyModel {
+///
+/// `Clone + Send` is required so the rollout engine can hand each worker
+/// thread an inference-only snapshot of the policy.
+pub trait PolicyModel: Clone + Send {
     /// Samples (or greedily selects) an action for an observation.
-    fn select_action(&mut self, obs: &Observation, greedy: bool, rng: &mut ChaCha8Rng)
-        -> ActionRecord;
+    fn select_action(
+        &mut self,
+        obs: &Observation,
+        greedy: bool,
+        rng: &mut ChaCha8Rng,
+    ) -> ActionRecord;
     /// Recomputes log-probability and entropy of a stored action, caching
     /// activations for [`PolicyModel::backward`].
     fn evaluate(&mut self, obs: &Observation, record: &ActionRecord) -> (f64, f64);
@@ -95,6 +117,10 @@ pub struct PpoConfig {
     pub entropy_coef: f64,
     /// Global gradient-norm clip.
     pub max_grad_norm: f64,
+    /// Worker threads used by the rollout engine (1 = collect in the
+    /// calling thread). Collection is deterministic in the seed regardless
+    /// of this value.
+    pub rollout_workers: usize,
 }
 
 impl PpoConfig {
@@ -111,7 +137,14 @@ impl PpoConfig {
             value_coef: 0.5,
             entropy_coef: 0.01,
             max_grad_norm: 0.5,
+            rollout_workers: 1,
         }
+    }
+
+    /// Returns the configuration with the given rollout worker count.
+    pub fn with_rollout_workers(mut self, workers: usize) -> Self {
+        self.rollout_workers = workers.max(1);
+        self
     }
 
     /// A scaled-down configuration for tests and the benchmark harness.
@@ -160,7 +193,7 @@ pub fn collect_episode<P: PolicyModel>(
     env: &mut OptimizationEnv,
     module: &Module,
     policy: &mut P,
-    value: &ValueNetwork,
+    value: &mut ValueNetwork,
     greedy: bool,
     rng: &mut ChaCha8Rng,
 ) -> Trajectory {
@@ -171,7 +204,7 @@ pub fn collect_episode<P: PolicyModel>(
     let mut steps = 0;
     while let Some(current) = obs {
         let record = policy.select_action(&current, greedy, rng);
-        let v = value.predict(&current);
+        let v = value.predict_fast(&current);
         let outcome = env.step(&record.action);
         transitions.push(Transition {
             observation: current,
@@ -188,6 +221,178 @@ pub fn collect_episode<P: PolicyModel>(
     }
     let stats = env.stats();
     Trajectory { transitions, stats }
+}
+
+/// Mixes a base seed and an episode index into an independent 64-bit seed
+/// (SplitMix64 finalizer), so every episode of a rollout batch gets its own
+/// deterministic RNG stream.
+pub fn episode_seed(base: u64, episode: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(episode.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The number of rollout workers matching the machine's available
+/// parallelism (fallback 1).
+pub fn default_rollout_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// One collected batch of episodes plus aggregate cost-model accounting.
+#[derive(Debug, Clone)]
+pub struct RolloutBatch {
+    /// Collected trajectories, in episode order (independent of worker
+    /// count).
+    pub trajectories: Vec<Trajectory>,
+    /// Cost-model evaluations actually performed (cache misses).
+    pub evaluations: usize,
+    /// Evaluation requests served by the schedule-keyed cache.
+    pub cache_hits: usize,
+}
+
+impl RolloutBatch {
+    /// Total environment steps across the batch.
+    pub fn total_steps(&self) -> usize {
+        self.trajectories.iter().map(|t| t.stats.steps).sum()
+    }
+
+    /// Fraction of evaluation requests served by the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.evaluations + self.cache_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Collects one episode with a per-episode RNG (and noise stream) derived
+/// from `(base_seed, episode)`, making the episode independent of whatever
+/// was collected before it.
+fn collect_seeded_episode<P: PolicyModel>(
+    env: &mut OptimizationEnv,
+    module: &Module,
+    policy: &mut P,
+    value: &mut ValueNetwork,
+    greedy: bool,
+    base_seed: u64,
+    episode: usize,
+) -> Trajectory {
+    let mut rng = ChaCha8Rng::seed_from_u64(episode_seed(base_seed, episode as u64));
+    if let Some(noise_seed) = env.config().noise_seed {
+        env.reseed_noise(episode_seed(
+            noise_seed.wrapping_add(base_seed),
+            episode as u64,
+        ));
+    }
+    collect_episode(env, module, policy, value, greedy, &mut rng)
+}
+
+/// Collects `modules.len()` episodes, fanning them out over `workers`
+/// threads.
+///
+/// Worker `w` collects episodes `w, w + W, w + 2W, ...` on its own clones
+/// of the environment, an inference-only snapshot of the policy, and the
+/// value network; results are merged back in episode order. Every episode's
+/// randomness comes from [`episode_seed`]`(base_seed, episode)`, so a fixed
+/// `base_seed` produces bit-for-bit identical trajectories for any worker
+/// count — `workers == 1` *is* serial collection.
+///
+/// Worker environments start from the master environment's schedule-keyed
+/// evaluation cache and their new entries are folded back into it
+/// afterwards, keeping the cache warm across batches.
+pub fn collect_rollouts<P: PolicyModel>(
+    env: &mut OptimizationEnv,
+    modules: &[&Module],
+    policy: &mut P,
+    value: &mut ValueNetwork,
+    greedy: bool,
+    base_seed: u64,
+    workers: usize,
+) -> RolloutBatch {
+    let n = modules.len();
+    let workers = workers.max(1).min(n.max(1));
+    let mut slots: Vec<Option<Trajectory>> = (0..n).map(|_| None).collect();
+
+    // Freeze the master cache's overlay into its shared snapshot so worker
+    // clones share it by reference instead of deep-copying the warm table.
+    env.consolidate_cache();
+
+    if workers <= 1 {
+        for (episode, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(collect_seeded_episode(
+                env,
+                modules[episode],
+                policy,
+                value,
+                greedy,
+                base_seed,
+                episode,
+            ));
+        }
+    } else {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for worker in 0..workers {
+                let mut worker_env = env.clone();
+                let mut worker_policy = policy.clone();
+                let mut worker_value = value.clone();
+                handles.push(scope.spawn(move || {
+                    let mut collected = Vec::new();
+                    let mut episode = worker;
+                    while episode < n {
+                        collected.push((
+                            episode,
+                            collect_seeded_episode(
+                                &mut worker_env,
+                                modules[episode],
+                                &mut worker_policy,
+                                &mut worker_value,
+                                greedy,
+                                base_seed,
+                                episode,
+                            ),
+                        ));
+                        episode += workers;
+                    }
+                    (collected, worker_env)
+                }));
+            }
+            for handle in handles {
+                let (collected, mut worker_env) = handle.join().expect("rollout worker panicked");
+                for (episode, trajectory) in collected {
+                    slots[episode] = Some(trajectory);
+                }
+                env.absorb_cache_from(&mut worker_env);
+            }
+        });
+    }
+
+    // Leave the master environment's noise stream in a canonical post-batch
+    // state: serial collection consumed it episode by episode while parallel
+    // collection only consumed worker clones' streams, so without this the
+    // master's later measurements would depend on the worker count.
+    if let Some(noise_seed) = env.config().noise_seed {
+        env.reseed_noise(episode_seed(noise_seed.wrapping_add(base_seed), n as u64));
+    }
+
+    let trajectories: Vec<Trajectory> = slots
+        .into_iter()
+        .map(|t| t.expect("every episode was assigned to a worker"))
+        .collect();
+    let evaluations = trajectories.iter().map(|t| t.stats.evaluations).sum();
+    let cache_hits = trajectories.iter().map(|t| t.stats.cache_hits).sum();
+    RolloutBatch {
+        trajectories,
+        evaluations,
+        cache_hits,
+    }
 }
 
 /// Computes GAE advantages and returns (targets for the value function) for
@@ -234,6 +439,9 @@ pub struct IterationStats {
     pub evaluations: usize,
     /// Cumulative evaluations since training started.
     pub cumulative_evaluations: usize,
+    /// Evaluation requests served by the schedule-keyed cost-model cache
+    /// while collecting this iteration.
+    pub cache_hits: usize,
 }
 
 /// The PPO trainer: owns the policy, the value network and their optimizers.
@@ -307,44 +515,40 @@ impl<P: PolicyModel> PpoTrainer<P> {
         let iteration = self.history.len();
 
         // --- Collect ------------------------------------------------------
-        let mut trajectories = Vec::new();
-        let mut evaluations = 0usize;
-        for i in 0..self.config.trajectories_per_iteration {
-            let module = &dataset[(iteration * self.config.trajectories_per_iteration + i)
-                % dataset.len()];
-            let traj = collect_episode(
-                env,
-                module,
-                &mut self.policy,
-                &self.value,
-                false,
-                &mut self.rng,
-            );
-            evaluations += traj.stats.evaluations;
-            trajectories.push(traj);
-        }
+        let modules: Vec<&Module> = (0..self.config.trajectories_per_iteration)
+            .map(|i| {
+                &dataset[(iteration * self.config.trajectories_per_iteration + i) % dataset.len()]
+            })
+            .collect();
+        let base_seed = self.rng.gen::<u64>();
+        let batch_result = collect_rollouts(
+            env,
+            &modules,
+            &mut self.policy,
+            &mut self.value,
+            false,
+            base_seed,
+            self.config.rollout_workers,
+        );
+        let evaluations = batch_result.evaluations;
+        let cache_hits = batch_result.cache_hits;
+        let trajectories = batch_result.trajectories;
 
         // --- Advantages ---------------------------------------------------
-        let mut batch: Vec<(Observation, ActionRecord, f64, f64)> = Vec::new();
+        // The batch borrows observations/records from the trajectories; no
+        // per-transition clones are made.
+        let mut batch: Vec<(&Observation, &ActionRecord, f64, f64)> = Vec::new();
         for traj in &trajectories {
             let (advantages, returns) =
                 compute_gae(traj, self.config.gamma, self.config.gae_lambda);
             for (i, t) in traj.transitions.iter().enumerate() {
-                batch.push((
-                    t.observation.clone(),
-                    t.record.clone(),
-                    advantages[i],
-                    returns[i],
-                ));
+                batch.push((&t.observation, &t.record, advantages[i], returns[i]));
             }
         }
         // Normalize advantages across the batch.
         let mean_adv = batch.iter().map(|b| b.2).sum::<f64>() / batch.len().max(1) as f64;
-        let var_adv = batch
-            .iter()
-            .map(|b| (b.2 - mean_adv).powi(2))
-            .sum::<f64>()
-            / batch.len().max(1) as f64;
+        let var_adv =
+            batch.iter().map(|b| (b.2 - mean_adv).powi(2)).sum::<f64>() / batch.len().max(1) as f64;
         let std_adv = var_adv.sqrt().max(1e-8);
         for b in &mut batch {
             b.2 = (b.2 - mean_adv) / std_adv;
@@ -362,13 +566,18 @@ impl<P: PolicyModel> PpoTrainer<P> {
                 self.policy.zero_grad();
                 self.value.zero_grad();
                 let scale = 1.0 / chunk.len() as f64;
+                // Pass 1: batched forward passes over the minibatch. Every
+                // evaluate/forward stacks its activations (and the policy's
+                // head outputs), so the backward pass below never re-runs
+                // the forward network.
+                let mut pending: Vec<(usize, f64, f64)> = Vec::with_capacity(chunk.len());
                 for &idx in chunk {
                     let (obs, record, advantage, ret) = &batch[idx];
                     // Policy: clipped surrogate objective.
                     let (log_prob, entropy) = self.policy.evaluate(obs, record);
                     let ratio = (log_prob - record.log_prob).exp();
-                    let clipped = ratio
-                        .clamp(1.0 - self.config.clip_range, 1.0 + self.config.clip_range);
+                    let clipped =
+                        ratio.clamp(1.0 - self.config.clip_range, 1.0 + self.config.clip_range);
                     let surrogate = (ratio * advantage).min(clipped * advantage);
                     policy_loss_acc += -surrogate;
                     entropy_acc += entropy;
@@ -380,24 +589,30 @@ impl<P: PolicyModel> PpoTrainer<P> {
                     } else {
                         0.0
                     };
+
+                    // Value: squared-error loss.
+                    let v = self.value.forward(obs);
+                    let v_err = v - ret;
+                    value_loss_acc += 0.5 * v_err * v_err;
+                    pending.push((idx, dl_dlogp, v_err));
+                    updates += 1;
+                }
+                // Pass 2: batched backward passes, in reverse order because
+                // the cached activations are stacks.
+                for &(idx, dl_dlogp, v_err) in pending.iter().rev() {
+                    let (obs, record, _, _) = &batch[idx];
                     self.policy.backward(
                         obs,
                         record,
                         dl_dlogp * scale,
                         -self.config.entropy_coef * scale,
                     );
-
-                    // Value: squared-error loss.
-                    let v = self.value.forward(obs);
-                    let v_err = v - ret;
-                    value_loss_acc += 0.5 * v_err * v_err;
-                    self.value
-                        .backward(self.config.value_coef * v_err * scale);
-                    updates += 1;
+                    self.value.backward(self.config.value_coef * v_err * scale);
                 }
                 clip_grad_norm(&mut self.policy.parameters_mut(), self.config.max_grad_norm);
                 clip_grad_norm(&mut self.value.parameters_mut(), self.config.max_grad_norm);
-                self.policy_optimizer.step(&mut self.policy.parameters_mut());
+                self.policy_optimizer
+                    .step(&mut self.policy.parameters_mut());
                 self.value_optimizer.step(&mut self.value.parameters_mut());
             }
         }
@@ -427,6 +642,7 @@ impl<P: PolicyModel> PpoTrainer<P> {
             entropy: entropy_acc / updates.max(1) as f64,
             evaluations,
             cumulative_evaluations: self.cumulative_evaluations,
+            cache_hits,
         };
         self.history.push(stats);
         stats
@@ -447,16 +663,19 @@ impl<P: PolicyModel> PpoTrainer<P> {
 
     /// Greedily optimizes each module with the current policy and returns
     /// the per-module episode statistics.
-    pub fn evaluate(
-        &mut self,
-        env: &mut OptimizationEnv,
-        modules: &[Module],
-    ) -> Vec<EpisodeStats> {
+    pub fn evaluate(&mut self, env: &mut OptimizationEnv, modules: &[Module]) -> Vec<EpisodeStats> {
         modules
             .iter()
             .map(|m| {
-                collect_episode(env, m, &mut self.policy, &self.value, true, &mut self.rng)
-                    .stats
+                collect_episode(
+                    env,
+                    m,
+                    &mut self.policy,
+                    &mut self.value,
+                    true,
+                    &mut self.rng,
+                )
+                .stats
             })
             .collect()
     }
@@ -483,10 +702,7 @@ mod tests {
     }
 
     fn env() -> OptimizationEnv {
-        OptimizationEnv::new(
-            EnvConfig::small(),
-            CostModel::new(MachineModel::default()),
-        )
+        OptimizationEnv::new(EnvConfig::small(), CostModel::new(MachineModel::default()))
     }
 
     fn tiny_ppo() -> PpoConfig {
@@ -495,6 +711,171 @@ mod tests {
             minibatch_size: 4,
             update_epochs: 2,
             ..PpoConfig::paper()
+        }
+    }
+
+    /// Builds a fresh deterministic (env, trainer) pair for the rollout
+    /// engine tests.
+    fn engine_fixture(seed: u64) -> (OptimizationEnv, PpoTrainer<PolicyNetwork>) {
+        let hyper = PolicyHyperparams {
+            hidden_size: 16,
+            backbone_layers: 1,
+        };
+        (
+            env(),
+            PpoTrainer::new(&EnvConfig::small(), hyper, tiny_ppo(), seed),
+        )
+    }
+
+    fn assert_trajectories_identical(a: &[Trajectory], b: &[Trajectory]) {
+        assert_eq!(a.len(), b.len(), "trajectory counts differ");
+        for (ta, tb) in a.iter().zip(b) {
+            assert_eq!(ta.transitions.len(), tb.transitions.len());
+            for (x, y) in ta.transitions.iter().zip(&tb.transitions) {
+                assert_eq!(x.observation, y.observation);
+                assert_eq!(x.record, y.record);
+                assert_eq!(x.reward, y.reward, "rewards must match bit-for-bit");
+                assert_eq!(x.value, y.value, "value estimates must match bit-for-bit");
+                assert_eq!(x.done, y.done);
+            }
+            // Performance-relevant stats are identical; cache accounting may
+            // differ (worker caches start cold on their own slice).
+            assert_eq!(ta.stats.baseline_s, tb.stats.baseline_s);
+            assert_eq!(ta.stats.final_s, tb.stats.final_s);
+            assert_eq!(ta.stats.speedup, tb.stats.speedup);
+            assert_eq!(ta.stats.steps, tb.stats.steps);
+        }
+    }
+
+    #[test]
+    fn parallel_rollouts_match_serial_bit_for_bit() {
+        let dataset = small_dataset();
+        // Collect each module twice so the batch is bigger than the worker
+        // count and strides interleave.
+        let modules: Vec<&Module> = dataset.iter().chain(dataset.iter()).collect();
+
+        let (mut env_serial, mut trainer_serial) = engine_fixture(99);
+        let serial = collect_rollouts(
+            &mut env_serial,
+            &modules,
+            &mut trainer_serial.policy,
+            &mut trainer_serial.value,
+            false,
+            4242,
+            1,
+        );
+
+        for workers in [2, 4] {
+            let (mut env_par, mut trainer_par) = engine_fixture(99);
+            let parallel = collect_rollouts(
+                &mut env_par,
+                &modules,
+                &mut trainer_par.policy,
+                &mut trainer_par.value,
+                false,
+                4242,
+                workers,
+            );
+            assert_trajectories_identical(&serial.trajectories, &parallel.trajectories);
+        }
+    }
+
+    #[test]
+    fn parallel_rollouts_with_noise_match_serial() {
+        use mlir_rl_costmodel::{CostModel, MachineModel};
+        let mut config = EnvConfig::small();
+        config.noise_seed = Some(11);
+        let build = || {
+            let env = OptimizationEnv::new(config.clone(), CostModel::new(MachineModel::default()));
+            let hyper = PolicyHyperparams {
+                hidden_size: 16,
+                backbone_layers: 1,
+            };
+            let trainer = PpoTrainer::new(&config, hyper, tiny_ppo(), 5);
+            (env, trainer)
+        };
+        let dataset = small_dataset();
+        let modules: Vec<&Module> = dataset.iter().collect();
+        let (mut env_a, mut tr_a) = build();
+        let (mut env_b, mut tr_b) = build();
+        let serial = collect_rollouts(
+            &mut env_a,
+            &modules,
+            &mut tr_a.policy,
+            &mut tr_a.value,
+            false,
+            7,
+            1,
+        );
+        let parallel = collect_rollouts(
+            &mut env_b,
+            &modules,
+            &mut tr_b.policy,
+            &mut tr_b.value,
+            false,
+            7,
+            3,
+        );
+        assert_trajectories_identical(&serial.trajectories, &parallel.trajectories);
+    }
+
+    #[test]
+    fn rollout_batch_reports_cache_hits() {
+        // Collecting the same module repeatedly must hit the schedule cache
+        // (at minimum, every episode's baseline after the first).
+        let dataset = small_dataset();
+        let modules: Vec<&Module> = std::iter::repeat_n(&dataset[0], 6).collect();
+        let (mut env, mut trainer) = engine_fixture(3);
+        let batch = collect_rollouts(
+            &mut env,
+            &modules,
+            &mut trainer.policy,
+            &mut trainer.value,
+            false,
+            1,
+            1,
+        );
+        assert_eq!(batch.trajectories.len(), 6);
+        assert!(
+            batch.cache_hits > 0,
+            "repeated schedules must hit the cache"
+        );
+        assert!(
+            batch.evaluations > 0,
+            "novel schedules must still be evaluated"
+        );
+        assert!(batch.cache_hit_rate() > 0.0 && batch.cache_hit_rate() < 1.0);
+        assert!(batch.total_steps() > 0);
+    }
+
+    #[test]
+    fn worker_caches_fold_back_into_the_master_env() {
+        let dataset = small_dataset();
+        let modules: Vec<&Module> = dataset.iter().collect();
+        let (mut env, mut trainer) = engine_fixture(8);
+        assert!(env.cache().is_empty());
+        collect_rollouts(
+            &mut env,
+            &modules,
+            &mut trainer.policy,
+            &mut trainer.value,
+            false,
+            21,
+            2,
+        );
+        assert!(
+            !env.cache().is_empty(),
+            "parallel collection must warm the master cache"
+        );
+    }
+
+    #[test]
+    fn episode_seed_is_injective_enough() {
+        let mut seen = std::collections::HashSet::new();
+        for base in 0..8u64 {
+            for ep in 0..64u64 {
+                assert!(seen.insert(episode_seed(base, ep)), "seed collision");
+            }
         }
     }
 
@@ -526,7 +907,7 @@ mod tests {
             &mut env,
             module,
             &mut trainer.policy,
-            &trainer.value,
+            &mut trainer.value,
             false,
             &mut rng,
         );
@@ -580,6 +961,7 @@ mod tests {
                 speedup: 1.0,
                 steps: 3,
                 evaluations: 1,
+                cache_hits: 0,
             },
         };
         let (adv, ret) = compute_gae(&traj, 1.0, 0.95);
@@ -633,6 +1015,8 @@ mod tests {
         // Greedy evaluation after training produces finite speedups.
         let eval = trainer.evaluate(&mut env, &dataset);
         assert_eq!(eval.len(), dataset.len());
-        assert!(eval.iter().all(|e| e.speedup.is_finite() && e.speedup > 0.0));
+        assert!(eval
+            .iter()
+            .all(|e| e.speedup.is_finite() && e.speedup > 0.0));
     }
 }

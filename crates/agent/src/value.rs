@@ -8,7 +8,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use mlir_rl_env::{EnvConfig, Observation};
-use mlir_rl_nn::{Linear, Lstm, Mlp, Param};
+use mlir_rl_nn::{Linear, Lstm, Mlp, Param, Scratch};
 
 use crate::policy::PolicyHyperparams;
 
@@ -18,6 +18,9 @@ pub struct ValueNetwork {
     lstm: Lstm,
     backbone: Mlp,
     head: Linear,
+    /// Reusable one-element output buffer for [`ValueNetwork::predict_fast`].
+    #[serde(skip)]
+    infer_out: Scratch<Vec<f64>>,
 }
 
 impl ValueNetwork {
@@ -27,13 +30,14 @@ impl ValueNetwork {
         let h = hyper.hidden_size;
         let lstm = Lstm::new(feature_len, h, rng);
         let mut sizes = vec![h];
-        sizes.extend(std::iter::repeat(h).take(hyper.backbone_layers));
+        sizes.extend(std::iter::repeat_n(h, hyper.backbone_layers));
         let backbone = Mlp::new(&sizes, true, rng);
         let head = Linear::new(h, 1, rng);
         Self {
             lstm,
             backbone,
             head,
+            infer_out: Scratch::default(),
         }
     }
 
@@ -43,6 +47,18 @@ impl ValueNetwork {
         let embedding = self.lstm.forward_inference(&sequence);
         let z = self.backbone.forward_inference(&embedding);
         self.head.forward_inference(&z)[0]
+    }
+
+    /// Allocation-free twin of [`ValueNetwork::predict`] using internal
+    /// scratch buffers; bit-identical results. This is the path the rollout
+    /// engine uses.
+    pub fn predict_fast(&mut self, obs: &Observation) -> f64 {
+        let embedding = self
+            .lstm
+            .infer(&[obs.producer.as_slice(), obs.consumer.as_slice()]);
+        let z = self.backbone.infer(embedding);
+        self.head.infer_into(z, &mut self.infer_out.0);
+        self.infer_out.0[0]
     }
 
     /// Estimates the state value, caching activations for
@@ -102,10 +118,8 @@ mod tests {
         let a = b.argument("A", vec![64, 64]);
         let w = b.argument("B", vec![64, 64]);
         b.matmul(a, w);
-        let mut env = OptimizationEnv::new(
-            EnvConfig::small(),
-            CostModel::new(MachineModel::default()),
-        );
+        let mut env =
+            OptimizationEnv::new(EnvConfig::small(), CostModel::new(MachineModel::default()));
         env.reset(b.finish()).unwrap()
     }
 

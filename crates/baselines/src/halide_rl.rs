@@ -57,7 +57,9 @@ impl Baseline for HalideRl {
         // by operation, keeping the best so far), which matches the
         // sequential decision process of the original system.
         for op in module.op_order() {
-            let Ok(linalg_op) = module.op(op) else { continue };
+            let Ok(linalg_op) = module.op(op) else {
+                continue;
+            };
             let n = linalg_op.num_loops();
             let mut candidates: Vec<Vec<Transformation>> = vec![vec![]];
             for &tile in &self.tile_choices {
@@ -101,11 +103,7 @@ impl Baseline for HalideRl {
                     continue;
                 }
                 let time = cost.estimate_scheduled(&trial).total_s;
-                if best_for_op
-                    .as_ref()
-                    .map(|(t, _)| time < *t)
-                    .unwrap_or(true)
-                {
+                if best_for_op.as_ref().map(|(t, _)| time < *t).unwrap_or(true) {
                     best_for_op = Some((time, trial));
                 }
             }
@@ -149,7 +147,11 @@ mod tests {
         // interchange, no fusion.
         let state = result.scheduled.state(OpId(0));
         assert!(state.fused_producers.is_empty());
-        assert_eq!(state.order, vec![0, 1], "no interchange in the directive set");
+        assert_eq!(
+            state.order,
+            vec![0, 1],
+            "no interchange in the directive set"
+        );
     }
 
     #[test]

@@ -41,7 +41,9 @@ impl Baseline for MullapudiAutoscheduler {
         // 1. Greedy grouping: fuse cheap (elementwise) stages into their
         //    consumers, visiting consumers first.
         for op in module.reverse_order() {
-            let Ok(linalg_op) = module.op(op) else { continue };
+            let Ok(linalg_op) = module.op(op) else {
+                continue;
+            };
             let Some(producer) = module.last_producer(op) else {
                 continue;
             };
@@ -58,7 +60,13 @@ impl Baseline for MullapudiAutoscheduler {
                 .loop_bounds
                 .iter()
                 .take(n)
-                .map(|b| if *b >= self.tile_size { self.tile_size } else { 0 })
+                .map(|b| {
+                    if *b >= self.tile_size {
+                        self.tile_size
+                    } else {
+                        0
+                    }
+                })
                 .collect();
             if tiles.iter().all(|t| *t == 0) {
                 continue;
@@ -77,7 +85,9 @@ impl Baseline for MullapudiAutoscheduler {
             if scheduled.state(op).fused_into.is_some() || scheduled.state(op).is_terminated() {
                 continue;
             }
-            let Ok(linalg_op) = module.op(op) else { continue };
+            let Ok(linalg_op) = module.op(op) else {
+                continue;
+            };
             let n = linalg_op.num_loops();
             let tiles: Vec<u64> = (0..n)
                 .map(|i| {

@@ -131,7 +131,9 @@ impl Baseline for VendorLibrary {
         // are still untouched.
         if self.mode == VendorMode::Compiled {
             for op in &reverse {
-                let Ok(linalg_op) = module.op(*op) else { continue };
+                let Ok(linalg_op) = module.op(*op) else {
+                    continue;
+                };
                 if !linalg_op.kind.is_elementwise() {
                     continue;
                 }
@@ -221,7 +223,10 @@ mod tests {
     fn compiled_is_at_least_as_fast_as_eager() {
         let module = matmul_relu();
         let machine = MachineModel::default();
-        let eager = evaluate(&VendorLibrary::new(VendorMode::Eager).optimize(&module), &machine);
+        let eager = evaluate(
+            &VendorLibrary::new(VendorMode::Eager).optimize(&module),
+            &machine,
+        );
         let compiled = evaluate(
             &VendorLibrary::new(VendorMode::Compiled).optimize(&module),
             &machine,

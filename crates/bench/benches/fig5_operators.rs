@@ -24,7 +24,7 @@ fn bench_fig5(c: &mut Criterion) {
     });
     group.bench_function("mlir_rl_greedy_optimize_matmul", |b| {
         let scale = ExperimentScale::smoke();
-        let mut rl = train_mlir_rl(EnvConfig::small(), &[matmul.clone()], &scale, 1);
+        let mut rl = train_mlir_rl(EnvConfig::small(), std::slice::from_ref(&matmul), &scale, 1);
         b.iter(|| rl.optimize(&matmul).speedup)
     });
     group.finish();

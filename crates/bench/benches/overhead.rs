@@ -1,7 +1,7 @@
 //! Criterion bench behind the Sec. VII-B overhead numbers: policy inference
 //! per observation and transformation application per operation.
 use criterion::{criterion_group, criterion_main, Criterion};
-use mlir_rl_agent::{PolicyHyperparams, PolicyNetwork, PolicyModel};
+use mlir_rl_agent::{PolicyHyperparams, PolicyNetwork};
 use mlir_rl_costmodel::{CostModel, MachineModel};
 use mlir_rl_env::{EnvConfig, OptimizationEnv};
 use mlir_rl_ir::OpId;

@@ -1,0 +1,27 @@
+//! Criterion bench for the rollout engine: serial vs parallel episode
+//! collection on the seed DL-operator workloads, with the schedule-keyed
+//! cost-model cache enabled. The printed report also carries the cache
+//! hit-rate and the parallel speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlir_rl_agent::default_rollout_workers;
+use mlir_rl_bench::{rollout_throughput, ExperimentScale};
+
+fn bench_rollout_throughput(c: &mut Criterion) {
+    let scale = ExperimentScale::from_env();
+    let workers = default_rollout_workers().max(4);
+
+    let mut group = c.benchmark_group("rollout_throughput");
+    group.sample_size(10);
+    group.bench_function("serial_vs_parallel", |b| {
+        b.iter(|| {
+            let report = rollout_throughput(&scale, workers);
+            eprintln!("{report}");
+            report.parallel_steps_per_sec
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rollout_throughput);
+criterion_main!(benches);

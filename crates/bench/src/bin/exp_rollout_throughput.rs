@@ -1,0 +1,17 @@
+//! Prints the rollout-throughput experiment: serial vs parallel episode
+//! collection (steps/sec) and the cost-model cache hit-rate.
+//!
+//! Scale with `MLIR_RL_SCALE` (`smoke` / `standard` / `full`) and worker
+//! count with `MLIR_RL_WORKERS` (default: available parallelism).
+
+use mlir_rl_bench::{rollout_throughput, ExperimentScale};
+
+fn main() {
+    let workers = std::env::var("MLIR_RL_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(mlir_rl_agent::default_rollout_workers)
+        .max(1);
+    let report = rollout_throughput(&ExperimentScale::from_env(), workers);
+    println!("{report}");
+}

@@ -11,9 +11,12 @@
 
 #![warn(missing_docs)]
 
+use std::fmt;
 use std::time::Instant;
 
-use mlir_rl_agent::{FlatPolicyNetwork, PolicyHyperparams, PpoConfig, PpoTrainer, ValueNetwork};
+use mlir_rl_agent::{
+    collect_rollouts, FlatPolicyNetwork, PolicyHyperparams, PpoConfig, PpoTrainer, ValueNetwork,
+};
 use mlir_rl_baselines::{
     speedup_over_mlir, Baseline, HalideRl, MullapudiAutoscheduler, VendorLibrary, VendorMode,
 };
@@ -213,7 +216,10 @@ pub fn table3_models(scale: &ExperimentScale) -> SpeedupTable {
         let rl_speedup = rl.optimize(&module).speedup;
         let eager_speedup = speedup_over_mlir(&eager.optimize(&module), &module, &machine);
         let compiled_speedup = speedup_over_mlir(&compiled.optimize(&module), &module, &machine);
-        table.push_row(model.name(), vec![rl_speedup, eager_speedup, compiled_speedup]);
+        table.push_row(
+            model.name(),
+            vec![rl_speedup, eager_speedup, compiled_speedup],
+        );
     }
     table
 }
@@ -264,7 +270,10 @@ pub fn ablation_interchange(scale: &ExperimentScale) -> SpeedupTable {
     );
     for (name, mode) in [
         ("Level Pointers", InterchangeMode::LevelPointers),
-        ("Enumerated Candidates", InterchangeMode::EnumeratedCandidates),
+        (
+            "Enumerated Candidates",
+            InterchangeMode::EnumeratedCandidates,
+        ),
     ] {
         let mut env_config = EnvConfig::small();
         env_config.interchange_mode = mode;
@@ -447,6 +456,108 @@ pub fn overhead(scale: &ExperimentScale) -> Vec<(String, f64)> {
 }
 
 // ---------------------------------------------------------------------------
+// E10 — rollout throughput: serial vs parallel collection + cache hit-rate.
+// ---------------------------------------------------------------------------
+
+/// Result of the rollout-throughput experiment: how fast the rollout engine
+/// collects episodes serially vs fanned out over worker threads, and how
+/// much work the schedule-keyed cost-model cache absorbs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RolloutThroughput {
+    /// Episodes collected per configuration.
+    pub episodes: usize,
+    /// Environment steps in one collection batch.
+    pub steps: usize,
+    /// Steps per second with one worker (serial collection).
+    pub serial_steps_per_sec: f64,
+    /// Steps per second with `workers` workers.
+    pub parallel_steps_per_sec: f64,
+    /// Worker threads used for the parallel measurement.
+    pub workers: usize,
+    /// `parallel_steps_per_sec / serial_steps_per_sec`.
+    pub speedup: f64,
+    /// Cost-model cache hit-rate observed during the serial collection.
+    pub cache_hit_rate: f64,
+}
+
+impl fmt::Display for RolloutThroughput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== rollout throughput ==")?;
+        writeln!(f, "episodes                  {:>12}", self.episodes)?;
+        writeln!(f, "steps per batch           {:>12}", self.steps)?;
+        writeln!(
+            f,
+            "serial steps/sec          {:>12.1}",
+            self.serial_steps_per_sec
+        )?;
+        writeln!(
+            f,
+            "parallel steps/sec (x{:<2}) {:>13.1}",
+            self.workers, self.parallel_steps_per_sec
+        )?;
+        writeln!(f, "parallel speedup          {:>12.2}x", self.speedup)?;
+        writeln!(
+            f,
+            "cost-model cache hit-rate {:>11.1}%",
+            self.cache_hit_rate * 100.0
+        )
+    }
+}
+
+/// Measures rollout-collection throughput (steps/sec) for serial and
+/// parallel collection on the seed DL-operator workloads, plus the
+/// cost-model cache hit-rate.
+///
+/// Both configurations share the same base seed, so they collect
+/// bit-for-bit identical trajectories; the comparison is pure engine
+/// overhead/parallelism. On a single-core machine the parallel figure is
+/// bounded by the hardware — the speedup scales with available cores.
+pub fn rollout_throughput(scale: &ExperimentScale, workers: usize) -> RolloutThroughput {
+    let env_config = EnvConfig::small();
+    let dataset = dl_ops::training_dataset(scale.dataset_scale.max(0.005), 71);
+    let episodes = (scale.trajectories_per_iteration * 4).max(8);
+    let modules: Vec<&Module> = (0..episodes).map(|i| &dataset[i % dataset.len()]).collect();
+    let hyper = PolicyHyperparams {
+        hidden_size: scale.hidden_size,
+        backbone_layers: 2,
+    };
+    let base_seed = 2024;
+
+    let run = |workers: usize| {
+        let mut env = OptimizationEnv::new(
+            env_config.clone(),
+            CostModel::new(MachineModel::xeon_e5_2680_v4()),
+        );
+        let mut trainer = PpoTrainer::new(&env_config, hyper, PpoConfig::paper(), 17);
+        let start = Instant::now();
+        let batch = collect_rollouts(
+            &mut env,
+            &modules,
+            &mut trainer.policy,
+            &mut trainer.value,
+            false,
+            base_seed,
+            workers,
+        );
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        (batch.total_steps() as f64 / elapsed, batch)
+    };
+
+    let (serial_sps, serial_batch) = run(1);
+    let (parallel_sps, _parallel_batch) = run(workers.max(1));
+
+    RolloutThroughput {
+        episodes,
+        steps: serial_batch.total_steps(),
+        serial_steps_per_sec: serial_sps,
+        parallel_steps_per_sec: parallel_sps,
+        workers: workers.max(1),
+        speedup: parallel_sps / serial_sps.max(1e-9),
+        cache_hit_rate: serial_batch.cache_hit_rate(),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // E8 — Tables II and V: dataset and model composition.
 // ---------------------------------------------------------------------------
 
@@ -560,6 +671,19 @@ mod tests {
             assert!(values[1] > 1.0, "Mullapudi should beat the baseline");
             assert!(values[0].is_finite());
         }
+    }
+
+    #[test]
+    fn smoke_rollout_throughput_reports_cache_hits() {
+        let report = rollout_throughput(&ExperimentScale::smoke(), 2);
+        assert!(report.steps > 0);
+        assert!(report.serial_steps_per_sec > 0.0);
+        assert!(report.parallel_steps_per_sec > 0.0);
+        assert!(
+            report.cache_hit_rate > 0.0,
+            "repeated baselines must produce cache hits"
+        );
+        assert!(report.to_string().contains("cache hit-rate"));
     }
 
     #[test]

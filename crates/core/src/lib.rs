@@ -30,19 +30,19 @@ pub mod report;
 pub use optimizer::{MlirRlOptimizer, OptimizationOutcome, OptimizerConfig};
 pub use report::{Figure, Series, SpeedupTable};
 
-/// Re-export of the IR crate.
-pub use mlir_rl_ir as ir;
-/// Re-export of the transformations crate.
-pub use mlir_rl_transforms as transforms;
-/// Re-export of the cost-model crate.
-pub use mlir_rl_costmodel as costmodel;
-/// Re-export of the neural-network crate.
-pub use mlir_rl_nn as nn;
-/// Re-export of the environment crate.
-pub use mlir_rl_env as env;
 /// Re-export of the agent crate.
 pub use mlir_rl_agent as agent;
-/// Re-export of the workloads crate.
-pub use mlir_rl_workloads as workloads;
 /// Re-export of the baselines crate.
 pub use mlir_rl_baselines as baselines;
+/// Re-export of the cost-model crate.
+pub use mlir_rl_costmodel as costmodel;
+/// Re-export of the environment crate.
+pub use mlir_rl_env as env;
+/// Re-export of the IR crate.
+pub use mlir_rl_ir as ir;
+/// Re-export of the neural-network crate.
+pub use mlir_rl_nn as nn;
+/// Re-export of the transformations crate.
+pub use mlir_rl_transforms as transforms;
+/// Re-export of the workloads crate.
+pub use mlir_rl_workloads as workloads;

@@ -6,8 +6,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use mlir_rl_agent::{collect_episode, IterationStats, PolicyHyperparams, PpoConfig, PpoTrainer};
 use mlir_rl_agent::PolicyNetwork;
+use mlir_rl_agent::{collect_episode, IterationStats, PolicyHyperparams, PpoConfig, PpoTrainer};
 use mlir_rl_costmodel::{CostModel, MachineModel};
 use mlir_rl_env::{EnvConfig, EpisodeStats, OptimizationEnv};
 use mlir_rl_ir::Module;
@@ -97,10 +97,7 @@ pub struct MlirRlOptimizer {
 impl MlirRlOptimizer {
     /// Creates an untrained optimizer.
     pub fn new(config: OptimizerConfig) -> Self {
-        let env = OptimizationEnv::new(
-            config.env.clone(),
-            CostModel::new(config.machine.clone()),
-        );
+        let env = OptimizationEnv::new(config.env.clone(), CostModel::new(config.machine.clone()));
         let trainer = PpoTrainer::new(&config.env, config.hyper, config.ppo, config.seed);
         let rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(97));
         Self {
@@ -133,7 +130,7 @@ impl MlirRlOptimizer {
             &mut self.env,
             module,
             &mut self.trainer.policy,
-            &self.trainer.value,
+            &mut self.trainer.value,
             true,
             &mut self.rng,
         );

@@ -63,7 +63,71 @@ impl SpeedupTable {
 
     /// Serializes the table to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serializes")
+        let mut out = String::from("{\n");
+        json::field(&mut out, 1, "title", json::string(&self.title));
+        out.push_str(",\n");
+        json::field(
+            &mut out,
+            1,
+            "columns",
+            json::array(self.columns.iter().map(|c| json::string(c))),
+        );
+        out.push_str(",\n");
+        let rows = self.rows.iter().map(|(name, values)| {
+            format!(
+                "[{}, {}]",
+                json::string(name),
+                json::array(values.iter().map(|v| json::number(*v)))
+            )
+        });
+        json::field(&mut out, 1, "rows", json::array(rows));
+        out.push_str("\n}");
+        out
+    }
+}
+
+/// Hand-rolled JSON emission (the offline `serde` stand-in performs no real
+/// serialization, so the two report types build their JSON directly).
+mod json {
+    use std::fmt::Write;
+
+    pub fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// JSON numbers cannot express NaN/inf; follow serde_json and emit
+    /// `null` for non-finite values.
+    pub fn number(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    pub fn array(items: impl Iterator<Item = String>) -> String {
+        let body: Vec<String> = items.collect();
+        format!("[{}]", body.join(", "))
+    }
+
+    pub fn field(out: &mut String, indent: usize, name: &str, value: String) {
+        let _ = write!(out, "{}{}: {}", "  ".repeat(indent), string(name), value);
     }
 }
 
@@ -174,13 +238,37 @@ impl Figure {
 
     /// Serializes the figure to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure serializes")
+        let mut out = String::from("{\n");
+        json::field(&mut out, 1, "title", json::string(&self.title));
+        out.push_str(",\n");
+        json::field(&mut out, 1, "x_label", json::string(&self.x_label));
+        out.push_str(",\n");
+        json::field(&mut out, 1, "y_label", json::string(&self.y_label));
+        out.push_str(",\n");
+        let series = self.series.iter().map(|s| {
+            let points = s
+                .points
+                .iter()
+                .map(|(x, y)| format!("[{}, {}]", json::number(*x), json::number(*y)));
+            format!(
+                "{{\"name\": {}, \"points\": {}}}",
+                json::string(&s.name),
+                json::array(points)
+            )
+        });
+        json::field(&mut out, 1, "series", json::array(series));
+        out.push_str("\n}");
+        out
     }
 }
 
 impl fmt::Display for Figure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== {} ({} vs {}) ==", self.title, self.y_label, self.x_label)?;
+        writeln!(
+            f,
+            "== {} ({} vs {}) ==",
+            self.title, self.y_label, self.x_label
+        )?;
         for s in &self.series {
             let points: Vec<String> = s
                 .points
@@ -199,10 +287,7 @@ mod tests {
 
     #[test]
     fn table_formatting_and_geomean() {
-        let mut t = SpeedupTable::new(
-            "Table III",
-            vec!["MLIR RL".into(), "PyTorch".into()],
-        );
+        let mut t = SpeedupTable::new("Table III", vec!["MLIR RL".into(), "PyTorch".into()]);
         t.push_row("ResNet-18", vec![25.43, 374.77]);
         t.push_row("VGG", vec![54.64, 321.99]);
         let g = t.column_geomeans();

@@ -1,0 +1,382 @@
+//! Schedule-keyed memoization of cost-model evaluations.
+//!
+//! Training evaluates the cost model millions of times, and early in
+//! training (and throughout the immediate-reward mode of Fig. 7) the same
+//! `(module, schedule)` pairs recur constantly: every episode starts from
+//! the untransformed baseline, popular schedules are re-sampled across
+//! trajectories, and PPO revisits the same modules round-robin. The
+//! [`EvalCache`] memoizes [`ModuleEstimate`]s under a canonical hash of the
+//! module and its per-operation schedules so repeated schedules never re-run
+//! the roofline estimator.
+//!
+//! The table is two-level: a frozen [`Arc`]-shared snapshot plus a small
+//! local overlay for new entries. Cloning a cache (the rollout engine
+//! clones one per worker per batch) copies the overlay but only bumps a
+//! reference count for the snapshot, and [`EvalCache::absorb`]ing a worker
+//! cache back only walks the worker's overlay — both costs stay
+//! proportional to *new* entries, not to the warm cache size.
+//! [`EvalCache::consolidate`] folds the overlay into the snapshot.
+//!
+//! Keys are 128 bits (module fingerprint + schedule fingerprint), computed
+//! with [`std::collections::hash_map::DefaultHasher`], which is
+//! deterministic for a fixed Rust release. A collision would silently serve
+//! a wrong estimate; at 2^128 key space this is not a practical concern, and
+//! the `cached_estimates_match_uncached` property test exercises the
+//! construction.
+
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use mlir_rl_ir::Module;
+use mlir_rl_transforms::ScheduledModule;
+
+use crate::estimator::{CostModel, ModuleEstimate};
+
+/// Default maximum number of memoized estimates per cache.
+pub const DEFAULT_EVAL_CACHE_CAPACITY: usize = 1 << 16;
+
+/// Canonical identity of a `(module, schedule)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScheduleKey {
+    /// Fingerprint of the module structure (name, ops, loop bounds).
+    pub module: u64,
+    /// Fingerprint of the per-operation schedules.
+    pub schedule: u64,
+}
+
+/// Fingerprints a module's identity: its name plus everything about each
+/// operation the estimator reads — kind, iteration domain, iterator types,
+/// indexing maps and arithmetic profile — so two structurally different
+/// modules never share a key even if their names collide.
+pub fn module_fingerprint(module: &Module) -> u64 {
+    let mut h = DefaultHasher::new();
+    module.name().hash(&mut h);
+    for op in module.ops() {
+        op.id.hash(&mut h);
+        op.kind.hash(&mut h);
+        op.loop_bounds.hash(&mut h);
+        op.iterator_types.hash(&mut h);
+        op.indexing_maps.hash(&mut h);
+        op.arith.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Fingerprints the schedule state of a module: the ordered transformation
+/// list of every operation (which fully determines tiling, interchange
+/// order, parallelization, fusion and vectorization state).
+pub fn schedule_fingerprint(scheduled: &ScheduledModule) -> u64 {
+    let mut h = DefaultHasher::new();
+    for state in scheduled.states() {
+        state.schedule.hash(&mut h);
+        state.fused_into.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The canonical cache key of a scheduled module.
+pub fn schedule_key(scheduled: &ScheduledModule) -> ScheduleKey {
+    ScheduleKey {
+        module: module_fingerprint(scheduled.module()),
+        schedule: schedule_fingerprint(scheduled),
+    }
+}
+
+/// A memoization table for [`ModuleEstimate`]s with hit/miss accounting.
+#[derive(Debug, Clone)]
+pub struct EvalCache {
+    /// Frozen snapshot shared (by `Arc`) between clones.
+    shared: Arc<HashMap<ScheduleKey, ModuleEstimate>>,
+    /// New entries since the last [`EvalCache::consolidate`].
+    local: HashMap<ScheduleKey, ModuleEstimate>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_EVAL_CACHE_CAPACITY)
+    }
+}
+
+impl EvalCache {
+    /// Creates a cache holding at most `capacity` estimates. When the cache
+    /// fills up it is emptied wholesale (generation reset) rather than
+    /// evicting entry by entry; the capacity is large enough that this is
+    /// rare in training.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            shared: Arc::new(HashMap::new()),
+            local: HashMap::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up the estimate for `scheduled`, running `model` only on a
+    /// cache miss.
+    pub fn estimate(&mut self, model: &CostModel, scheduled: &ScheduledModule) -> &ModuleEstimate {
+        self.estimate_keyed(schedule_key(scheduled), model, scheduled)
+            .0
+    }
+
+    /// Like [`EvalCache::estimate`], but with a precomputed key (the
+    /// environment caches the module fingerprint once per episode), and
+    /// also reporting whether the lookup was a hit (`true`) or ran the
+    /// estimator (`false`).
+    pub fn estimate_keyed(
+        &mut self,
+        key: ScheduleKey,
+        model: &CostModel,
+        scheduled: &ScheduledModule,
+    ) -> (&ModuleEstimate, bool) {
+        if self.shared.contains_key(&key) {
+            self.hits += 1;
+            return (self.shared.get(&key).expect("checked above"), true);
+        }
+        if self.local.len() + self.shared.len() >= self.capacity && !self.local.contains_key(&key) {
+            self.local.clear();
+            self.shared = Arc::new(HashMap::new());
+        }
+        match self.local.entry(key) {
+            Entry::Occupied(entry) => {
+                self.hits += 1;
+                (entry.into_mut(), true)
+            }
+            Entry::Vacant(entry) => {
+                self.misses += 1;
+                (entry.insert(model.estimate_scheduled(scheduled)), false)
+            }
+        }
+    }
+
+    /// Folds the local overlay into the shared snapshot. Called by the
+    /// rollout engine before cloning worker caches, so clones share one
+    /// snapshot and carry an empty overlay.
+    pub fn consolidate(&mut self) {
+        if self.local.is_empty() {
+            return;
+        }
+        let shared = Arc::make_mut(&mut self.shared);
+        for (key, estimate) in self.local.drain() {
+            shared.entry(key).or_insert(estimate);
+        }
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that ran the estimator.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of memoized estimates.
+    pub fn len(&self) -> usize {
+        self.shared.len() + self.local.len()
+    }
+
+    /// True if nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.shared.is_empty() && self.local.is_empty()
+    }
+
+    /// Drops all memoized estimates (counters are kept).
+    pub fn clear(&mut self) {
+        self.local.clear();
+        self.shared = Arc::new(HashMap::new());
+    }
+
+    /// Merges another cache's entries into this one (worker caches are
+    /// folded back into the trainer's master cache after a parallel rollout
+    /// batch). When the other cache shares this cache's snapshot only its
+    /// overlay is walked; a foreign snapshot is merged too. Counters are
+    /// not merged: hit/miss accounting stays with the cache that observed
+    /// the lookups.
+    pub fn absorb(&mut self, other: EvalCache) {
+        if !Arc::ptr_eq(&self.shared, &other.shared) {
+            for (key, estimate) in other.shared.iter() {
+                if self.len() >= self.capacity {
+                    break;
+                }
+                if !self.shared.contains_key(key) {
+                    self.local.entry(*key).or_insert_with(|| estimate.clone());
+                }
+            }
+        }
+        for (key, estimate) in other.local {
+            if self.len() >= self.capacity {
+                break;
+            }
+            if !self.shared.contains_key(&key) {
+                self.local.entry(key).or_insert(estimate);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineModel;
+    use mlir_rl_ir::{ModuleBuilder, OpId};
+    use mlir_rl_transforms::Transformation;
+
+    fn matmul(m: u64, n: u64, k: u64) -> Module {
+        let mut b = ModuleBuilder::new("cache_test");
+        let a = b.argument("A", vec![m, k]);
+        let w = b.argument("B", vec![k, n]);
+        b.matmul(a, w);
+        b.finish()
+    }
+
+    #[test]
+    fn cached_result_matches_direct_evaluation() {
+        let cm = CostModel::new(MachineModel::default());
+        let mut cache = EvalCache::default();
+        let mut sm = ScheduledModule::new(matmul(64, 64, 64));
+        sm.apply(
+            OpId(0),
+            Transformation::Tiling {
+                tile_sizes: vec![8, 8, 0],
+            },
+        )
+        .unwrap();
+        let direct = cm.estimate_scheduled(&sm);
+        let cached = cache.estimate(&cm, &sm).clone();
+        assert_eq!(direct, cached);
+        assert_eq!(cache.misses(), 1);
+        // Second lookup is a hit and returns the identical estimate; the
+        // hit survives consolidation into the shared snapshot.
+        let again = cache.estimate(&cm, &sm).clone();
+        assert_eq!(direct, again);
+        assert_eq!(cache.hits(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+        cache.consolidate();
+        assert_eq!(direct, cache.estimate(&cm, &sm).clone());
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn different_schedules_get_different_keys() {
+        let base = ScheduledModule::new(matmul(64, 64, 64));
+        let mut tiled = base.clone();
+        tiled
+            .apply(
+                OpId(0),
+                Transformation::Tiling {
+                    tile_sizes: vec![8, 8, 0],
+                },
+            )
+            .unwrap();
+        assert_ne!(schedule_key(&base), schedule_key(&tiled));
+        // Same module fingerprint, different schedule fingerprint.
+        assert_eq!(schedule_key(&base).module, schedule_key(&tiled).module);
+    }
+
+    #[test]
+    fn different_modules_get_different_keys() {
+        let a = ScheduledModule::new(matmul(64, 64, 64));
+        let b = ScheduledModule::new(matmul(128, 64, 64));
+        assert_ne!(schedule_key(&a).module, schedule_key(&b).module);
+    }
+
+    #[test]
+    fn same_name_different_body_gets_different_keys() {
+        // Two modules with identical names, shapes and iterator types but
+        // different op kinds/arithmetic must not share a fingerprint.
+        let mut b1 = ModuleBuilder::new("twin");
+        let x1 = b1.argument("x", vec![64, 64]);
+        let y1 = b1.argument("y", vec![64, 64]);
+        b1.add(x1, y1);
+        let mut b2 = ModuleBuilder::new("twin");
+        let x2 = b2.argument("x", vec![64, 64]);
+        let _y2 = b2.argument("y", vec![64, 64]);
+        b2.sigmoid(x2);
+        assert_ne!(
+            module_fingerprint(&b1.finish()),
+            module_fingerprint(&b2.finish())
+        );
+    }
+
+    #[test]
+    fn capacity_overflow_resets_the_table() {
+        let cm = CostModel::new(MachineModel::default());
+        let mut cache = EvalCache::new(2);
+        for size in [32u64, 48, 64] {
+            let sm = ScheduledModule::new(matmul(size, size, size));
+            cache.estimate(&cm, &sm);
+        }
+        assert!(cache.len() <= 2, "capacity must bound the table");
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn absorb_merges_entries_without_touching_counters() {
+        let cm = CostModel::new(MachineModel::default());
+        let mut a = EvalCache::default();
+        let mut b = EvalCache::default();
+        let sm = ScheduledModule::new(matmul(64, 64, 64));
+        b.estimate(&cm, &sm);
+        a.absorb(b);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.misses(), 0);
+        // The absorbed entry now serves hits.
+        a.estimate(&cm, &sm);
+        assert_eq!(a.hits(), 1);
+    }
+
+    #[test]
+    fn absorb_merges_a_foreign_snapshot_too() {
+        let cm = CostModel::new(MachineModel::default());
+        let mut a = EvalCache::default();
+        let mut b = EvalCache::default();
+        let sm = ScheduledModule::new(matmul(48, 48, 48));
+        b.estimate(&cm, &sm);
+        b.consolidate();
+        a.absorb(b);
+        assert_eq!(a.len(), 1);
+        a.estimate(&cm, &sm);
+        assert_eq!(a.hits(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_snapshot_cheaply() {
+        let cm = CostModel::new(MachineModel::default());
+        let mut master = EvalCache::default();
+        for size in [32u64, 48, 64] {
+            let sm = ScheduledModule::new(matmul(size, size, size));
+            master.estimate(&cm, &sm);
+        }
+        master.consolidate();
+        let mut worker = master.clone();
+        // Worker hits come from the shared snapshot; new entries land in
+        // the worker's (initially empty) overlay only.
+        let sm = ScheduledModule::new(matmul(32, 32, 32));
+        worker.estimate(&cm, &sm);
+        assert_eq!(worker.hits(), master.hits() + 1);
+        let fresh = ScheduledModule::new(matmul(96, 96, 96));
+        worker.estimate(&cm, &fresh);
+        assert_eq!(worker.len(), 4);
+        assert_eq!(master.len(), 3);
+        // Folding the worker back transfers only the new entry.
+        master.absorb(worker);
+        assert_eq!(master.len(), 4);
+    }
+}

@@ -115,8 +115,7 @@ impl CostModel {
         // --- Compute ------------------------------------------------------
         let flops = total_iterations * op.arith.weighted_cost() + nest.fused_flops();
         let vec_factor = self.vectorization_factor(nest, accesses);
-        let per_core =
-            m.peak_flops_per_core(false) * vec_factor * m.efficiency(self.quality);
+        let per_core = m.peak_flops_per_core(false) * vec_factor * m.efficiency(self.quality);
         // Load imbalance: tiles are distributed over cores in whole rounds.
         let utilization = if nest.parallel_degree() > 1 {
             let tasks = nest.parallel_degree() as f64;
@@ -159,8 +158,8 @@ impl CostModel {
         } else {
             1.0
         };
-        let loop_overhead = total_iterations / vec_reduction * m.loop_iteration_overhead_s
-            / f64::from(cores_used);
+        let loop_overhead =
+            total_iterations / vec_reduction * m.loop_iteration_overhead_s / f64::from(cores_used);
         let tile_overhead = nest.num_tiles() as f64 * 20.0e-9 / f64::from(cores_used);
         let parallel_overhead = if nest.parallel_degree() > 1 {
             m.fork_join_overhead_s
@@ -179,12 +178,7 @@ impl CostModel {
         }
     }
 
-    fn total_traffic(
-        &self,
-        accesses: &[OperandAccess],
-        nest: &LoopNest,
-        capacity: u64,
-    ) -> u64 {
+    fn total_traffic(&self, accesses: &[OperandAccess], nest: &LoopNest, capacity: u64) -> u64 {
         traffic_beyond_cache(accesses, nest, capacity).iter().sum()
     }
 

@@ -88,12 +88,7 @@ fn iterator_extent_in_subnest(nest: &LoopNest, pos: usize, iterator: usize) -> u
         .filter(|l| l.iterator == iterator)
         .map(|l| l.extent)
         .product();
-    let full = nest
-        .full_extents
-        .get(iterator)
-        .copied()
-        .unwrap_or(1)
-        .max(1);
+    let full = nest.full_extents.get(iterator).copied().unwrap_or(1).max(1);
     product.clamp(1, full)
 }
 

@@ -33,11 +33,16 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod estimator;
 pub mod footprint;
 pub mod machine;
 pub mod noise;
 
+pub use cache::{
+    module_fingerprint, schedule_fingerprint, schedule_key, EvalCache, ScheduleKey,
+    DEFAULT_EVAL_CACHE_CAPACITY,
+};
 pub use estimator::{speedup, CostModel, ModuleEstimate, TimeEstimate};
 pub use footprint::{operand_accesses, subnest_footprint, traffic_beyond_cache, OperandAccess};
 pub use machine::{CacheLevel, CodegenQuality, MachineModel};

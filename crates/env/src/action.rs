@@ -295,9 +295,7 @@ mod tests {
             tile_indices: vec![1, 1],
         };
         assert!(action.to_transformation(&config, 2, None).is_err());
-        let t = action
-            .to_transformation(&config, 2, Some(OpId(3)))
-            .unwrap();
+        let t = action.to_transformation(&config, 2, Some(OpId(3))).unwrap();
         assert!(matches!(
             t,
             Transformation::TiledFusion {
@@ -373,9 +371,6 @@ mod tests {
                 tile_indices: vec![1, 1, 1]
             }
         );
-        assert_eq!(
-            flat.last().unwrap().to_action(3),
-            Action::NoTransformation
-        );
+        assert_eq!(flat.last().unwrap().to_action(3), Action::NoTransformation);
     }
 }

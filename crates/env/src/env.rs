@@ -11,7 +11,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use mlir_rl_costmodel::{CostModel, MeasurementNoise};
+use mlir_rl_costmodel::{
+    module_fingerprint, schedule_fingerprint, CostModel, EvalCache, MeasurementNoise, ScheduleKey,
+};
 use mlir_rl_ir::{Module, OpId};
 use mlir_rl_transforms::{ScheduledModule, TransformError, TransformationKind};
 
@@ -68,8 +70,12 @@ pub struct EpisodeStats {
     /// Environment steps taken.
     pub steps: usize,
     /// Cost-model evaluations performed (the execution count that makes the
-    /// immediate-reward mode expensive, Fig. 7).
+    /// immediate-reward mode expensive, Fig. 7). Evaluations served from the
+    /// schedule-keyed cache are *not* counted here.
     pub evaluations: usize,
+    /// Evaluation requests answered by the schedule-keyed cache instead of
+    /// running the estimator.
+    pub cache_hits: usize,
 }
 
 /// The optimization environment.
@@ -87,6 +93,9 @@ pub struct OptimizationEnv {
     steps_on_current_op: usize,
     total_steps: usize,
     evaluations: usize,
+    cache_hits: usize,
+    cache: EvalCache,
+    module_fp: u64,
 }
 
 impl OptimizationEnv {
@@ -107,6 +116,9 @@ impl OptimizationEnv {
             steps_on_current_op: 0,
             total_steps: 0,
             evaluations: 0,
+            cache_hits: 0,
+            cache: EvalCache::default(),
+            module_fp: 0,
         }
     }
 
@@ -131,12 +143,10 @@ impl OptimizationEnv {
         self.steps_on_current_op = 0;
         self.total_steps = 0;
         self.evaluations = 0;
-        self.baseline_s = self.measure(
-            self.cost_model
-                .estimate_baseline(scheduled.module())
-                .total_s,
-        );
-        self.evaluations += 1;
+        self.cache_hits = 0;
+        self.module_fp = module_fingerprint(scheduled.module());
+        let baseline = self.cached_total_s(&scheduled);
+        self.baseline_s = self.measure(baseline);
         self.current_s = self.baseline_s;
         self.scheduled = Some(scheduled);
         self.skip_unavailable_ops();
@@ -158,9 +168,58 @@ impl OptimizationEnv {
         self.baseline_s
     }
 
-    /// Number of cost-model evaluations performed so far this episode.
+    /// Number of cost-model evaluations actually performed (cache misses)
+    /// so far this episode.
     pub fn evaluations(&self) -> usize {
         self.evaluations
+    }
+
+    /// Number of evaluation requests served by the schedule-keyed cache so
+    /// far this episode.
+    pub fn episode_cache_hits(&self) -> usize {
+        self.cache_hits
+    }
+
+    /// The schedule-keyed evaluation cache (lifetime hit/miss counters).
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// Replaces the evaluation cache, returning the previous one.
+    pub fn replace_cache(&mut self, cache: EvalCache) -> EvalCache {
+        std::mem::replace(&mut self.cache, cache)
+    }
+
+    /// Folds another cache's entries into this environment's cache (used to
+    /// keep worker-env caches warm across parallel rollout batches).
+    pub fn absorb_cache(&mut self, other: EvalCache) {
+        self.cache.absorb(other);
+    }
+
+    /// Folds the cache's local overlay into its shared snapshot so
+    /// subsequent clones share the snapshot by reference instead of deep
+    /// copying (the rollout engine calls this before cloning worker envs).
+    pub fn consolidate_cache(&mut self) {
+        self.cache.consolidate();
+    }
+
+    /// Moves the other environment's cache entries into this environment
+    /// (the other environment is left with an empty cache). The rollout
+    /// engine folds worker caches back into the trainer's master
+    /// environment this way.
+    pub fn absorb_cache_from(&mut self, other: &mut OptimizationEnv) {
+        self.cache.absorb(std::mem::take(&mut other.cache));
+    }
+
+    /// Reseeds the measurement-noise stream (no-op when the configuration
+    /// disables noise). The parallel rollout engine calls this with a
+    /// per-episode seed so that trajectories are identical no matter which
+    /// worker runs them.
+    pub fn reseed_noise(&mut self, seed: u64) {
+        if let Some(noise) = &mut self.noise {
+            let sigma = noise.relative_sigma;
+            *noise = MeasurementNoise::with_sigma(seed, sigma);
+        }
     }
 
     /// Episode statistics; meaningful once the episode is done (but callable
@@ -177,7 +236,26 @@ impl OptimizationEnv {
             },
             steps: self.total_steps,
             evaluations: self.evaluations,
+            cache_hits: self.cache_hits,
         }
+    }
+
+    /// Evaluates `scheduled` through the schedule-keyed cache, classifying
+    /// the request into this episode's hit/miss counters (the only place
+    /// that accounting happens).
+    fn cached_total_s(&mut self, scheduled: &ScheduledModule) -> f64 {
+        let key = ScheduleKey {
+            module: self.module_fp,
+            schedule: schedule_fingerprint(scheduled),
+        };
+        let (estimate, was_hit) = self.cache.estimate_keyed(key, &self.cost_model, scheduled);
+        let total_s = estimate.total_s;
+        if was_hit {
+            self.cache_hits += 1;
+        } else {
+            self.evaluations += 1;
+        }
+        total_s
     }
 
     fn measure(&mut self, time_s: f64) -> f64 {
@@ -187,14 +265,16 @@ impl OptimizationEnv {
         }
     }
 
-    /// Evaluates the current schedule with the cost model (counts as an
-    /// evaluation).
+    /// Evaluates the current schedule with the cost model, through the
+    /// schedule-keyed cache: a repeated schedule is served from memory and
+    /// counted as a cache hit, a new schedule runs the roofline estimator
+    /// and counts as an evaluation.
     pub fn evaluate_current(&mut self) -> f64 {
-        let Some(scheduled) = &self.scheduled else {
+        let Some(scheduled) = self.scheduled.take() else {
             return self.current_s;
         };
-        let t = self.cost_model.estimate_scheduled(scheduled).total_s;
-        self.evaluations += 1;
+        let t = self.cached_total_s(&scheduled);
+        self.scheduled = Some(scheduled);
         let measured = self.measure(t);
         self.current_s = measured;
         measured
@@ -267,30 +347,29 @@ impl OptimizationEnv {
         // Decode and apply.
         let mut applied = false;
         let mut applied_kind = action.kind();
-        match action.to_transformation(&self.config, num_loops, producer) {
-            Ok(transformation) => {
-                let result = scheduled.apply(op, transformation.clone());
-                match result {
-                    Ok(()) => applied = true,
-                    Err(TransformError::ParallelizingReduction { .. }) => {
-                        // Downgrade to plain tiling.
-                        if let mlir_rl_transforms::Transformation::TiledParallelization {
-                            tile_sizes,
-                        } = transformation
+        if let Ok(transformation) = action.to_transformation(&self.config, num_loops, producer) {
+            let result = scheduled.apply(op, transformation.clone());
+            match result {
+                Ok(()) => applied = true,
+                Err(TransformError::ParallelizingReduction { .. }) => {
+                    // Downgrade to plain tiling.
+                    if let mlir_rl_transforms::Transformation::TiledParallelization { tile_sizes } =
+                        transformation
+                    {
+                        if scheduled
+                            .apply(
+                                op,
+                                mlir_rl_transforms::Transformation::Tiling { tile_sizes },
+                            )
+                            .is_ok()
                         {
-                            if scheduled
-                                .apply(op, mlir_rl_transforms::Transformation::Tiling { tile_sizes })
-                                .is_ok()
-                            {
-                                applied = true;
-                                applied_kind = TransformationKind::Tiling;
-                            }
+                            applied = true;
+                            applied_kind = TransformationKind::Tiling;
                         }
                     }
-                    Err(_) => {}
                 }
+                Err(_) => {}
             }
-            Err(_) => {}
         }
 
         // Record the action history (terminal actions record nothing,
@@ -391,10 +470,7 @@ mod tests {
     }
 
     fn env() -> OptimizationEnv {
-        OptimizationEnv::new(
-            EnvConfig::small(),
-            CostModel::new(MachineModel::default()),
-        )
+        OptimizationEnv::new(EnvConfig::small(), CostModel::new(MachineModel::default()))
     }
 
     #[test]

@@ -157,7 +157,7 @@ pub fn extract_features(
     for operand in 0..config.max_operands {
         match matrices.get(operand) {
             Some(m) => out.extend(m.to_padded_features(config.max_rank, config.max_loops)),
-            None => out.extend(std::iter::repeat(0.0).take(config.max_rank * config.max_loops)),
+            None => out.extend(std::iter::repeat_n(0.0, config.max_rank * config.max_loops)),
         }
     }
 
@@ -252,8 +252,8 @@ mod tests {
         let s = scheduled_chain();
         let config = EnvConfig::small();
         let f = extract_features(&s, OpId(0), &ActionHistory::new(), &config);
-        let arith_offset = 6 + 2 * config.max_loops + 1
-            + config.max_operands * config.max_rank * config.max_loops;
+        let arith_offset =
+            6 + 2 * config.max_loops + 1 + config.max_operands * config.max_rank * config.max_loops;
         // Matmul: add=1, mul=1.
         assert_eq!(
             &f[arith_offset..arith_offset + 5],

@@ -38,8 +38,7 @@ pub mod mask;
 pub mod reward;
 
 pub use action::{
-    enumerated_candidates, flat_action_space, swap_permutation, Action, FlatAction,
-    InterchangeSpec,
+    enumerated_candidates, flat_action_space, swap_permutation, Action, FlatAction, InterchangeSpec,
 };
 pub use config::{ActionSpaceMode, EnvConfig, InterchangeMode, RewardMode};
 pub use env::{EpisodeStats, Observation, OptimizationEnv, StepOutcome};

@@ -68,9 +68,8 @@ pub fn compute_mask(scheduled: &ScheduledModule, op: OpId, config: &EnvConfig) -
     if open {
         transformation[TransformationKind::Tiling.index()] = true;
         transformation[TransformationKind::Interchange.index()] = n >= 2;
-        transformation[TransformationKind::TiledParallelization.index()] = iter_types
-            .iter()
-            .any(|t| *t == IteratorType::Parallel);
+        transformation[TransformationKind::TiledParallelization.index()] =
+            iter_types.contains(&IteratorType::Parallel);
         // Fusion: the last producer must exist, be live, and be untouched.
         let fusion_ok = scheduled.module().last_producer(op).is_some_and(|p| {
             scheduled

@@ -160,13 +160,15 @@ impl AffineExpr {
     /// the mapping.
     pub fn remap_dims(&self, mapping: &[usize]) -> Result<AffineExpr, IrError> {
         match self {
-            AffineExpr::Dim(d) => mapping
-                .get(*d)
-                .map(|nd| AffineExpr::Dim(*nd))
-                .ok_or(IrError::DimOutOfRange {
-                    dim: *d,
-                    num_dims: mapping.len(),
-                }),
+            AffineExpr::Dim(d) => {
+                mapping
+                    .get(*d)
+                    .map(|nd| AffineExpr::Dim(*nd))
+                    .ok_or(IrError::DimOutOfRange {
+                        dim: *d,
+                        num_dims: mapping.len(),
+                    })
+            }
             AffineExpr::Constant(c) => Ok(AffineExpr::Constant(*c)),
             AffineExpr::Add(a, b) => Ok(AffineExpr::Add(
                 Box::new(a.remap_dims(mapping)?),
@@ -248,10 +250,7 @@ impl AffineMap {
         for r in &results {
             if let Some(max) = r.max_dim() {
                 if max >= num_dims {
-                    return Err(IrError::DimOutOfRange {
-                        dim: max,
-                        num_dims,
-                    });
+                    return Err(IrError::DimOutOfRange { dim: max, num_dims });
                 }
             }
         }
@@ -451,10 +450,7 @@ impl AccessMatrix {
         match self.coefficients.last() {
             Some(row) => {
                 row.get(dim).copied().unwrap_or(0) == 1
-                    && row
-                        .iter()
-                        .enumerate()
-                        .all(|(j, c)| j == dim || *c == 0)
+                    && row.iter().enumerate().all(|(j, c)| j == dim || *c == 0)
             }
             None => false,
         }

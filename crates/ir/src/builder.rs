@@ -95,10 +95,7 @@ impl ModuleBuilder {
     fn push(&mut self, op: LinalgOp) -> ValueId {
         let name = self.temp_name();
         let id = self.module.add_op(op, name);
-        self.module
-            .op(id)
-            .expect("op just inserted")
-            .result
+        self.module.op(id).expect("op just inserted").result
     }
 
     /// Matrix multiplication `C[MxN] = A[MxK] * B[KxN]`.
@@ -164,10 +161,7 @@ impl ModuleBuilder {
             ],
             loop_bounds: vec![bsz, m, n, k],
             inputs: vec![a, b],
-            input_types: vec![
-                self.tensor(vec![bsz, m, k]),
-                self.tensor(vec![bsz, k, n]),
-            ],
+            input_types: vec![self.tensor(vec![bsz, m, k]), self.tensor(vec![bsz, k, n])],
             result: ValueId(0),
             result_type: self.tensor(vec![bsz, m, n]),
             indexing_maps: vec![
@@ -582,10 +576,7 @@ mod tests {
                 IteratorType::Parallel,
                 IteratorType::Reduction,
             ],
-            vec![
-                AffineMap::identity(3),
-                AffineMap::projection(3, &[0, 1]),
-            ],
+            vec![AffineMap::identity(3), AffineMap::projection(3, &[0, 1])],
             vec![16, 16],
             ArithCounts {
                 add: 1,

@@ -132,7 +132,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = IrError::DimOutOfRange { dim: 3, num_dims: 2 };
+        let e = IrError::DimOutOfRange {
+            dim: 3,
+            num_dims: 2,
+        };
         assert_eq!(e.to_string(), "iterator d3 out of range for 2 iterators");
 
         let e = IrError::Parse {

@@ -212,10 +212,7 @@ impl OpKind {
     /// Returns true for purely elementwise operations (all-parallel iteration
     /// space, identity indexing maps).
     pub fn is_elementwise(self) -> bool {
-        matches!(
-            self,
-            OpKind::Add | OpKind::Relu | OpKind::Sigmoid
-        )
+        matches!(self, OpKind::Add | OpKind::Relu | OpKind::Sigmoid)
     }
 }
 
@@ -606,11 +603,8 @@ mod tests {
     fn vectorization_precondition_fails_on_strided_access() {
         use crate::affine::AffineExpr;
         let mut op = matmul_op();
-        op.indexing_maps[0] = AffineMap::new(
-            3,
-            vec![AffineExpr::dim(0) * 2, AffineExpr::dim(2)],
-        )
-        .unwrap();
+        op.indexing_maps[0] =
+            AffineMap::new(3, vec![AffineExpr::dim(0) * 2, AffineExpr::dim(2)]).unwrap();
         assert!(!op.vectorization_precondition());
     }
 }

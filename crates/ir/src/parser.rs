@@ -158,9 +158,12 @@ impl<'a> Parser<'a> {
         let (line_no, header) = self
             .next_line()
             .ok_or_else(|| self.err(0, "unexpected end of input, expected operation"))?;
-        let (result, kind_text) = header
-            .split_once('=')
-            .ok_or_else(|| self.err(line_no, format!("expected `%result = linalg...`, got `{header}`")))?;
+        let (result, kind_text) = header.split_once('=').ok_or_else(|| {
+            self.err(
+                line_no,
+                format!("expected `%result = linalg...`, got `{header}`"),
+            )
+        })?;
         let result_name = result
             .trim()
             .strip_prefix('%')
@@ -195,8 +198,8 @@ impl<'a> Parser<'a> {
 
         // maps = [...]
         let (ml, maps_line) = self.expect_line_starting("maps = [")?;
-        let maps_inner = bracket_contents(maps_line)
-            .ok_or_else(|| self.err(ml, "malformed maps list"))?;
+        let maps_inner =
+            bracket_contents(maps_line).ok_or_else(|| self.err(ml, "malformed maps list"))?;
         let mut indexing_maps = Vec::new();
         for map_text in split_top_level(maps_inner, ',') {
             let map_text = map_text.trim();

@@ -92,7 +92,7 @@ fn print_op(module: &Module, op: &LinalgOp, out: &mut String) {
     // Arithmetic counts (only the non-zero ones).
     out.push_str("    arith = {");
     let mut first = true;
-    let mut field = |name: &str, value: u32, out: &mut String, first: &mut bool| {
+    let field = |name: &str, value: u32, out: &mut String, first: &mut bool| {
         if value > 0 {
             if !*first {
                 out.push_str(", ");

@@ -7,9 +7,10 @@ use serde::{Deserialize, Serialize};
 use crate::error::IrError;
 
 /// Scalar element type of a tensor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum ElementType {
     /// 32-bit IEEE-754 floating point.
+    #[default]
     F32,
     /// 64-bit IEEE-754 floating point.
     F64,
@@ -68,12 +69,6 @@ impl fmt::Display for ElementType {
     }
 }
 
-impl Default for ElementType {
-    fn default() -> Self {
-        ElementType::F32
-    }
-}
-
 /// A ranked tensor type, e.g. `tensor<256x1024xf32>`.
 ///
 /// # Examples
@@ -99,7 +94,7 @@ impl TensorType {
     ///
     /// Returns [`IrError::InvalidTensorType`] if any dimension is zero.
     pub fn new(shape: Vec<u64>, element: ElementType) -> Result<Self, IrError> {
-        if shape.iter().any(|d| *d == 0) {
+        if shape.contains(&0) {
             return Err(IrError::InvalidTensorType {
                 message: format!("zero-sized dimension in shape {shape:?}"),
             });

@@ -5,6 +5,13 @@ pub fn relu(x: &[f64]) -> Vec<f64> {
     x.iter().map(|v| v.max(0.0)).collect()
 }
 
+/// ReLU applied in place (bit-identical to [`relu`], without allocating).
+pub fn relu_in_place(x: &mut [f64]) {
+    for v in x {
+        *v = v.max(0.0);
+    }
+}
+
 /// ReLU backward: gradient passes only where the forward output was
 /// positive.
 pub fn relu_backward(output: &[f64], grad_output: &[f64]) -> Vec<f64> {

@@ -179,8 +179,8 @@ mod tests {
         let logits = [0.5, -1.0, 2.0];
         let d = MaskedCategorical::from_logits(&logits);
         let probs = softmax(&logits);
-        for i in 0..3 {
-            assert!((d.log_prob(i) - probs[i].ln()).abs() < 1e-12);
+        for (i, p) in probs.iter().enumerate() {
+            assert!((d.log_prob(i) - p.ln()).abs() < 1e-12);
         }
         // Masked category has an extremely low log-prob but no NaN.
         let dm = MaskedCategorical::new(&logits, &[true, false, true]);

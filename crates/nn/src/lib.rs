@@ -40,10 +40,14 @@ pub mod distribution;
 pub mod linear;
 pub mod lstm;
 pub mod param;
+pub mod scratch;
 
-pub use activation::{masked_softmax, relu, sigmoid, softmax, softmax_backward, tanh};
+pub use activation::{
+    masked_softmax, relu, relu_in_place, sigmoid, softmax, softmax_backward, tanh,
+};
 pub use adam::{clip_grad_norm, Adam};
 pub use distribution::MaskedCategorical;
 pub use linear::{Linear, Mlp};
 pub use lstm::Lstm;
 pub use param::Param;
+pub use scratch::Scratch;

@@ -4,8 +4,9 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::activation::{relu, relu_backward};
+use crate::activation::{relu, relu_backward, relu_in_place};
 use crate::param::Param;
+use crate::scratch::{resize_buffer, Scratch};
 
 /// A fully connected layer `y = W x + b`.
 ///
@@ -68,6 +69,20 @@ impl Linear {
         y
     }
 
+    /// Allocation-free inference: writes `W x + b` into `out` (resizing it
+    /// to the output size). Bit-identical to [`Linear::forward_inference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the input size.
+    pub fn infer_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        resize_buffer(out, self.weight.rows);
+        self.weight.matvec_into(x, out);
+        for (yi, b) in out.iter_mut().zip(&self.bias.value) {
+            *yi += b;
+        }
+    }
+
     /// Backward pass for the most recent un-consumed forward call.
     /// Accumulates parameter gradients and returns the gradient with respect
     /// to the input.
@@ -77,7 +92,11 @@ impl Linear {
     /// Panics if there is no cached forward call to consume or the gradient
     /// length does not match the output size.
     pub fn backward(&mut self, grad_output: &[f64]) -> Vec<f64> {
-        assert_eq!(grad_output.len(), self.weight.rows, "gradient size mismatch");
+        assert_eq!(
+            grad_output.len(),
+            self.weight.rows,
+            "gradient size mismatch"
+        );
         let x = self
             .cached_inputs
             .pop()
@@ -116,6 +135,9 @@ pub struct Mlp {
     relu_output: bool,
     #[serde(skip)]
     cached_activations: Vec<Vec<Vec<f64>>>,
+    /// Ping-pong buffers reused by [`Mlp::infer`].
+    #[serde(skip)]
+    infer_buffers: Scratch<[Vec<f64>; 2]>,
 }
 
 impl Mlp {
@@ -136,35 +158,43 @@ impl Mlp {
             layers,
             relu_output,
             cached_activations: Vec::new(),
+            infer_buffers: Scratch::default(),
         }
     }
 
     /// Output feature count.
     pub fn output_size(&self) -> usize {
-        self.layers.last().expect("at least one layer").output_size()
+        self.layers
+            .last()
+            .expect("at least one layer")
+            .output_size()
     }
 
     /// Input feature count.
     pub fn input_size(&self) -> usize {
-        self.layers.first().expect("at least one layer").input_size()
+        self.layers
+            .first()
+            .expect("at least one layer")
+            .input_size()
     }
 
-    /// Forward pass with caching for backward.
+    /// Forward pass with caching for backward. Activations are stored by
+    /// move (the backward pass borrows them); only the final output is
+    /// cloned once for the caller.
     pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
-        let mut activations = Vec::with_capacity(self.layers.len());
-        let mut h = x.to_vec();
         let n = self.layers.len();
+        let mut activations: Vec<Vec<f64>> = Vec::with_capacity(n);
         for (i, layer) in self.layers.iter_mut().enumerate() {
-            let pre = layer.forward(&h);
-            h = if i + 1 < n || self.relu_output {
-                relu(&pre)
-            } else {
-                pre
-            };
-            activations.push(h.clone());
+            let input: &[f64] = activations.last().map_or(x, Vec::as_slice);
+            let mut h = layer.forward(input);
+            if i + 1 < n || self.relu_output {
+                relu_in_place(&mut h);
+            }
+            activations.push(h);
         }
+        let out = activations.last().cloned().unwrap_or_else(|| x.to_vec());
         self.cached_activations.push(activations);
-        h
+        out
     }
 
     /// Forward pass without caching (inference only).
@@ -180,6 +210,29 @@ impl Mlp {
             };
         }
         h
+    }
+
+    /// Allocation-free inference using internal ping-pong buffers. Returns
+    /// a slice borrowing the network's scratch; bit-identical to
+    /// [`Mlp::forward_inference`].
+    pub fn infer(&mut self, x: &[f64]) -> &[f64] {
+        let n = self.layers.len();
+        let [buf_a, buf_b] = &mut self.infer_buffers.0;
+        let mut cur: &mut Vec<f64> = buf_a;
+        let mut prev: &mut Vec<f64> = buf_b;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let input: &[f64] = if i == 0 { x } else { prev };
+            layer.infer_into(input, cur);
+            if i + 1 < n || self.relu_output {
+                relu_in_place(cur);
+            }
+            std::mem::swap(&mut cur, &mut prev);
+        }
+        if n.is_multiple_of(2) {
+            &self.infer_buffers.0[1]
+        } else {
+            &self.infer_buffers.0[0]
+        }
     }
 
     /// Backward pass for the most recent un-consumed forward call.
@@ -337,6 +390,40 @@ mod tests {
         // dW = [1,0] + [0,1] = [1,1]; db = 2.
         assert_eq!(params[0].grad, vec![1.0, 1.0]);
         assert_eq!(params[1].grad, vec![2.0]);
+    }
+
+    #[test]
+    fn infer_matches_forward_inference_bitwise() {
+        let mut mlp = Mlp::new(&[6, 9, 4], false, &mut rng());
+        let x: Vec<f64> = (0..6).map(|i| (i as f64) * 0.3 - 0.7).collect();
+        let expected = mlp.forward_inference(&x);
+        let got = mlp.infer(&x).to_vec();
+        assert_eq!(expected, got, "scratch inference must be bit-identical");
+        // Repeated calls reuse the buffers and stay identical.
+        assert_eq!(expected, mlp.infer(&x).to_vec());
+        // A relu-output MLP with an even layer count exercises the other
+        // ping-pong exit.
+        let mut mlp2 = Mlp::new(&[4, 4, 4], true, &mut rng());
+        let y = vec![0.2, -0.4, 0.8, 0.0];
+        assert_eq!(mlp2.forward_inference(&y), mlp2.infer(&y).to_vec());
+    }
+
+    #[test]
+    fn linear_infer_into_matches_forward_inference() {
+        let l = Linear::new(3, 5, &mut rng());
+        let x = [0.4, -0.2, 1.5];
+        let mut out = Vec::new();
+        l.infer_into(&x, &mut out);
+        assert_eq!(out, l.forward_inference(&x));
+    }
+
+    #[test]
+    fn cloned_mlp_infers_identically_with_fresh_scratch() {
+        let mut mlp = Mlp::new(&[3, 5, 2], false, &mut rng());
+        let x = [1.0, 2.0, 3.0];
+        let a = mlp.infer(&x).to_vec();
+        let mut cloned = mlp.clone();
+        assert_eq!(a, cloned.infer(&x).to_vec());
     }
 
     #[test]

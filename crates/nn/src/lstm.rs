@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::activation::{sigmoid, tanh};
 use crate::param::Param;
+use crate::scratch::{resize_buffer, Scratch};
 
 /// Cached values of one LSTM time step, needed for backpropagation.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +27,16 @@ struct StepCache {
     tanh_c: Vec<f64>,
 }
 
+/// Preallocated working memory for [`Lstm::infer`].
+#[derive(Debug, Clone, Default, PartialEq)]
+struct LstmScratch {
+    h: Vec<f64>,
+    c: Vec<f64>,
+    gates: [Vec<f64>; 4],
+    uh: Vec<f64>,
+    tanh_c: Vec<f64>,
+}
+
 /// A single-layer LSTM.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Lstm {
@@ -37,6 +48,8 @@ pub struct Lstm {
     b: [Param; 4],
     #[serde(skip)]
     cached_sequences: Vec<Vec<StepCache>>,
+    #[serde(skip)]
+    infer_scratch: Scratch<LstmScratch>,
 }
 
 impl Lstm {
@@ -54,6 +67,7 @@ impl Lstm {
             u,
             b,
             cached_sequences: Vec::new(),
+            infer_scratch: Scratch::default(),
         }
     }
 
@@ -67,12 +81,7 @@ impl Lstm {
         self.hidden_size
     }
 
-    fn step(
-        &self,
-        x: &[f64],
-        h_prev: &[f64],
-        c_prev: &[f64],
-    ) -> (Vec<f64>, Vec<f64>, StepCache) {
+    fn step(&self, x: &[f64], h_prev: &[f64], c_prev: &[f64]) -> (Vec<f64>, Vec<f64>, StepCache) {
         let pre = |gate: usize| -> Vec<f64> {
             let mut z = self.w[gate].matvec(x);
             let uh = self.u[gate].matvec(h_prev);
@@ -146,6 +155,51 @@ impl Lstm {
             c = nc;
         }
         h
+    }
+
+    /// Allocation-free inference over a sequence of borrowed inputs using
+    /// internal scratch buffers. Returns the final hidden state as a slice
+    /// borrowing the scratch; bit-identical to [`Lstm::forward_inference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or any input has the wrong size.
+    pub fn infer(&mut self, sequence: &[&[f64]]) -> &[f64] {
+        assert!(!sequence.is_empty(), "LSTM sequence must not be empty");
+        let hs = self.hidden_size;
+        let scratch = &mut self.infer_scratch.0;
+        resize_buffer(&mut scratch.h, hs);
+        resize_buffer(&mut scratch.c, hs);
+        resize_buffer(&mut scratch.uh, hs);
+        resize_buffer(&mut scratch.tanh_c, hs);
+        for gate in &mut scratch.gates {
+            resize_buffer(gate, hs);
+        }
+        for x in sequence {
+            assert_eq!(x.len(), self.input_size, "LSTM input size mismatch");
+            // Pre-activations: z_g = W_g x + (U_g h + b_g), exactly as in
+            // `step` so results stay bit-identical.
+            for gate in 0..4 {
+                let z = &mut scratch.gates[gate];
+                self.w[gate].matvec_into(x, z);
+                self.u[gate].matvec_into(&scratch.h, &mut scratch.uh);
+                for ((zi, uhi), bi) in z.iter_mut().zip(&scratch.uh).zip(&self.b[gate].value) {
+                    *zi += uhi + bi;
+                }
+            }
+            for k in 0..hs {
+                let i = 1.0 / (1.0 + (-scratch.gates[0][k]).exp());
+                let f = 1.0 / (1.0 + (-scratch.gates[1][k]).exp());
+                let g = scratch.gates[2][k].tanh();
+                let o = 1.0 / (1.0 + (-scratch.gates[3][k]).exp());
+                let c = f * scratch.c[k] + i * g;
+                let tanh_c = c.tanh();
+                scratch.c[k] = c;
+                scratch.tanh_c[k] = tanh_c;
+                scratch.h[k] = o * tanh_c;
+            }
+        }
+        &self.infer_scratch.0.h
     }
 
     /// Backpropagation through time for the most recent un-consumed forward
@@ -242,7 +296,8 @@ impl Lstm {
 
     /// Number of trainable scalars.
     pub fn num_parameters(&self) -> usize {
-        4 * (self.hidden_size * self.input_size + self.hidden_size * self.hidden_size
+        4 * (self.hidden_size * self.input_size
+            + self.hidden_size * self.hidden_size
             + self.hidden_size)
     }
 }
@@ -274,6 +329,20 @@ mod tests {
     }
 
     #[test]
+    fn infer_matches_forward_inference_bitwise() {
+        let mut lstm = Lstm::new(4, 6, &mut rng());
+        let seq = vec![vec![0.1, 0.2, -0.3, 0.4], vec![1.0, -1.0, 0.5, 0.0]];
+        let expected = lstm.forward_inference(&seq);
+        let borrowed: Vec<&[f64]> = seq.iter().map(Vec::as_slice).collect();
+        let got = lstm.infer(&borrowed).to_vec();
+        assert_eq!(expected, got, "scratch inference must be bit-identical");
+        // Scratch is reused across calls without contaminating results.
+        assert_eq!(expected, lstm.infer(&borrowed).to_vec());
+        // Clones start with fresh scratch but identical weights.
+        assert_eq!(expected, lstm.clone().infer(&borrowed).to_vec());
+    }
+
+    #[test]
     fn hidden_state_bounded_by_tanh() {
         let mut lstm = Lstm::new(3, 5, &mut rng());
         let h = lstm.forward(&[vec![10.0, -10.0, 10.0]]);
@@ -286,7 +355,7 @@ mod tests {
         let seq = vec![vec![0.2, -0.4, 0.6], vec![-0.1, 0.3, 0.5]];
         // Loss = sum of final hidden state.
         let base: f64 = lstm.forward(&seq).iter().sum();
-        let grad_x = lstm.backward(&vec![1.0; 4]);
+        let grad_x = lstm.backward(&[1.0; 4]);
         let eps = 1e-6;
         for t in 0..seq.len() {
             for i in 0..3 {
@@ -307,7 +376,7 @@ mod tests {
         let mut lstm = Lstm::new(2, 3, &mut rng());
         let seq = vec![vec![0.5, -0.2], vec![0.1, 0.9]];
         let base: f64 = lstm.forward(&seq).iter().sum();
-        lstm.backward(&vec![1.0; 3]);
+        lstm.backward(&[1.0; 3]);
         let eps = 1e-6;
         // Check an entry of the input-gate W, the forget-gate U and the
         // output-gate bias.

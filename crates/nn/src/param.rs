@@ -88,11 +88,26 @@ impl Param {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let row = &self.value[r * self.cols..(r + 1) * self.cols];
-            out[r] = row.iter().zip(x).map(|(w, xi)| w * xi).sum();
+        for (slot, row) in out.iter_mut().zip(self.value.chunks_exact(self.cols)) {
+            *slot = row.iter().zip(x).map(|(w, xi)| w * xi).sum();
         }
         out
+    }
+
+    /// Matrix-vector product `value * x` written into `out` (the
+    /// allocation-free twin of [`Param::matvec`], used on inference hot
+    /// paths; produces bit-identical results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(out.len(), self.rows, "matvec output size mismatch");
+        for (r, slot) in out.iter_mut().enumerate() {
+            let row = &self.value[r * self.cols..(r + 1) * self.cols];
+            *slot = row.iter().zip(x).map(|(w, xi)| w * xi).sum();
+        }
     }
 
     /// Transposed matrix-vector product `value^T * y`.
@@ -103,10 +118,9 @@ impl Param {
     pub fn matvec_transposed(&self, y: &[f64]) -> Vec<f64> {
         assert_eq!(y.len(), self.rows, "matvec_transposed dimension mismatch");
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let row = &self.value[r * self.cols..(r + 1) * self.cols];
-            for (c, w) in row.iter().enumerate() {
-                out[c] += w * y[r];
+        for (yr, row) in y.iter().zip(self.value.chunks_exact(self.cols)) {
+            for (slot, w) in out.iter_mut().zip(row) {
+                *slot += w * yr;
             }
         }
         out

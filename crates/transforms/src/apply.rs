@@ -294,11 +294,7 @@ impl ScheduledModule {
     /// state is left unchanged in that case.
     pub fn apply(&mut self, op: OpId, t: Transformation) -> Result<(), TransformError> {
         self.check(op, &t)?;
-        let num_loops = self
-            .module
-            .op(op)
-            .expect("checked above")
-            .num_loops();
+        let num_loops = self.module.op(op).expect("checked above").num_loops();
 
         match &t {
             Transformation::Tiling { tile_sizes } => {
@@ -430,7 +426,10 @@ impl ScheduledModule {
 
     /// Lowers every live (non-fused-away) operation.
     pub fn lower_all(&self) -> Vec<LoopNest> {
-        self.live_ops().into_iter().map(|op| self.lower(op)).collect()
+        self.live_ops()
+            .into_iter()
+            .map(|op| self.lower(op))
+            .collect()
     }
 }
 
@@ -620,7 +619,9 @@ mod tests {
     fn vectorization_requires_small_inner_loop() {
         let mut s = ScheduledModule::new(matmul_module());
         // Innermost loop is 1024 > 512, so vectorization is masked out.
-        let err = s.check(OpId(0), &Transformation::Vectorization).unwrap_err();
+        let err = s
+            .check(OpId(0), &Transformation::Vectorization)
+            .unwrap_err();
         assert!(matches!(
             err,
             TransformError::VectorizationPrecondition { .. }
@@ -666,9 +667,7 @@ mod tests {
         assert_eq!(nest.fused_producers.len(), 1);
         assert!(nest.fused_intermediate_bytes() > 0);
         // The fused producer can no longer be scheduled on its own.
-        let err = s
-            .apply(mm, Transformation::Vectorization)
-            .unwrap_err();
+        let err = s.apply(mm, Transformation::Vectorization).unwrap_err();
         assert!(matches!(err, TransformError::OperationFusedAway { .. }));
     }
 
@@ -700,7 +699,7 @@ mod tests {
 
     #[test]
     fn fusion_without_producer_is_rejected() {
-        let mut s = ScheduledModule::new(matmul_module());
+        let s = ScheduledModule::new(matmul_module());
         let err = s
             .check(
                 OpId(0),

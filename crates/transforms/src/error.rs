@@ -107,10 +107,16 @@ impl fmt::Display for TransformError {
                 "producer {producer} was already transformed and can no longer be fused"
             ),
             TransformError::AlreadyVectorized => {
-                write!(f, "operation was already vectorized; no further transformation is possible")
+                write!(
+                    f,
+                    "operation was already vectorized; no further transformation is possible"
+                )
             }
             TransformError::ScheduleFull { max_len } => {
-                write!(f, "schedule already has the maximum of {max_len} transformations")
+                write!(
+                    f,
+                    "schedule already has the maximum of {max_len} transformations"
+                )
             }
             TransformError::OperationFusedAway { op } => {
                 write!(f, "operation {op} was fused into its consumer")

@@ -31,7 +31,9 @@ pub mod error;
 pub mod nest;
 pub mod transform;
 
-pub use apply::{OpScheduleState, ScheduledModule, DEFAULT_MAX_SCHEDULE_LEN, MAX_VECTORIZABLE_INNER_EXTENT};
+pub use apply::{
+    OpScheduleState, ScheduledModule, DEFAULT_MAX_SCHEDULE_LEN, MAX_VECTORIZABLE_INNER_EXTENT,
+};
 pub use error::TransformError;
 pub use nest::{FusedProducer, LoopDim, LoopKind, LoopNest};
 pub use transform::{

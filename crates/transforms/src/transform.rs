@@ -138,9 +138,7 @@ impl Transformation {
     pub fn kind(&self) -> TransformationKind {
         match self {
             Transformation::Tiling { .. } => TransformationKind::Tiling,
-            Transformation::TiledParallelization { .. } => {
-                TransformationKind::TiledParallelization
-            }
+            Transformation::TiledParallelization { .. } => TransformationKind::TiledParallelization,
             Transformation::TiledFusion { .. } => TransformationKind::TiledFusion,
             Transformation::Interchange { .. } => TransformationKind::Interchange,
             Transformation::Vectorization => TransformationKind::Vectorization,

@@ -40,10 +40,7 @@ pub fn contraction_kernel(
     num_inputs: usize,
 ) {
     assert!(parallel_levels > 0, "need at least one parallel level");
-    assert!(
-        parallel_levels < depth,
-        "need at least one reduction level"
-    );
+    assert!(parallel_levels < depth, "need at least one reduction level");
 
     // Loop extents: parallel spacetime loops of extent `spatial_extent`,
     // then alternating color/spin reduction loops.
@@ -54,7 +51,11 @@ pub fn contraction_kernel(
             bounds.push(spatial_extent);
             iterator_types.push(IteratorType::Parallel);
         } else {
-            bounds.push(if (i - parallel_levels) % 2 == 0 { COLOR } else { SPIN });
+            bounds.push(if (i - parallel_levels).is_multiple_of(2) {
+                COLOR
+            } else {
+                SPIN
+            });
             iterator_types.push(IteratorType::Reduction);
         }
     }
@@ -93,7 +94,12 @@ pub fn contraction_kernel(
 
 /// One standalone LQCD training kernel: a module holding a single deep
 /// contraction.
-pub fn lqcd_kernel(spatial_extent: u64, depth: usize, parallel_levels: usize, num_inputs: usize) -> Module {
+pub fn lqcd_kernel(
+    spatial_extent: u64,
+    depth: usize,
+    parallel_levels: usize,
+    num_inputs: usize,
+) -> Module {
     let mut b = ModuleBuilder::new(format!(
         "lqcd_kernel_s{spatial_extent}_d{depth}_p{parallel_levels}"
     ));
@@ -126,7 +132,7 @@ pub fn training_dataset(scale: f64, seed: u64) -> Vec<Module> {
     (0..count)
         .map(|i| {
             let (depth, parallel, inputs) = patterns[i % patterns.len()];
-            let s = [8u64, 12, 16, 24, 32][rng.gen_range(0..5)];
+            let s = [8u64, 12, 16, 24, 32][rng.gen_range(0..5usize)];
             lqcd_kernel(s, depth, parallel, inputs)
         })
         .collect()

@@ -83,7 +83,9 @@ impl GraphBuilder {
         }
         let name = format!("w{}", self.conv_count);
         self.conv_count += 1;
-        let wgt = self.b.argument(&name, vec![filters, self.c, kernel, kernel]);
+        let wgt = self
+            .b
+            .argument(&name, vec![filters, self.c, kernel, kernel]);
         self.act = self.b.conv2d(self.act, wgt, stride);
         self.h = (self.h - kernel) / stride + 1;
         self.w = (self.w - kernel) / stride + 1;
@@ -116,7 +118,9 @@ impl GraphBuilder {
     fn classifier(&mut self, hidden: &[u64], classes: u64) {
         // Global average pool to 1x1 and flatten into a [1, C] activation.
         if self.h > 1 {
-            self.act = self.b.avg_pool(self.act, self.h.min(self.w), self.h.min(self.w));
+            self.act = self
+                .b
+                .avg_pool(self.act, self.h.min(self.w), self.h.min(self.w));
         }
         // Flatten is a metadata operation in MLIR; model it by introducing a
         // [1, C] view as a fresh argument chain via matmul weights.

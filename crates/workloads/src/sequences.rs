@@ -40,12 +40,12 @@ pub fn random_sequence(length: usize, rng: &mut ChaCha8Rng) -> Module {
     let mut current: ValueId;
     let mut current_shape: Vec<u64>;
     if start_4d {
-        let c = [16u64, 32, 64][rng.gen_range(0..3)];
-        let hw = [28u64, 56, 112][rng.gen_range(0..3)];
+        let c = [16u64, 32, 64][rng.gen_range(0..3usize)];
+        let hw = [28u64, 56, 112][rng.gen_range(0..3usize)];
         current_shape = vec![1, c, hw, hw];
     } else {
-        let r = [64u64, 128, 256][rng.gen_range(0..3)];
-        let c = [128u64, 256, 512][rng.gen_range(0..3)];
+        let r = [64u64, 128, 256][rng.gen_range(0..3usize)];
+        let c = [128u64, 256, 512][rng.gen_range(0..3usize)];
         current_shape = vec![r, c];
     }
     current = b.argument("input", current_shape.clone());
@@ -55,8 +55,8 @@ pub fn random_sequence(length: usize, rng: &mut ChaCha8Rng) -> Module {
         match (op, current_shape.len()) {
             ("conv_2d", 4) => {
                 let c = current_shape[1];
-                let f = [16u64, 32, 64][rng.gen_range(0..3)];
-                let k = [1u64, 3][rng.gen_range(0..2)];
+                let f = [16u64, 32, 64][rng.gen_range(0..3usize)];
+                let k = [1u64, 3][rng.gen_range(0..2usize)];
                 if current_shape[2] > k {
                     let w = b.argument(&format!("w{step}"), vec![f, c, k, k]);
                     current = b.conv2d(current, w, 1);
@@ -72,7 +72,7 @@ pub fn random_sequence(length: usize, rng: &mut ChaCha8Rng) -> Module {
                 }
             }
             ("matmul", 2) => {
-                let n = [64u64, 128, 256][rng.gen_range(0..3)];
+                let n = [64u64, 128, 256][rng.gen_range(0..3usize)];
                 let w = b.argument(&format!("w{step}"), vec![current_shape[1], n]);
                 current = b.matmul(current, w);
                 current_shape = vec![current_shape[0], n];

@@ -26,8 +26,14 @@ fn main() {
             .filter(|(k, _)| *k == family)
             .map(|(_, m)| m)
             .collect();
-        let speedups: Vec<f64> = shapes.iter().map(|m| optimizer.optimize(m).speedup).collect();
+        let speedups: Vec<f64> = shapes
+            .iter()
+            .map(|m| optimizer.optimize(m).speedup)
+            .collect();
         let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
-        println!("  {:<12} average speedup over MLIR baseline: {avg:.2}x", family.name());
+        println!(
+            "  {:<12} average speedup over MLIR baseline: {avg:.2}x",
+            family.name()
+        );
     }
 }

@@ -22,8 +22,16 @@ fn main() {
     let config = OptimizerConfig {
         env,
         machine: MachineModel::xeon_e5_2680_v4(),
-        hyper: PolicyHyperparams { hidden_size: 32, backbone_layers: 2 },
-        ppo: PpoConfig { trajectories_per_iteration: 8, minibatch_size: 16, update_epochs: 2, ..PpoConfig::paper() },
+        hyper: PolicyHyperparams {
+            hidden_size: 32,
+            backbone_layers: 2,
+        },
+        ppo: PpoConfig {
+            trajectories_per_iteration: 8,
+            minibatch_size: 16,
+            update_epochs: 2,
+            ..PpoConfig::paper()
+        },
         seed: 0,
     };
     let mut optimizer = MlirRlOptimizer::new(config);
@@ -38,6 +46,9 @@ fn main() {
         let module = app.module();
         let rl = optimizer.optimize(&module).speedup;
         let mp = speedup_over_mlir(&mullapudi.optimize(&module), &module, &machine);
-        println!("{:<28}{rl:>12.2}{mp:>12.2}", format!("{} (S={})", app.name(), app.input_size()));
+        println!(
+            "{:<28}{rl:>12.2}{mp:>12.2}",
+            format!("{} (S={})", app.name(), app.input_size())
+        );
     }
 }

@@ -21,11 +21,18 @@ fn main() {
     let mut optimizer = MlirRlOptimizer::new(OptimizerConfig::quick());
     optimizer.train(&dataset, iterations);
 
-    println!("\niteration   geomean-speedup   mean-reward   policy-loss   value-loss   evaluations");
+    println!(
+        "\niteration   geomean-speedup   mean-reward   policy-loss   value-loss   evaluations"
+    );
     for s in optimizer.training_history() {
         println!(
             "{:>9}   {:>15.3}   {:>11.3}   {:>11.4}   {:>10.4}   {:>11}",
-            s.iteration, s.geomean_speedup, s.mean_reward, s.policy_loss, s.value_loss, s.cumulative_evaluations
+            s.iteration,
+            s.geomean_speedup,
+            s.mean_reward,
+            s.policy_loss,
+            s.value_loss,
+            s.cumulative_evaluations
         );
     }
 }

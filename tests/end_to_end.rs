@@ -2,7 +2,9 @@
 //! environment -> agent, exercised together the way the examples and the
 //! experiment harness use them.
 
-use mlir_rl_baselines::{speedup_over_mlir, Baseline, MullapudiAutoscheduler, VendorLibrary, VendorMode};
+use mlir_rl_baselines::{
+    speedup_over_mlir, Baseline, MullapudiAutoscheduler, VendorLibrary, VendorMode,
+};
 use mlir_rl_core::{MlirRlOptimizer, OptimizerConfig};
 use mlir_rl_costmodel::{CostModel, MachineModel};
 use mlir_rl_env::{Action, EnvConfig, OptimizationEnv};

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use mlir_rl_costmodel::{CostModel, MachineModel};
+use mlir_rl_costmodel::{CostModel, EvalCache, MachineModel};
 use mlir_rl_ir::{parser::parse_module, printer::print_module, ModuleBuilder, OpId};
 use mlir_rl_transforms::{ScheduledModule, Transformation};
 
@@ -59,6 +59,42 @@ proptest! {
         sm.apply(OpId(0), swap).unwrap();
         let twice = sm.lower(OpId(0));
         prop_assert_eq!(twice.order, vec![0, 1, 2]);
+    }
+
+    /// The schedule-keyed evaluation cache is transparent: for any random
+    /// schedule, the cached estimate is identical to a direct run of the
+    /// estimator — on the miss that populates the entry *and* on the hit
+    /// that serves it back.
+    #[test]
+    fn cached_estimates_match_uncached(
+        m in 2u64..256, n in 2u64..256, k in 2u64..256,
+        t0 in 0u64..64, t1 in 0u64..64, t2 in 0u64..64,
+        vectorize in 0u32..2, parallelize in 0u32..2,
+    ) {
+        let module = matmul(m, n, k);
+        let cm = CostModel::new(MachineModel::xeon_e5_2680_v4());
+        let mut cache = EvalCache::default();
+        let mut sm = ScheduledModule::new(module);
+        let tiles = vec![t0.min(m), t1.min(n), t2.min(k)];
+        if parallelize == 1 {
+            sm.apply(OpId(0), Transformation::TiledParallelization {
+                tile_sizes: tiles.iter().map(|t| (*t).max(1)).collect(),
+            }).unwrap();
+        } else {
+            sm.apply(OpId(0), Transformation::Tiling { tile_sizes: tiles }).unwrap();
+        }
+        if vectorize == 1 {
+            // Vectorization is only legal for small innermost extents; skip
+            // when the mask would forbid it.
+            let _ = sm.apply(OpId(0), Transformation::Vectorization);
+        }
+        let direct = cm.estimate_scheduled(&sm);
+        let miss = cache.estimate(&cm, &sm).clone();
+        let hit = cache.estimate(&cm, &sm).clone();
+        prop_assert_eq!(&direct, &miss);
+        prop_assert_eq!(&direct, &hit);
+        prop_assert_eq!(cache.hits(), 1);
+        prop_assert_eq!(cache.misses(), 1);
     }
 
     /// The speedup of any schedule is the ratio the cost model reports; it

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names (as blanket-implemented
+//! marker traits plus no-op derive macros) so that the heavily annotated
+//! codebase compiles without network access. No actual serialization is
+//! performed through these traits; the few places that emit JSON build it
+//! by hand.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

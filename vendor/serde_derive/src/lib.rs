@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access, so the real serde cannot be
+//! fetched. This crate provides `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` as no-op derives (registering the `#[serde(...)]`
+//! helper attribute) so that the annotation-heavy codebase compiles
+//! unchanged. The sibling `serde` stub provides blanket trait
+//! implementations, and JSON output is produced by hand where needed
+//! (see `mlir-rl-core::report`).
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts (and ignores) `#[serde(...)]` helpers.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts (and ignores) `#[serde(...)]` helpers.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
