@@ -17,10 +17,11 @@
 //! environment clone, an inference-only snapshot of the policy and a value
 //! network clone, and collects episodes `w, w + W, w + 2W, ...` — and the
 //! merged result is **bit-for-bit identical to serial collection** for a
-//! fixed seed, no matter the worker count. Worker environments inherit the
-//! master environment's schedule-keyed cost-model cache and their entries
-//! are folded back after the batch, so cache warmth persists across
-//! iterations in parallel mode too.
+//! fixed seed, no matter the worker count. All workers share one sharded
+//! thread-shared cost-model cache (the master environment is switched to
+//! shared-cache mode before the fan-out), so the parallel hit-rate matches
+//! serial collection and warmth persists across iterations with no
+//! fold-back step.
 
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -63,6 +64,43 @@ pub trait PolicyModel: Clone + Send {
     fn zero_grad(&mut self);
     /// Trainable parameters in a stable order.
     fn parameters_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Policy-inference hook for search: proposes up to `k` *distinct*
+    /// candidate actions for an observation, the greedy (sequential-argmax)
+    /// action first, followed by sampled candidates in descending
+    /// log-probability order. Deterministic given the RNG state, and
+    /// `rank_actions(obs, 1, rng)` is exactly `[select_action(obs, true)]`
+    /// — which is what makes a width-1 beam search step-for-step identical
+    /// to greedy decoding.
+    fn rank_actions(
+        &mut self,
+        obs: &Observation,
+        k: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<ActionRecord> {
+        let k = k.max(1);
+        let mut out = vec![self.select_action(obs, true, rng)];
+        if k > 1 {
+            // Oversample: duplicates (and re-draws of the greedy action)
+            // are discarded, so a few multiples of `k` attempts are needed
+            // to fill the candidate list on peaked distributions.
+            for _ in 0..k * 8 {
+                if out.len() == k {
+                    break;
+                }
+                let candidate = self.select_action(obs, false, rng);
+                if !out.iter().any(|r| r.action == candidate.action) {
+                    out.push(candidate);
+                }
+            }
+            out[1..].sort_by(|a, b| {
+                b.log_prob
+                    .partial_cmp(&a.log_prob)
+                    .expect("log-probabilities are finite")
+            });
+        }
+        out
+    }
 }
 
 impl PolicyModel for PolicyNetwork {
@@ -263,12 +301,19 @@ impl RolloutBatch {
 
     /// Fraction of evaluation requests served by the cache.
     pub fn cache_hit_rate(&self) -> f64 {
-        let total = self.evaluations + self.cache_hits;
+        let total = self.total_lookups();
         if total == 0 {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
         }
+    }
+
+    /// Total cost-model lookups of the batch
+    /// (`evaluations + cache_hits`, the sum of the per-episode
+    /// [`EpisodeStats::total_lookups`]).
+    pub fn total_lookups(&self) -> usize {
+        self.evaluations + self.cache_hits
     }
 }
 
@@ -304,9 +349,15 @@ fn collect_seeded_episode<P: PolicyModel>(
 /// `base_seed` produces bit-for-bit identical trajectories for any worker
 /// count — `workers == 1` *is* serial collection.
 ///
-/// Worker environments start from the master environment's schedule-keyed
-/// evaluation cache and their new entries are folded back into it
-/// afterwards, keeping the cache warm across batches.
+/// When fanning out over more than one worker, the master environment's
+/// evaluation cache is switched to the sharded thread-shared backend
+/// ([`OptimizationEnv::enable_shared_cache`]) first, so worker environments
+/// are handles onto *one* table: every estimate is computed at most once
+/// per batch (modulo benign races) and the warm table persists across
+/// batches with no fold-back step. Serial collection keeps the lock-free
+/// local table (an already-shared cache stays shared). Because cached
+/// values are deterministic functions of the schedule, the backend affects
+/// only hit/miss counts, never the collected trajectories.
 pub fn collect_rollouts<P: PolicyModel>(
     env: &mut OptimizationEnv,
     modules: &[&Module],
@@ -320,11 +371,9 @@ pub fn collect_rollouts<P: PolicyModel>(
     let workers = workers.max(1).min(n.max(1));
     let mut slots: Vec<Option<Trajectory>> = (0..n).map(|_| None).collect();
 
-    // Freeze the master cache's overlay into its shared snapshot so worker
-    // clones share it by reference instead of deep-copying the warm table.
-    env.consolidate_cache();
-
     if workers <= 1 {
+        // Serial collection stays on the cache's current backend — the
+        // local two-level table needs no locks.
         for (episode, slot) in slots.iter_mut().enumerate() {
             *slot = Some(collect_seeded_episode(
                 env,
@@ -337,6 +386,13 @@ pub fn collect_rollouts<P: PolicyModel>(
             ));
         }
     } else {
+        // Parallel collection goes through one sharded thread-shared
+        // evaluation cache: worker clones taken below are handles onto the
+        // same table, so an estimate computed by any worker serves hits to
+        // every other worker within the same batch — the parallel hit-rate
+        // matches serial collection instead of every worker re-discovering
+        // the same schedules on a cold clone.
+        env.enable_shared_cache();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for worker in 0..workers {
@@ -361,15 +417,13 @@ pub fn collect_rollouts<P: PolicyModel>(
                         ));
                         episode += workers;
                     }
-                    (collected, worker_env)
+                    collected
                 }));
             }
             for handle in handles {
-                let (collected, mut worker_env) = handle.join().expect("rollout worker panicked");
-                for (episode, trajectory) in collected {
+                for (episode, trajectory) in handle.join().expect("rollout worker panicked") {
                     slots[episode] = Some(trajectory);
                 }
-                env.absorb_cache_from(&mut worker_env);
             }
         });
     }
@@ -442,6 +496,14 @@ pub struct IterationStats {
     /// Evaluation requests served by the schedule-keyed cost-model cache
     /// while collecting this iteration.
     pub cache_hits: usize,
+}
+
+impl IterationStats {
+    /// Total cost-model lookups of the iteration's collection phase
+    /// (`evaluations + cache_hits`).
+    pub fn total_lookups(&self) -> usize {
+        self.evaluations + self.cache_hits
+    }
 }
 
 /// The PPO trainer: owns the policy, the value network and their optimizers.
@@ -849,7 +911,7 @@ mod tests {
     }
 
     #[test]
-    fn worker_caches_fold_back_into_the_master_env() {
+    fn parallel_collection_warms_the_master_cache() {
         let dataset = small_dataset();
         let modules: Vec<&Module> = dataset.iter().collect();
         let (mut env, mut trainer) = engine_fixture(8);
@@ -863,10 +925,106 @@ mod tests {
             21,
             2,
         );
+        // Workers are handles onto the master's shared table, so their
+        // entries are visible to the master with no fold-back step.
+        assert!(
+            env.cache().is_shared(),
+            "collection must switch the cache to the shared backend"
+        );
         assert!(
             !env.cache().is_empty(),
             "parallel collection must warm the master cache"
         );
+    }
+
+    #[test]
+    fn shared_cache_makes_parallel_hit_rate_match_serial() {
+        let dataset = small_dataset();
+        let modules: Vec<&Module> = dataset.iter().chain(dataset.iter()).collect();
+        let (mut env_serial, mut tr_serial) = engine_fixture(13);
+        let serial = collect_rollouts(
+            &mut env_serial,
+            &modules,
+            &mut tr_serial.policy,
+            &mut tr_serial.value,
+            false,
+            5150,
+            1,
+        );
+        let (mut env_par, mut tr_par) = engine_fixture(13);
+        let parallel = collect_rollouts(
+            &mut env_par,
+            &modules,
+            &mut tr_par.policy,
+            &mut tr_par.value,
+            false,
+            5150,
+            3,
+        );
+        // Identical trajectories -> identical lookup sequences.
+        assert_eq!(serial.total_lookups(), parallel.total_lookups());
+        // Serial evaluates each distinct schedule exactly once; sharing one
+        // table means parallel can only lose the few hits that race (two
+        // workers missing the same key concurrently), never a cold-clone's
+        // worth.
+        assert!(parallel.cache_hits <= serial.cache_hits);
+        assert!(
+            parallel.cache_hit_rate() >= 0.9 * serial.cache_hit_rate(),
+            "parallel hit-rate {} must stay at the serial level {}",
+            parallel.cache_hit_rate(),
+            serial.cache_hit_rate()
+        );
+    }
+
+    #[test]
+    fn iteration_stats_lookup_accounting_is_consistent() {
+        let mut env = env();
+        let hyper = PolicyHyperparams {
+            hidden_size: 16,
+            backbone_layers: 1,
+        };
+        let mut trainer = PpoTrainer::new(&EnvConfig::small(), hyper, tiny_ppo(), 6);
+        let stats = trainer.train_iteration(&mut env, &small_dataset());
+        assert_eq!(stats.total_lookups(), stats.evaluations + stats.cache_hits);
+        // The iteration's counters are the sum of the per-episode counters,
+        // which are themselves hit/miss classifications of every lookup.
+        assert!(stats.total_lookups() > 0);
+    }
+
+    #[test]
+    fn rank_actions_returns_greedy_first_then_distinct_sorted_candidates() {
+        let (mut env, mut trainer) = engine_fixture(4);
+        let obs = env.reset(small_dataset()[0].clone()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let greedy = trainer.policy.select_action(&obs, true, &mut rng);
+
+        let mut rng1 = ChaCha8Rng::seed_from_u64(77);
+        let one = trainer.policy.rank_actions(&obs, 1, &mut rng1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].action, greedy.action, "k = 1 is exactly greedy");
+
+        let mut rng2 = ChaCha8Rng::seed_from_u64(77);
+        let many = trainer.policy.rank_actions(&obs, 6, &mut rng2);
+        assert!(!many.is_empty() && many.len() <= 6);
+        assert_eq!(many[0].action, greedy.action, "greedy always leads");
+        for (i, a) in many.iter().enumerate() {
+            for b in &many[i + 1..] {
+                assert_ne!(a.action, b.action, "candidates must be distinct");
+            }
+        }
+        for pair in many[1..].windows(2) {
+            assert!(
+                pair[0].log_prob >= pair[1].log_prob,
+                "tail sorted by log-prob"
+            );
+        }
+        // Deterministic in the RNG seed.
+        let mut rng3 = ChaCha8Rng::seed_from_u64(77);
+        let again = trainer.policy.rank_actions(&obs, 6, &mut rng3);
+        assert_eq!(many.len(), again.len());
+        for (a, b) in many.iter().zip(&again) {
+            assert_eq!(a.action, b.action);
+        }
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! Prints the schedule-search experiment: speedup per searcher (greedy
+//! decode, beam, MCTS, random, and the vendor/Mullapudi comparison systems)
+//! on the standard DL-operator workloads, with each searcher's evaluation
+//! budget and the batch-wide shared-cache hit-rate.
+//!
+//! Scale with `MLIR_RL_SCALE` (`smoke` / `standard` / `full`) or pass
+//! `--smoke`; worker count with `MLIR_RL_WORKERS` (default: available
+//! parallelism).
+
+use mlir_rl_bench::{search_speedups, ExperimentScale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        ExperimentScale::smoke()
+    } else {
+        ExperimentScale::from_env()
+    };
+    let workers = std::env::var("MLIR_RL_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(mlir_rl_agent::default_rollout_workers)
+        .max(1);
+    let report = search_speedups(&scale, workers);
+    println!("{report}");
+}

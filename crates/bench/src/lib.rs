@@ -24,6 +24,7 @@ use mlir_rl_core::{Figure, MlirRlOptimizer, OptimizerConfig, Series, SpeedupTabl
 use mlir_rl_costmodel::{CostModel, MachineModel};
 use mlir_rl_env::{ActionSpaceMode, EnvConfig, InterchangeMode, OptimizationEnv, RewardMode};
 use mlir_rl_ir::Module;
+use mlir_rl_search::{BaselineSearcher, BeamSearch, GreedyPolicy, Mcts, RandomSearch, Searcher};
 use mlir_rl_transforms::{flat_action_space_size, multi_discrete_decision_count};
 use mlir_rl_workloads::{
     dl_ops, full_training_dataset, lqcd, models, DlOperator, LqcdApplication, NeuralNetwork,
@@ -558,6 +559,129 @@ pub fn rollout_throughput(scale: &ExperimentScale, workers: usize) -> RolloutThr
 }
 
 // ---------------------------------------------------------------------------
+// E11 — exp_search: speedup-vs-budget per searcher on the standard
+// workloads, through the batch SearchDriver with one shared eval cache.
+// ---------------------------------------------------------------------------
+
+/// Budget and cache accounting of one searcher over the whole workload
+/// batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearcherBudgetSummary {
+    /// Searcher display name.
+    pub name: String,
+    /// Geometric-mean speedup over the MLIR baseline across the workloads.
+    pub geomean_speedup: f64,
+    /// Cost-model evaluations actually performed (the eval budget spent).
+    pub evaluations: usize,
+    /// Total cost-model lookups (evaluations + cache hits).
+    pub total_lookups: usize,
+    /// Hit-rate of the batch-wide shared evaluation cache.
+    pub shared_cache_hit_rate: f64,
+    /// Environment steps across every branch of every search.
+    pub nodes_expanded: usize,
+    /// Wall-clock seconds for the batch.
+    pub wall_s: f64,
+}
+
+/// The `exp_search` report: per-workload speedups per searcher plus each
+/// searcher's evaluation budget and shared-cache accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReport {
+    /// Rows: workloads; columns: searchers; values: speedup over the MLIR
+    /// baseline.
+    pub table: SpeedupTable,
+    /// One budget summary per searcher, in column order.
+    pub summaries: Vec<SearcherBudgetSummary>,
+    /// Worker threads the driver fanned each batch over.
+    pub workers: usize,
+}
+
+impl fmt::Display for SearchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.table)?;
+        writeln!(f, "== eval budgets (driver workers = {}) ==", self.workers)?;
+        for s in &self.summaries {
+            writeln!(
+                f,
+                "{:<24} geomean {:>7.2}x  evals {:>8}  lookups {:>8}  shared-cache hit-rate {:>5.1}%  nodes {:>8}  wall {:>7.2}s",
+                s.name,
+                s.geomean_speedup,
+                s.evaluations,
+                s.total_lookups,
+                s.shared_cache_hit_rate * 100.0,
+                s.nodes_expanded,
+                s.wall_s,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs every searcher (greedy, beam-4, MCTS, random, plus the vendor and
+/// Mullapudi comparison systems through the [`BaselineSearcher`] adapter)
+/// over the Sec. VII-A-2 DL-operator evaluation workloads with a policy
+/// trained at the given scale, batched through the parallel
+/// [`mlir_rl_search::SearchDriver`]. MCTS and random budgets scale with
+/// `scale.trajectories_per_iteration`.
+///
+/// Beam search is seeded with the greedy trajectory, so its column
+/// dominates greedy's on every workload — the acceptance invariant the
+/// smoke test asserts.
+pub fn search_speedups(scale: &ExperimentScale, workers: usize) -> SearchReport {
+    use mlir_rl_agent::PolicyNetwork;
+
+    let dataset = dl_ops::training_dataset(scale.dataset_scale, 81);
+    let mut rl = train_mlir_rl(EnvConfig::small(), &dataset, scale, 9);
+    let workloads: Vec<Module> = dl_ops::evaluation_benchmark()
+        .into_iter()
+        .map(|(_, m)| m)
+        .collect();
+
+    let budget = scale.trajectories_per_iteration;
+    let searchers: Vec<Box<dyn Searcher<PolicyNetwork>>> = vec![
+        Box::new(GreedyPolicy),
+        Box::new(BeamSearch::new(4)),
+        Box::new(Mcts::new((budget * 4).max(8))),
+        Box::new(RandomSearch::new((budget * 2).max(4))),
+        Box::new(BaselineSearcher::new(VendorLibrary::new(
+            VendorMode::Compiled,
+        ))),
+        Box::new(BaselineSearcher::new(MullapudiAutoscheduler::new())),
+    ];
+
+    let columns: Vec<String> = searchers.iter().map(|s| s.name()).collect();
+    let mut table = SpeedupTable::new(
+        "exp_search: speedup over MLIR baseline, per searcher",
+        columns,
+    );
+    let mut summaries = Vec::new();
+    let mut per_module: Vec<Vec<f64>> = vec![Vec::new(); workloads.len()];
+    for searcher in &searchers {
+        let report = rl.optimize_batch(&workloads, searcher.as_ref(), workers);
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            per_module[i].push(outcome.speedup);
+        }
+        summaries.push(SearcherBudgetSummary {
+            name: searcher.name(),
+            geomean_speedup: report.geomean_speedup(),
+            evaluations: report.total_evaluations(),
+            total_lookups: report.outcomes.iter().map(|o| o.total_lookups()).sum(),
+            shared_cache_hit_rate: report.shared_cache_hit_rate(),
+            nodes_expanded: report.total_nodes_expanded(),
+            wall_s: report.wall_s,
+        });
+    }
+    for (module, speedups) in workloads.iter().zip(per_module) {
+        table.push_row(module.name(), speedups);
+    }
+    SearchReport {
+        table,
+        summaries,
+        workers: workers.max(1),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // E8 — Tables II and V: dataset and model composition.
 // ---------------------------------------------------------------------------
 
@@ -684,6 +808,40 @@ mod tests {
             "repeated baselines must produce cache hits"
         );
         assert!(report.to_string().contains("cache hit-rate"));
+    }
+
+    #[test]
+    fn smoke_search_beam_dominates_greedy_on_every_workload() {
+        let report = search_speedups(&ExperimentScale::smoke(), 2);
+        let greedy_col = report
+            .table
+            .columns
+            .iter()
+            .position(|c| c == "greedy-policy")
+            .expect("greedy column present");
+        let beam_col = report
+            .table
+            .columns
+            .iter()
+            .position(|c| c.starts_with("beam-"))
+            .expect("beam column present");
+        assert!(!report.table.rows.is_empty());
+        for (name, values) in &report.table.rows {
+            assert!(
+                values[beam_col] >= values[greedy_col],
+                "beam must be >= greedy on {name}: {} vs {}",
+                values[beam_col],
+                values[greedy_col]
+            );
+            assert!(values.iter().all(|v| v.is_finite() && *v > 0.0));
+        }
+        // The eval budget and the shared-cache hit-rate are reported.
+        let printed = report.to_string();
+        assert!(printed.contains("shared-cache hit-rate"));
+        assert!(printed.contains("evals"));
+        for summary in &report.summaries {
+            assert!(summary.evaluations <= summary.total_lookups);
+        }
     }
 
     #[test]

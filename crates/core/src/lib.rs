@@ -42,6 +42,8 @@ pub use mlir_rl_env as env;
 pub use mlir_rl_ir as ir;
 /// Re-export of the neural-network crate.
 pub use mlir_rl_nn as nn;
+/// Re-export of the schedule-search crate.
+pub use mlir_rl_search as search;
 /// Re-export of the transformations crate.
 pub use mlir_rl_transforms as transforms;
 /// Re-export of the workloads crate.

@@ -1,16 +1,24 @@
 //! High-level optimizer facade: train an MLIR RL agent and use it to
 //! optimize modules, mirroring how the released artifact wraps the trained
 //! policy behind `scripts/evaluate.sh`.
+//!
+//! Deployment is built on the schedule-search subsystem: plain
+//! [`MlirRlOptimizer::optimize`] is greedy policy decoding (the paper's
+//! behavior, [`GreedyPolicy`] under the hood), and any other
+//! [`Searcher`] — beam, MCTS, random — can be plugged in via
+//! [`MlirRlOptimizer::search`] or batched over worker threads with
+//! [`MlirRlOptimizer::optimize_batch`].
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use mlir_rl_agent::PolicyNetwork;
-use mlir_rl_agent::{collect_episode, IterationStats, PolicyHyperparams, PpoConfig, PpoTrainer};
+use mlir_rl_agent::{IterationStats, PolicyHyperparams, PpoConfig, PpoTrainer};
 use mlir_rl_costmodel::{CostModel, MachineModel};
 use mlir_rl_env::{EnvConfig, EpisodeStats, OptimizationEnv};
 use mlir_rl_ir::Module;
+use mlir_rl_search::{BatchSearchReport, GreedyPolicy, SearchDriver, SearchOutcome, Searcher};
 
 /// The outcome of optimizing one module.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -32,6 +40,17 @@ impl From<EpisodeStats> for OptimizationOutcome {
             optimized_s: stats.final_s,
             speedup: stats.speedup,
             steps: stats.steps,
+        }
+    }
+}
+
+impl From<&SearchOutcome> for OptimizationOutcome {
+    fn from(outcome: &SearchOutcome) -> Self {
+        Self {
+            baseline_s: outcome.baseline_s,
+            optimized_s: outcome.best_s,
+            speedup: outcome.speedup,
+            steps: outcome.nodes_expanded,
         }
     }
 }
@@ -124,17 +143,24 @@ impl MlirRlOptimizer {
         self.trainer.train(&mut self.env, dataset, iterations)
     }
 
-    /// Optimizes one module with the current (greedy) policy.
+    /// Optimizes one module by greedy policy decoding (the paper's
+    /// deployment behavior; equivalent to [`Self::search`] with
+    /// [`GreedyPolicy`]).
     pub fn optimize(&mut self, module: &Module) -> OptimizationOutcome {
-        let traj = collect_episode(
-            &mut self.env,
-            module,
-            &mut self.trainer.policy,
-            &mut self.trainer.value,
-            true,
-            &mut self.rng,
-        );
-        traj.stats.into()
+        (&self.search(module, &GreedyPolicy)).into()
+    }
+
+    /// Searches the schedule space of one module with any [`Searcher`]
+    /// (beam, MCTS, random, a baseline adapter, ...) guided by the current
+    /// policy. The environment's evaluation cache stays warm across calls.
+    pub fn search(
+        &mut self,
+        module: &Module,
+        searcher: &dyn Searcher<PolicyNetwork>,
+    ) -> SearchOutcome {
+        use rand::Rng;
+        let seed = self.rng.gen();
+        searcher.search(&mut self.env, &mut self.trainer.policy, module, seed)
     }
 
     /// Optimizes a batch of modules, returning `(module name, outcome)`
@@ -144,6 +170,30 @@ impl MlirRlOptimizer {
             .iter()
             .map(|m| (m.name().to_string(), self.optimize(m)))
             .collect()
+    }
+
+    /// Optimizes a batch of modules with a [`Searcher`], fanned out over
+    /// `workers` threads via [`SearchDriver`]; all searches share one
+    /// sharded evaluation cache. Outcomes are identical for any worker
+    /// count.
+    pub fn optimize_batch(
+        &mut self,
+        modules: &[Module],
+        searcher: &dyn Searcher<PolicyNetwork>,
+        workers: usize,
+    ) -> BatchSearchReport {
+        use rand::Rng;
+        let base_seed = self.rng.gen();
+        // Put the optimizer's own cache in shared mode first: the driver's
+        // clone then shares the same table, so warmth gained by this batch
+        // serves every later optimize/search/optimize_batch call.
+        self.env.enable_shared_cache();
+        SearchDriver::new(workers).with_seed(base_seed).run(
+            &self.env,
+            &self.trainer.policy,
+            searcher,
+            modules,
+        )
     }
 
     /// Average policy-inference plus transformation-application time per
@@ -219,6 +269,22 @@ mod tests {
             assert!(!name.is_empty());
             assert!(outcome.speedup.is_finite());
         }
+    }
+
+    #[test]
+    fn search_and_batch_driver_work_through_the_facade() {
+        let mut opt = MlirRlOptimizer::new(tiny_config());
+        let modules = tiny_dataset();
+        let greedy = opt.optimize(&modules[0]);
+        let beam = opt.search(&modules[0], &mlir_rl_search::BeamSearch::new(4));
+        assert!(
+            beam.speedup >= greedy.speedup,
+            "beam search is seeded with the greedy trajectory"
+        );
+        let report = opt.optimize_batch(&modules, &mlir_rl_search::BeamSearch::new(2), 2);
+        assert_eq!(report.outcomes.len(), modules.len());
+        assert!(report.geomean_speedup() > 0.0);
+        assert!(report.shared_cache_hits + report.shared_cache_misses > 0);
     }
 
     #[test]

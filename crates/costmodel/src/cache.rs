@@ -9,13 +9,27 @@
 //! module and its per-operation schedules so repeated schedules never re-run
 //! the roofline estimator.
 //!
-//! The table is two-level: a frozen [`Arc`]-shared snapshot plus a small
-//! local overlay for new entries. Cloning a cache (the rollout engine
-//! clones one per worker per batch) copies the overlay but only bumps a
-//! reference count for the snapshot, and [`EvalCache::absorb`]ing a worker
-//! cache back only walks the worker's overlay — both costs stay
-//! proportional to *new* entries, not to the warm cache size.
-//! [`EvalCache::consolidate`] folds the overlay into the snapshot.
+//! The cache has two backends:
+//!
+//! * **Local** (the default) — a two-level table: a frozen [`Arc`]-shared
+//!   snapshot plus a small local overlay for new entries. Cloning copies the
+//!   overlay but only bumps a reference count for the snapshot;
+//!   [`EvalCache::absorb`]ing a clone back walks only its overlay.
+//!   [`EvalCache::consolidate`] folds the overlay into the snapshot.
+//! * **Shared** — a [`SharedEvalCache`]: one sharded hash table behind
+//!   `Arc<Mutex<_>>` shards, so every clone *is* the same table. The rollout
+//!   engine and the schedule-search driver put their environments in this
+//!   mode ([`EvalCache::make_shared`]) so all workers and all branches of a
+//!   search hit one cache — the parallel hit-rate matches serial collection
+//!   instead of every worker re-discovering the same schedules. Estimator
+//!   runs happen *outside* the shard locks (a lost race costs one duplicate
+//!   evaluation, never a wrong value), and eviction resets one shard at a
+//!   time.
+//!
+//! Per-[`EvalCache`] hit/miss counters always stay with the handle that
+//! observed the lookups (episode accounting), while a [`SharedEvalCache`]
+//! additionally keeps global atomic counters across every handle (batch
+//! accounting for the search driver).
 //!
 //! Keys are 128 bits (module fingerprint + schedule fingerprint), computed
 //! with [`std::collections::hash_map::DefaultHasher`], which is
@@ -24,10 +38,11 @@
 //! the `cached_estimates_match_uncached` property test exercises the
 //! construction.
 
-use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use mlir_rl_ir::Module;
 use mlir_rl_transforms::ScheduledModule;
@@ -36,6 +51,9 @@ use crate::estimator::{CostModel, ModuleEstimate};
 
 /// Default maximum number of memoized estimates per cache.
 pub const DEFAULT_EVAL_CACHE_CAPACITY: usize = 1 << 16;
+
+/// Number of independently locked shards of a [`SharedEvalCache`].
+pub const SHARED_CACHE_SHARDS: usize = 16;
 
 /// Canonical identity of a `(module, schedule)` pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,13 +102,155 @@ pub fn schedule_key(scheduled: &ScheduledModule) -> ScheduleKey {
     }
 }
 
+/// One sharded, thread-shared memoization table. Cloning shares the table
+/// (and the global hit/miss counters) by reference; handles on any thread
+/// see entries inserted by every other handle.
+#[derive(Debug, Clone)]
+pub struct SharedEvalCache {
+    shards: Arc<Vec<Mutex<HashMap<ScheduleKey, ModuleEstimate>>>>,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+    shard_capacity: usize,
+}
+
+impl SharedEvalCache {
+    /// Creates a shared cache holding at most (approximately) `capacity`
+    /// estimates across its shards. A shard that fills up is emptied
+    /// wholesale, like the local backend's generation reset.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            shards: Arc::new(
+                (0..SHARED_CACHE_SHARDS)
+                    .map(|_| Mutex::new(HashMap::new()))
+                    .collect(),
+            ),
+            hits: Arc::new(AtomicU64::new(0)),
+            misses: Arc::new(AtomicU64::new(0)),
+            shard_capacity: (capacity / SHARED_CACHE_SHARDS).max(1),
+        }
+    }
+
+    fn shard(&self, key: &ScheduleKey) -> &Mutex<HashMap<ScheduleKey, ModuleEstimate>> {
+        // The fingerprints are already well-mixed hashes; fold them down to
+        // a shard index.
+        let mix = key.module ^ key.schedule.rotate_left(17);
+        &self.shards[(mix as usize) % SHARED_CACHE_SHARDS]
+    }
+
+    /// Looks up `key`, running `model` *outside* the shard lock on a miss,
+    /// and returns `project`ed view of the estimate plus whether the lookup
+    /// was a hit. Two threads racing on the same new key both run the
+    /// estimator (same deterministic result); one insert wins.
+    fn lookup_with<T>(
+        &self,
+        key: ScheduleKey,
+        model: &CostModel,
+        scheduled: &ScheduledModule,
+        project: impl Fn(&ModuleEstimate) -> T,
+    ) -> (T, bool) {
+        {
+            let shard = self.shard(&key).lock().expect("cache shard poisoned");
+            if let Some(estimate) = shard.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (project(estimate), true);
+            }
+        }
+        let estimate = model.estimate_scheduled(scheduled);
+        let value = project(&estimate);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.insert(key, estimate);
+        (value, false)
+    }
+
+    /// Looks up the total time for `key`, running `model` only on a miss.
+    /// Returns `(total_s, was_hit)`.
+    pub fn total_s_keyed(
+        &self,
+        key: ScheduleKey,
+        model: &CostModel,
+        scheduled: &ScheduledModule,
+    ) -> (f64, bool) {
+        self.lookup_with(key, model, scheduled, |estimate| estimate.total_s)
+    }
+
+    /// Like [`SharedEvalCache::total_s_keyed`] but returning the whole
+    /// estimate (cloned out of the table).
+    pub fn estimate_keyed(
+        &self,
+        key: ScheduleKey,
+        model: &CostModel,
+        scheduled: &ScheduledModule,
+    ) -> (ModuleEstimate, bool) {
+        self.lookup_with(key, model, scheduled, ModuleEstimate::clone)
+    }
+
+    /// Inserts an already-computed estimate (misses of [`Self::lookup_with`]
+    /// and migration from a local cache). A full shard is emptied wholesale
+    /// before the insert, like the local backend's generation reset.
+    fn insert(&self, key: ScheduleKey, estimate: ModuleEstimate) {
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        if shard.len() >= self.shard_capacity && !shard.contains_key(&key) {
+            shard.clear();
+        }
+        shard.entry(key).or_insert(estimate);
+    }
+
+    /// Global lookups served from the table, across every handle.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Global lookups that ran the estimator, across every handle.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Global fraction of lookups served from the table.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Number of memoized estimates across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True if nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all memoized estimates (counters are kept).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+    }
+
+    /// True if `other` is a handle to the same table.
+    pub fn same_table(&self, other: &SharedEvalCache) -> bool {
+        Arc::ptr_eq(&self.shards, &other.shards)
+    }
+}
+
 /// A memoization table for [`ModuleEstimate`]s with hit/miss accounting.
 #[derive(Debug, Clone)]
 pub struct EvalCache {
-    /// Frozen snapshot shared (by `Arc`) between clones.
+    /// Frozen snapshot shared (by `Arc`) between clones (local backend).
     shared: Arc<HashMap<ScheduleKey, ModuleEstimate>>,
-    /// New entries since the last [`EvalCache::consolidate`].
+    /// New entries since the last [`EvalCache::consolidate`] (local backend).
     local: HashMap<ScheduleKey, ModuleEstimate>,
+    /// When set, every lookup goes through this thread-shared table instead
+    /// of the local maps.
+    backend: Option<SharedEvalCache>,
     capacity: usize,
     hits: u64,
     misses: u64,
@@ -111,15 +271,46 @@ impl EvalCache {
         Self {
             shared: Arc::new(HashMap::new()),
             local: HashMap::new(),
+            backend: None,
             capacity: capacity.max(1),
             hits: 0,
             misses: 0,
         }
     }
 
+    /// Converts this cache to the thread-shared sharded backend, migrating
+    /// every memoized entry, and returns a handle to the shared table.
+    /// Idempotent: a cache already in shared mode just returns its handle.
+    /// Clones taken *after* the conversion share the table.
+    pub fn make_shared(&mut self) -> SharedEvalCache {
+        if let Some(backend) = &self.backend {
+            return backend.clone();
+        }
+        let backend = SharedEvalCache::new(self.capacity);
+        for (key, estimate) in self.shared.iter() {
+            backend.insert(*key, estimate.clone());
+        }
+        for (key, estimate) in self.local.drain() {
+            backend.insert(key, estimate);
+        }
+        self.shared = Arc::new(HashMap::new());
+        self.backend = Some(backend.clone());
+        backend
+    }
+
+    /// True when lookups go through a thread-shared table.
+    pub fn is_shared(&self) -> bool {
+        self.backend.is_some()
+    }
+
+    /// The shared backend handle, when in shared mode.
+    pub fn shared_backend(&self) -> Option<&SharedEvalCache> {
+        self.backend.as_ref()
+    }
+
     /// Looks up the estimate for `scheduled`, running `model` only on a
     /// cache miss.
-    pub fn estimate(&mut self, model: &CostModel, scheduled: &ScheduledModule) -> &ModuleEstimate {
+    pub fn estimate(&mut self, model: &CostModel, scheduled: &ScheduledModule) -> ModuleEstimate {
         self.estimate_keyed(schedule_key(scheduled), model, scheduled)
             .0
     }
@@ -133,7 +324,48 @@ impl EvalCache {
         key: ScheduleKey,
         model: &CostModel,
         scheduled: &ScheduledModule,
+    ) -> (ModuleEstimate, bool) {
+        if let Some(backend) = &self.backend {
+            let (estimate, was_hit) = backend.estimate_keyed(key, model, scheduled);
+            self.count(was_hit);
+            return (estimate, was_hit);
+        }
+        let (estimate, was_hit) = self.local_lookup(key, model, scheduled);
+        (estimate.clone(), was_hit)
+    }
+
+    /// Cheapest lookup: only the total time, no estimate clone. Returns
+    /// `(total_s, was_hit)`.
+    pub fn total_s_keyed(
+        &mut self,
+        key: ScheduleKey,
+        model: &CostModel,
+        scheduled: &ScheduledModule,
+    ) -> (f64, bool) {
+        if let Some(backend) = &self.backend {
+            let (total_s, was_hit) = backend.total_s_keyed(key, model, scheduled);
+            self.count(was_hit);
+            return (total_s, was_hit);
+        }
+        let (estimate, was_hit) = self.local_lookup(key, model, scheduled);
+        (estimate.total_s, was_hit)
+    }
+
+    fn count(&mut self, was_hit: bool) {
+        if was_hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    fn local_lookup(
+        &mut self,
+        key: ScheduleKey,
+        model: &CostModel,
+        scheduled: &ScheduledModule,
     ) -> (&ModuleEstimate, bool) {
+        use std::collections::hash_map::Entry;
         if self.shared.contains_key(&key) {
             self.hits += 1;
             return (self.shared.get(&key).expect("checked above"), true);
@@ -154,9 +386,9 @@ impl EvalCache {
         }
     }
 
-    /// Folds the local overlay into the shared snapshot. Called by the
-    /// rollout engine before cloning worker caches, so clones share one
-    /// snapshot and carry an empty overlay.
+    /// Folds the local overlay into the shared snapshot, so clones share one
+    /// snapshot and carry an empty overlay. No-op in shared mode (there is
+    /// nothing local to fold).
     pub fn consolidate(&mut self) {
         if self.local.is_empty() {
             return;
@@ -167,12 +399,12 @@ impl EvalCache {
         }
     }
 
-    /// Number of lookups served from the cache.
+    /// Number of lookups served from the cache *through this handle*.
     pub fn hits(&self) -> u64 {
         self.hits
     }
 
-    /// Number of lookups that ran the estimator.
+    /// Number of lookups that ran the estimator *through this handle*.
     pub fn misses(&self) -> u64 {
         self.misses
     }
@@ -187,29 +419,51 @@ impl EvalCache {
         }
     }
 
-    /// Number of memoized estimates.
+    /// Number of memoized estimates (of the shared table when in shared
+    /// mode).
     pub fn len(&self) -> usize {
-        self.shared.len() + self.local.len()
+        match &self.backend {
+            Some(backend) => backend.len(),
+            None => self.shared.len() + self.local.len(),
+        }
     }
 
     /// True if nothing is memoized yet.
     pub fn is_empty(&self) -> bool {
-        self.shared.is_empty() && self.local.is_empty()
+        self.len() == 0
     }
 
     /// Drops all memoized estimates (counters are kept).
     pub fn clear(&mut self) {
         self.local.clear();
         self.shared = Arc::new(HashMap::new());
+        if let Some(backend) = &self.backend {
+            backend.clear();
+        }
     }
 
     /// Merges another cache's entries into this one (worker caches are
     /// folded back into the trainer's master cache after a parallel rollout
-    /// batch). When the other cache shares this cache's snapshot only its
-    /// overlay is walked; a foreign snapshot is merged too. Counters are
-    /// not merged: hit/miss accounting stays with the cache that observed
-    /// the lookups.
+    /// batch). When both caches are handles onto the same shared table this
+    /// is a no-op; otherwise the other cache's entries are walked into this
+    /// one. Counters are not merged: hit/miss accounting stays with the
+    /// cache that observed the lookups.
     pub fn absorb(&mut self, other: EvalCache) {
+        if let (Some(a), Some(b)) = (&self.backend, &other.backend) {
+            if a.same_table(b) {
+                return;
+            }
+        }
+        if let Some(backend) = &self.backend {
+            // Shared receiver: push the other cache's local entries in.
+            for (key, estimate) in other.shared.iter() {
+                backend.insert(*key, estimate.clone());
+            }
+            for (key, estimate) in other.local {
+                backend.insert(key, estimate);
+            }
+            return;
+        }
         if !Arc::ptr_eq(&self.shared, &other.shared) {
             for (key, estimate) in other.shared.iter() {
                 if self.len() >= self.capacity {
@@ -259,17 +513,17 @@ mod tests {
         )
         .unwrap();
         let direct = cm.estimate_scheduled(&sm);
-        let cached = cache.estimate(&cm, &sm).clone();
+        let cached = cache.estimate(&cm, &sm);
         assert_eq!(direct, cached);
         assert_eq!(cache.misses(), 1);
         // Second lookup is a hit and returns the identical estimate; the
         // hit survives consolidation into the shared snapshot.
-        let again = cache.estimate(&cm, &sm).clone();
+        let again = cache.estimate(&cm, &sm);
         assert_eq!(direct, again);
         assert_eq!(cache.hits(), 1);
         assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
         cache.consolidate();
-        assert_eq!(direct, cache.estimate(&cm, &sm).clone());
+        assert_eq!(direct, cache.estimate(&cm, &sm));
         assert_eq!(cache.hits(), 2);
     }
 
@@ -378,5 +632,126 @@ mod tests {
         // Folding the worker back transfers only the new entry.
         master.absorb(worker);
         assert_eq!(master.len(), 4);
+    }
+
+    #[test]
+    fn make_shared_migrates_entries_and_shares_between_clones() {
+        let cm = CostModel::new(MachineModel::default());
+        let mut master = EvalCache::default();
+        let sm = ScheduledModule::new(matmul(64, 64, 64));
+        master.estimate(&cm, &sm);
+        master.consolidate();
+        let overlay = ScheduledModule::new(matmul(48, 48, 48));
+        master.estimate(&cm, &overlay);
+        let handle = master.make_shared();
+        assert!(master.is_shared());
+        assert_eq!(master.len(), 2, "snapshot and overlay entries migrate");
+
+        // A clone taken after the conversion is a handle to the same table:
+        // entries inserted through one handle serve hits through the other.
+        let mut worker = master.clone();
+        let fresh = ScheduledModule::new(matmul(96, 96, 96));
+        let misses_before = worker.misses();
+        worker.estimate(&cm, &fresh);
+        assert_eq!(worker.misses(), misses_before + 1, "fresh key is a miss");
+        let (_, was_hit) = master.estimate_keyed(schedule_key(&fresh), &cm, &fresh);
+        assert!(was_hit, "the worker's insert is visible to the master");
+        assert_eq!(handle.len(), 3);
+
+        // Migrated entries serve hits too, and shared values match direct
+        // evaluation.
+        let (est, was_hit) = master.estimate_keyed(schedule_key(&sm), &cm, &sm);
+        assert!(was_hit);
+        assert_eq!(est, cm.estimate_scheduled(&sm));
+
+        // make_shared is idempotent.
+        assert!(master.make_shared().same_table(&handle));
+    }
+
+    #[test]
+    fn shared_global_counters_aggregate_across_handles() {
+        let cm = CostModel::new(MachineModel::default());
+        let mut a = EvalCache::default();
+        let handle = a.make_shared();
+        let mut b = a.clone();
+        let sm = ScheduledModule::new(matmul(64, 64, 64));
+        a.estimate(&cm, &sm); // global miss
+        b.estimate(&cm, &sm); // global hit
+        assert_eq!(handle.misses(), 1);
+        assert_eq!(handle.hits(), 1);
+        assert!((handle.hit_rate() - 0.5).abs() < 1e-12);
+        // Per-handle counters stay local.
+        assert_eq!((a.hits(), a.misses()), (0, 1));
+        assert_eq!((b.hits(), b.misses()), (1, 0));
+    }
+
+    #[test]
+    fn absorb_between_same_table_handles_is_a_noop() {
+        let cm = CostModel::new(MachineModel::default());
+        let mut a = EvalCache::default();
+        a.make_shared();
+        let mut b = a.clone();
+        let sm = ScheduledModule::new(matmul(64, 64, 64));
+        b.estimate(&cm, &sm);
+        a.absorb(b);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn absorb_local_into_shared_migrates_entries() {
+        let cm = CostModel::new(MachineModel::default());
+        let mut shared = EvalCache::default();
+        shared.make_shared();
+        let mut local = EvalCache::default();
+        let sm = ScheduledModule::new(matmul(64, 64, 64));
+        local.estimate(&cm, &sm);
+        shared.absorb(local);
+        assert_eq!(shared.len(), 1);
+        let (_, was_hit) = shared.estimate_keyed(schedule_key(&sm), &cm, &sm);
+        assert!(was_hit);
+    }
+
+    #[test]
+    fn shared_cache_is_consistent_under_concurrent_lookups() {
+        let cm = CostModel::new(MachineModel::default());
+        let handle = SharedEvalCache::new(1 << 12);
+        let sizes: Vec<u64> = (1..24).map(|i| 16 * i).collect();
+        let expected: Vec<f64> = sizes
+            .iter()
+            .map(|s| {
+                cm.estimate_scheduled(&ScheduledModule::new(matmul(*s, *s, *s)))
+                    .total_s
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let handle = handle.clone();
+                let cm = cm.clone();
+                let sizes = sizes.clone();
+                let expected = expected.clone();
+                scope.spawn(move || {
+                    for (size, want) in sizes.iter().zip(&expected) {
+                        let sm = ScheduledModule::new(matmul(*size, *size, *size));
+                        let (got, _) = handle.total_s_keyed(schedule_key(&sm), &cm, &sm);
+                        assert_eq!(got, *want, "shared value must match direct evaluation");
+                    }
+                });
+            }
+        });
+        assert_eq!(handle.len(), sizes.len());
+        assert_eq!(handle.hits() + handle.misses(), 4 * sizes.len() as u64);
+    }
+
+    #[test]
+    fn shared_shard_overflow_resets_only_that_shard() {
+        let cm = CostModel::new(MachineModel::default());
+        // Tiny capacity: every shard holds one entry.
+        let handle = SharedEvalCache::new(SHARED_CACHE_SHARDS);
+        for i in 1..40u64 {
+            let sm = ScheduledModule::new(matmul(8 * i, 8 * i, 8 * i));
+            handle.total_s_keyed(schedule_key(&sm), &cm, &sm);
+        }
+        assert!(handle.len() <= SHARED_CACHE_SHARDS);
+        assert!(!handle.is_empty());
     }
 }

@@ -41,7 +41,7 @@ pub mod noise;
 
 pub use cache::{
     module_fingerprint, schedule_fingerprint, schedule_key, EvalCache, ScheduleKey,
-    DEFAULT_EVAL_CACHE_CAPACITY,
+    SharedEvalCache, DEFAULT_EVAL_CACHE_CAPACITY, SHARED_CACHE_SHARDS,
 };
 pub use estimator::{speedup, CostModel, ModuleEstimate, TimeEstimate};
 pub use footprint::{operand_accesses, subnest_footprint, traffic_beyond_cache, OperandAccess};

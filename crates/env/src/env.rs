@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use mlir_rl_costmodel::{
     module_fingerprint, schedule_fingerprint, CostModel, EvalCache, MeasurementNoise, ScheduleKey,
+    SharedEvalCache,
 };
 use mlir_rl_ir::{Module, OpId};
 use mlir_rl_transforms::{ScheduledModule, TransformError, TransformationKind};
@@ -76,6 +77,42 @@ pub struct EpisodeStats {
     /// Evaluation requests answered by the schedule-keyed cache instead of
     /// running the estimator.
     pub cache_hits: usize,
+}
+
+impl EpisodeStats {
+    /// Total cost-model lookups of the episode. Every lookup is classified
+    /// as exactly one of `evaluations` (estimator ran) or `cache_hits`
+    /// (served from memory), so `evaluations + cache_hits == total_lookups`
+    /// always holds — the invariant the rollout engine and the search
+    /// subsystem both report against.
+    pub fn total_lookups(&self) -> usize {
+        self.evaluations + self.cache_hits
+    }
+}
+
+/// A resumable snapshot of a live episode.
+///
+/// Search procedures branch the environment: they take a snapshot at a
+/// decision point, try an action, and [`OptimizationEnv::restore`] to try
+/// the next one — without re-running the transformation sequence from the
+/// episode start. The snapshot captures everything episode-specific
+/// (schedule state, visit cursor, action histories, timings, counters and
+/// the noise stream); the configuration, cost model and evaluation cache
+/// stay with the environment, so all branches of a search share one cache.
+#[derive(Debug, Clone)]
+pub struct EpisodeSnapshot {
+    scheduled: Option<ScheduledModule>,
+    op_order: Vec<OpId>,
+    current_index: usize,
+    histories: Vec<ActionHistory>,
+    baseline_s: f64,
+    current_s: f64,
+    steps_on_current_op: usize,
+    total_steps: usize,
+    evaluations: usize,
+    cache_hits: usize,
+    module_fp: u64,
+    noise: Option<MeasurementNoise>,
 }
 
 /// The optimization environment.
@@ -190,25 +227,19 @@ impl OptimizationEnv {
         std::mem::replace(&mut self.cache, cache)
     }
 
-    /// Folds another cache's entries into this environment's cache (used to
-    /// keep worker-env caches warm across parallel rollout batches).
-    pub fn absorb_cache(&mut self, other: EvalCache) {
-        self.cache.absorb(other);
+    /// Switches the evaluation cache to the sharded thread-shared backend
+    /// (idempotent) and returns a handle to the shared table. Environment
+    /// clones taken *after* this call all hit the same table — the rollout
+    /// engine and the search driver use this so every worker and every
+    /// search branch shares one cache.
+    pub fn enable_shared_cache(&mut self) -> SharedEvalCache {
+        self.cache.make_shared()
     }
 
-    /// Folds the cache's local overlay into its shared snapshot so
-    /// subsequent clones share the snapshot by reference instead of deep
-    /// copying (the rollout engine calls this before cloning worker envs).
-    pub fn consolidate_cache(&mut self) {
-        self.cache.consolidate();
-    }
-
-    /// Moves the other environment's cache entries into this environment
-    /// (the other environment is left with an empty cache). The rollout
-    /// engine folds worker caches back into the trainer's master
-    /// environment this way.
-    pub fn absorb_cache_from(&mut self, other: &mut OptimizationEnv) {
-        self.cache.absorb(std::mem::take(&mut other.cache));
+    /// Total cost-model lookups so far this episode
+    /// (`evaluations + cache_hits`).
+    pub fn total_lookups(&self) -> usize {
+        self.evaluations + self.cache_hits
     }
 
     /// Reseeds the measurement-noise stream (no-op when the configuration
@@ -240,6 +271,62 @@ impl OptimizationEnv {
         }
     }
 
+    /// Takes a snapshot of the live episode for later [`Self::restore`].
+    pub fn snapshot(&self) -> EpisodeSnapshot {
+        EpisodeSnapshot {
+            scheduled: self.scheduled.clone(),
+            op_order: self.op_order.clone(),
+            current_index: self.current_index,
+            histories: self.histories.clone(),
+            baseline_s: self.baseline_s,
+            current_s: self.current_s,
+            steps_on_current_op: self.steps_on_current_op,
+            total_steps: self.total_steps,
+            evaluations: self.evaluations,
+            cache_hits: self.cache_hits,
+            module_fp: self.module_fp,
+            noise: self.noise.clone(),
+        }
+    }
+
+    /// Restores a previously taken snapshot, rewinding the episode to that
+    /// decision point. The evaluation cache is *not* rewound: estimates
+    /// memoized on an abandoned branch stay warm for the next one.
+    pub fn restore(&mut self, snapshot: &EpisodeSnapshot) {
+        self.scheduled = snapshot.scheduled.clone();
+        self.op_order = snapshot.op_order.clone();
+        self.current_index = snapshot.current_index;
+        self.histories = snapshot.histories.clone();
+        self.baseline_s = snapshot.baseline_s;
+        self.current_s = snapshot.current_s;
+        self.steps_on_current_op = snapshot.steps_on_current_op;
+        self.total_steps = snapshot.total_steps;
+        self.evaluations = snapshot.evaluations;
+        self.cache_hits = snapshot.cache_hits;
+        self.module_fp = snapshot.module_fp;
+        self.noise = snapshot.noise.clone();
+    }
+
+    /// The observation of the current decision point (`None` when the
+    /// episode is over). Search procedures call this after
+    /// [`Self::restore`] to re-derive the branching point's observation.
+    pub fn current_observation(&self) -> Option<Observation> {
+        self.observation()
+    }
+
+    /// Estimated execution time of the current schedule, through the cache,
+    /// *without* measurement noise and without touching the episode's
+    /// running time. Search procedures score branches with this (the
+    /// lookup still counts toward `evaluations`/`cache_hits`).
+    pub fn peek_time_s(&mut self) -> f64 {
+        let Some(scheduled) = self.scheduled.take() else {
+            return self.current_s;
+        };
+        let t = self.cached_total_s(&scheduled);
+        self.scheduled = Some(scheduled);
+        t
+    }
+
     /// Evaluates `scheduled` through the schedule-keyed cache, classifying
     /// the request into this episode's hit/miss counters (the only place
     /// that accounting happens).
@@ -248,8 +335,7 @@ impl OptimizationEnv {
             module: self.module_fp,
             schedule: schedule_fingerprint(scheduled),
         };
-        let (estimate, was_hit) = self.cache.estimate_keyed(key, &self.cost_model, scheduled);
-        let total_s = estimate.total_s;
+        let (total_s, was_hit) = self.cache.total_s_keyed(key, &self.cost_model, scheduled);
         if was_hit {
             self.cache_hits += 1;
         } else {
@@ -617,6 +703,91 @@ mod tests {
         a.reset(matmul_relu_module());
         b.reset(matmul_relu_module());
         assert_eq!(a.baseline_time_s(), b.baseline_time_s());
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_the_episode_exactly() {
+        let mut e = env();
+        e.reset(matmul_relu_module()).unwrap();
+        let out = e.step(&Action::Tiling {
+            tile_indices: vec![1, 1],
+        });
+        assert!(out.applied);
+        let snap = e.snapshot();
+        let obs_at_snap = e.current_observation().unwrap();
+
+        // Branch A: parallelize, finish.
+        let a1 = e.step(&Action::TiledParallelization {
+            tile_indices: vec![2, 2],
+        });
+        assert!(a1.applied);
+        let t_a = e.peek_time_s();
+
+        // Rewind and take branch B: stop immediately.
+        e.restore(&snap);
+        assert_eq!(e.current_observation().unwrap(), obs_at_snap);
+        let t_b = e.peek_time_s();
+        assert_ne!(t_a, t_b, "branches must be scored on their own schedules");
+
+        // Replaying branch A after the restore gives bit-identical timing.
+        let a2 = e.step(&Action::TiledParallelization {
+            tile_indices: vec![2, 2],
+        });
+        assert!(a2.applied);
+        assert_eq!(e.peek_time_s(), t_a);
+    }
+
+    #[test]
+    fn lookup_accounting_is_consistent() {
+        // hits + evaluations == total lookups, and the episode counters
+        // agree with the cache's own counters (a fresh env has a fresh
+        // cache, so the lifetime counters are the episode's).
+        let mut config = EnvConfig::small();
+        config.reward_mode = RewardMode::Immediate;
+        let mut e = OptimizationEnv::new(config, CostModel::new(MachineModel::default()));
+        e.reset(matmul_relu_module()).unwrap();
+        e.step(&Action::Tiling {
+            tile_indices: vec![1, 1],
+        });
+        e.step(&Action::NoTransformation);
+        e.step(&Action::Tiling {
+            tile_indices: vec![1, 1, 0],
+        });
+        e.step(&Action::NoTransformation);
+        let stats = e.stats();
+        assert_eq!(
+            stats.total_lookups(),
+            stats.evaluations + stats.cache_hits,
+            "every lookup is exactly one of evaluation or hit"
+        );
+        assert_eq!(stats.evaluations, e.cache().misses() as usize);
+        assert_eq!(stats.cache_hits, e.cache().hits() as usize);
+        assert_eq!(e.total_lookups(), stats.total_lookups());
+        assert!(stats.cache_hits > 0, "repeated schedules must hit");
+    }
+
+    #[test]
+    fn shared_cache_mode_preserves_episode_results() {
+        let module = matmul_relu_module();
+        let run = |e: &mut OptimizationEnv| {
+            e.reset(module.clone()).unwrap();
+            e.step(&Action::TiledFusion {
+                tile_indices: vec![2, 2],
+            });
+            let out = e.step(&Action::NoTransformation);
+            (out.reward, e.stats())
+        };
+        let mut local = env();
+        let mut shared = env();
+        let handle = shared.enable_shared_cache();
+        let (r_local, s_local) = run(&mut local);
+        let (r_shared, s_shared) = run(&mut shared);
+        assert_eq!(r_local, r_shared);
+        assert_eq!(s_local, s_shared);
+        assert_eq!(
+            handle.hits() + handle.misses(),
+            s_shared.total_lookups() as u64
+        );
     }
 
     #[test]

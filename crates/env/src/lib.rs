@@ -41,7 +41,7 @@ pub use action::{
     enumerated_candidates, flat_action_space, swap_permutation, Action, FlatAction, InterchangeSpec,
 };
 pub use config::{ActionSpaceMode, EnvConfig, InterchangeMode, RewardMode};
-pub use env::{EpisodeStats, Observation, OptimizationEnv, StepOutcome};
+pub use env::{EpisodeSnapshot, EpisodeStats, Observation, OptimizationEnv, StepOutcome};
 pub use features::{extract_features, zero_features, ActionHistory};
 pub use mask::{compute_mask, ActionMask};
 pub use reward::{log_speedup, speedup_from_log, step_reward};

@@ -1,0 +1,154 @@
+//! Beam search with policy-ranked expansion and cost-model scoring.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use mlir_rl_agent::PolicyModel;
+use mlir_rl_env::{Action, EpisodeSnapshot, OptimizationEnv};
+use mlir_rl_ir::Module;
+
+use crate::greedy::greedy_rollout;
+use crate::searcher::{
+    finish_outcome, max_episode_steps, reseed_for_search, BestFound, LookupMeter, SearchOutcome,
+    Searcher,
+};
+
+/// Beam search over the schedule space.
+///
+/// At every step each live beam state expands its top-`width`
+/// policy-ranked actions ([`PolicyModel::rank_actions`]: the greedy action
+/// first, then sampled candidates by descending log-probability); children
+/// are scored with the cost model through the shared evaluation cache, and
+/// the best `width` children (lowest estimated time) survive. The search is
+/// seeded with the plain greedy trajectory, so the outcome is **never worse
+/// than [`crate::GreedyPolicy`]**, and with `width == 1` the expansion is
+/// exactly the greedy action at every step — step-for-step identical to
+/// greedy decoding (property-tested).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeamSearch {
+    /// Beam width: surviving states per step *and* candidate actions ranked
+    /// per expansion.
+    pub width: usize,
+}
+
+impl BeamSearch {
+    /// Creates a beam search with the given width (clamped to at least 1).
+    pub fn new(width: usize) -> Self {
+        Self {
+            width: width.max(1),
+        }
+    }
+}
+
+impl Default for BeamSearch {
+    fn default() -> Self {
+        Self::new(4)
+    }
+}
+
+/// A live (not yet terminal) state of the beam. Terminal children are
+/// folded straight into the best-so-far instead of occupying beam slots.
+struct BeamState {
+    snapshot: EpisodeSnapshot,
+    actions: Vec<Action>,
+    /// Estimated time of the state's schedule (lower is better).
+    score: f64,
+}
+
+impl<P: PolicyModel> Searcher<P> for BeamSearch {
+    fn name(&self) -> String {
+        format!("beam-{}", self.width)
+    }
+
+    fn search(
+        &self,
+        env: &mut OptimizationEnv,
+        policy: &mut P,
+        module: &Module,
+        seed: u64,
+    ) -> SearchOutcome {
+        let meter = LookupMeter::start(env);
+        reseed_for_search(env, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut nodes = 0usize;
+
+        // Seed: the pure greedy trajectory. This pins the floor of the
+        // search at greedy decoding even if the greedy path is later pruned
+        // out of the beam.
+        let rollout = greedy_rollout(env, policy, module, &mut rng);
+        let baseline_s = rollout.baseline_s;
+        let mut best_s = rollout.final_s;
+        let mut best_actions = rollout.actions;
+        nodes += rollout.steps;
+
+        // Root of the beam: a fresh episode (cache-hot after the seed).
+        let obs = env.reset(module.clone());
+        let mut beams = if obs.is_some() {
+            vec![BeamState {
+                snapshot: env.snapshot(),
+                actions: Vec::new(),
+                score: env.peek_time_s(),
+            }]
+        } else {
+            Vec::new()
+        };
+
+        let max_depth = max_episode_steps(env, module);
+        for _depth in 0..max_depth {
+            if beams.is_empty() {
+                break;
+            }
+            let mut children = Vec::new();
+            for beam in &beams {
+                env.restore(&beam.snapshot);
+                let obs = env
+                    .current_observation()
+                    .expect("live beam state has an observation");
+                for record in policy.rank_actions(&obs, self.width, &mut rng) {
+                    env.restore(&beam.snapshot);
+                    let outcome = env.step(&record.action);
+                    nodes += 1;
+                    let score = env.peek_time_s();
+                    let mut actions = beam.actions.clone();
+                    actions.push(record.action);
+                    if outcome.done {
+                        // Terminal child: a complete schedule. Fold it into
+                        // the best-so-far; it needs no beam slot (there is
+                        // nothing left to expand from it).
+                        if score < best_s {
+                            best_s = score;
+                            best_actions = actions;
+                        }
+                    } else {
+                        children.push(BeamState {
+                            snapshot: env.snapshot(),
+                            actions,
+                            score,
+                        });
+                    }
+                }
+            }
+            // Keep the `width` most promising live states.
+            children.sort_by(|a, b| {
+                a.score
+                    .partial_cmp(&b.score)
+                    .expect("estimated times are finite")
+            });
+            children.truncate(self.width);
+            beams = children;
+        }
+
+        finish_outcome(
+            Searcher::<P>::name(self),
+            env,
+            module,
+            &meter,
+            baseline_s,
+            BestFound {
+                time_s: best_s,
+                actions: best_actions,
+            },
+            nodes,
+        )
+    }
+}

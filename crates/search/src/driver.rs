@@ -1,0 +1,178 @@
+//! The batch optimization driver: many modules, many threads, one cache.
+
+use std::time::Instant;
+
+use mlir_rl_agent::{episode_seed, PolicyModel};
+use mlir_rl_env::OptimizationEnv;
+use mlir_rl_ir::Module;
+
+use crate::searcher::{SearchOutcome, Searcher};
+
+/// Fans a batch of modules out over worker threads, each running the same
+/// [`Searcher`] with its own environment handle and policy snapshot —
+/// the batch-serving entry point of the search subsystem.
+///
+/// Before the fan-out the template environment's evaluation cache is
+/// switched to the sharded thread-shared backend, so every worker (and
+/// every branch of every search) hits one table; the report carries the
+/// table's global hit/miss counters for the batch. Each module's search is
+/// seeded with `episode_seed(base_seed, module_index)`, so the outcomes are
+/// **bit-for-bit identical for any worker count** (cached values are
+/// deterministic; only cache hit/miss *counts* may differ) — the worker
+/// count is purely a throughput knob, exactly like the rollout engine's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchDriver {
+    /// Worker threads (1 = search in the calling thread).
+    pub workers: usize,
+    /// Base seed mixed with each module index.
+    pub base_seed: u64,
+}
+
+impl SearchDriver {
+    /// Creates a driver with the given worker count and base seed 0.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            base_seed: 0,
+        }
+    }
+
+    /// Sets the base seed.
+    pub fn with_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Optimizes every module of the batch with `searcher`, returning
+    /// outcomes in module order plus the batch-wide shared-cache
+    /// accounting.
+    pub fn run<P, S>(
+        &self,
+        env_template: &OptimizationEnv,
+        policy: &P,
+        searcher: &S,
+        modules: &[Module],
+    ) -> BatchSearchReport
+    where
+        P: PolicyModel,
+        S: Searcher<P> + ?Sized,
+    {
+        let start = Instant::now();
+        let mut master = env_template.clone();
+        let shared = master.enable_shared_cache();
+        let hits_before = shared.hits();
+        let misses_before = shared.misses();
+
+        let n = modules.len();
+        let workers = self.workers.min(n.max(1));
+        let mut slots: Vec<Option<SearchOutcome>> = (0..n).map(|_| None).collect();
+
+        if workers <= 1 {
+            let mut policy = policy.clone();
+            for (index, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(searcher.search(
+                    &mut master,
+                    &mut policy,
+                    &modules[index],
+                    episode_seed(self.base_seed, index as u64),
+                ));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for worker in 0..workers {
+                    let mut worker_env = master.clone();
+                    let mut worker_policy = policy.clone();
+                    let base_seed = self.base_seed;
+                    handles.push(scope.spawn(move || {
+                        let mut collected = Vec::new();
+                        let mut index = worker;
+                        while index < n {
+                            collected.push((
+                                index,
+                                searcher.search(
+                                    &mut worker_env,
+                                    &mut worker_policy,
+                                    &modules[index],
+                                    episode_seed(base_seed, index as u64),
+                                ),
+                            ));
+                            index += workers;
+                        }
+                        collected
+                    }));
+                }
+                for handle in handles {
+                    for (index, outcome) in handle.join().expect("search worker panicked") {
+                        slots[index] = Some(outcome);
+                    }
+                }
+            });
+        }
+
+        BatchSearchReport {
+            outcomes: slots
+                .into_iter()
+                .map(|o| o.expect("every module was assigned to a worker"))
+                .collect(),
+            shared_cache_hits: shared.hits() - hits_before,
+            shared_cache_misses: shared.misses() - misses_before,
+            wall_s: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+impl Default for SearchDriver {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+/// The result of one batch search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSearchReport {
+    /// Per-module outcomes, in the order the modules were given.
+    pub outcomes: Vec<SearchOutcome>,
+    /// Lookups served by the shared table across the whole batch.
+    pub shared_cache_hits: u64,
+    /// Lookups that ran the estimator across the whole batch.
+    pub shared_cache_misses: u64,
+    /// Wall-clock time of the batch, seconds.
+    pub wall_s: f64,
+}
+
+impl BatchSearchReport {
+    /// Batch-wide fraction of lookups served by the shared cache.
+    pub fn shared_cache_hit_rate(&self) -> f64 {
+        let total = self.shared_cache_hits + self.shared_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.shared_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Geometric mean of the per-module speedups (1.0 for an empty batch).
+    pub fn geomean_speedup(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 1.0;
+        }
+        (self
+            .outcomes
+            .iter()
+            .map(|o| o.speedup.max(1e-12).ln())
+            .sum::<f64>()
+            / self.outcomes.len() as f64)
+            .exp()
+    }
+
+    /// Total estimator runs across the batch (the evaluation budget spent).
+    pub fn total_evaluations(&self) -> usize {
+        self.outcomes.iter().map(|o| o.evaluations).sum()
+    }
+
+    /// Total environment steps across every branch of every search.
+    pub fn total_nodes_expanded(&self) -> usize {
+        self.outcomes.iter().map(|o| o.nodes_expanded).sum()
+    }
+}

@@ -1,0 +1,257 @@
+//! Monte-Carlo tree search with policy priors (PUCT) and cost-model
+//! playouts.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use mlir_rl_agent::PolicyModel;
+use mlir_rl_env::{Action, EpisodeSnapshot, OptimizationEnv};
+use mlir_rl_ir::Module;
+
+use crate::searcher::{
+    finish_outcome, max_episode_steps, reseed_for_search, BestFound, LookupMeter, SearchOutcome,
+    Searcher,
+};
+
+/// UCT over the schedule tree, AlphaZero-style: expansion is guided by
+/// policy priors (softmax over the ranked candidates' log-probabilities),
+/// leaf evaluation is a policy-sampled playout to the end of the episode
+/// scored by the cost model, and values are log-speedups over the baseline.
+/// Every complete playout is a candidate best schedule, so the reported
+/// outcome is the best terminal state seen anywhere in the search.
+///
+/// Fully deterministic under a fixed seed: one RNG drives candidate
+/// ranking and playouts, selection ties break toward the lower edge index,
+/// and cost-model values are deterministic whether they hit or miss the
+/// cache — so the outcome is independent of how many driver threads run
+/// around it (property-tested).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mcts {
+    /// Number of selection/expansion/playout iterations.
+    pub iterations: usize,
+    /// Candidate actions ranked per expanded node (the branching factor).
+    pub branch: usize,
+    /// PUCT exploration constant `c`.
+    pub exploration: f64,
+}
+
+impl Mcts {
+    /// Creates an MCTS searcher with the given iteration budget, branching
+    /// factor 4 and exploration constant 1.4.
+    pub fn new(iterations: usize) -> Self {
+        Self {
+            iterations: iterations.max(1),
+            branch: 4,
+            exploration: 1.4,
+        }
+    }
+
+    /// Sets the branching factor (candidates ranked per node).
+    pub fn with_branch(mut self, branch: usize) -> Self {
+        self.branch = branch.max(1);
+        self
+    }
+}
+
+impl Default for Mcts {
+    fn default() -> Self {
+        Self::new(64)
+    }
+}
+
+struct Edge {
+    action: Action,
+    prior: f64,
+    child: Option<usize>,
+}
+
+struct Node {
+    snapshot: EpisodeSnapshot,
+    actions: Vec<Action>,
+    done: bool,
+    expanded: bool,
+    edges: Vec<Edge>,
+    visits: f64,
+    value_sum: f64,
+}
+
+impl Node {
+    fn mean_value(&self) -> f64 {
+        if self.visits > 0.0 {
+            self.value_sum / self.visits
+        } else {
+            0.0
+        }
+    }
+}
+
+impl<P: PolicyModel> Searcher<P> for Mcts {
+    fn name(&self) -> String {
+        format!("mcts-{}", self.iterations)
+    }
+
+    fn search(
+        &self,
+        env: &mut OptimizationEnv,
+        policy: &mut P,
+        module: &Module,
+        seed: u64,
+    ) -> SearchOutcome {
+        let meter = LookupMeter::start(env);
+        reseed_for_search(env, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut nodes_expanded = 0usize;
+        let max_steps = max_episode_steps(env, module);
+
+        let root_obs = env.reset(module.clone());
+        // The noise-free estimate of the empty schedule is both the
+        // baseline every value is a log-speedup against and the floor of
+        // the best-so-far.
+        let baseline_s = env.peek_time_s();
+        let mut best_s = baseline_s;
+        let mut best_actions: Vec<Action> = Vec::new();
+
+        let mut arena = vec![Node {
+            snapshot: env.snapshot(),
+            actions: Vec::new(),
+            done: root_obs.is_none(),
+            expanded: false,
+            edges: Vec::new(),
+            visits: 0.0,
+            value_sum: 0.0,
+        }];
+
+        for _ in 0..self.iterations {
+            if arena[0].done {
+                break;
+            }
+            // --- Selection (with inline expansion of unvisited edges) ----
+            let mut path = vec![0usize];
+            let mut node = 0usize;
+            loop {
+                if arena[node].done {
+                    break;
+                }
+                if !arena[node].expanded {
+                    // Rank candidates from the node's observation and turn
+                    // their log-probabilities into priors.
+                    env.restore(&arena[node].snapshot);
+                    let obs = env
+                        .current_observation()
+                        .expect("live node has an observation");
+                    let candidates = policy.rank_actions(&obs, self.branch, &mut rng);
+                    let max_lp = candidates
+                        .iter()
+                        .map(|c| c.log_prob)
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    let weights: Vec<f64> = candidates
+                        .iter()
+                        .map(|c| (c.log_prob - max_lp).exp())
+                        .collect();
+                    let total: f64 = weights.iter().sum();
+                    arena[node].edges = candidates
+                        .into_iter()
+                        .zip(weights)
+                        .map(|(record, w)| Edge {
+                            action: record.action,
+                            prior: w / total.max(1e-12),
+                            child: None,
+                        })
+                        .collect();
+                    arena[node].expanded = true;
+                }
+                // PUCT over the edges; ties break toward the lower index.
+                let parent_visits = arena[node].visits.max(1.0);
+                let mut chosen = 0usize;
+                let mut chosen_score = f64::NEG_INFINITY;
+                for (i, edge) in arena[node].edges.iter().enumerate() {
+                    let (q, child_visits) = match edge.child {
+                        Some(c) => (arena[c].mean_value(), arena[c].visits),
+                        None => (0.0, 0.0),
+                    };
+                    let u =
+                        self.exploration * edge.prior * parent_visits.sqrt() / (1.0 + child_visits);
+                    let score = q + u;
+                    if score > chosen_score {
+                        chosen_score = score;
+                        chosen = i;
+                    }
+                }
+                match arena[node].edges[chosen].child {
+                    Some(child) => {
+                        node = child;
+                        path.push(node);
+                    }
+                    None => {
+                        // Expand the edge into a new child and stop there.
+                        env.restore(&arena[node].snapshot);
+                        let action = arena[node].edges[chosen].action.clone();
+                        let outcome = env.step(&action);
+                        nodes_expanded += 1;
+                        let mut actions = arena[node].actions.clone();
+                        actions.push(action);
+                        let child = Node {
+                            snapshot: env.snapshot(),
+                            actions,
+                            done: outcome.done,
+                            expanded: false,
+                            edges: Vec::new(),
+                            visits: 0.0,
+                            value_sum: 0.0,
+                        };
+                        let child_index = arena.len();
+                        arena.push(child);
+                        arena[node].edges[chosen].child = Some(child_index);
+                        path.push(child_index);
+                        break;
+                    }
+                }
+            }
+
+            // --- Evaluation: cost-model playout from the path's leaf -----
+            let leaf = *path.last().expect("path starts at the root");
+            env.restore(&arena[leaf].snapshot);
+            let mut playout_actions = arena[leaf].actions.clone();
+            let mut obs = env.current_observation();
+            while let Some(current) = obs {
+                let record = policy.select_action(&current, false, &mut rng);
+                let outcome = env.step(&record.action);
+                playout_actions.push(record.action);
+                nodes_expanded += 1;
+                obs = outcome.observation;
+                if playout_actions.len() > max_steps {
+                    break;
+                }
+            }
+            let final_s = env.peek_time_s();
+            if final_s < best_s {
+                best_s = final_s;
+                best_actions = playout_actions;
+            }
+            let value = if final_s > 0.0 {
+                (baseline_s / final_s).max(1e-12).ln()
+            } else {
+                0.0
+            };
+
+            // --- Backpropagation ----------------------------------------
+            for &n in &path {
+                arena[n].visits += 1.0;
+                arena[n].value_sum += value;
+            }
+        }
+
+        finish_outcome(
+            Searcher::<P>::name(self),
+            env,
+            module,
+            &meter,
+            baseline_s,
+            BestFound {
+                time_s: best_s,
+                actions: best_actions,
+            },
+            nodes_expanded,
+        )
+    }
+}

@@ -1,0 +1,165 @@
+//! Budgeted uniform-random search — the policy-free baseline.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use mlir_rl_agent::PolicyModel;
+use mlir_rl_env::{
+    Action, EnvConfig, InterchangeMode, InterchangeSpec, Observation, OptimizationEnv,
+};
+use mlir_rl_ir::Module;
+use mlir_rl_transforms::TransformationKind;
+
+use crate::searcher::{
+    finish_outcome, max_episode_steps, reseed_for_search, BestFound, LookupMeter, SearchOutcome,
+    Searcher,
+};
+
+/// Uniform-random search over the *masked* action space: `episodes` full
+/// episodes of random legal actions, keeping the fastest final schedule.
+/// The floor is the untransformed baseline (speedup ≥ 1), and the point of
+/// the searcher is to quantify how much of the other searchers' gains come
+/// from the policy rather than from raw evaluation budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomSearch {
+    /// Number of random episodes to roll out.
+    pub episodes: usize,
+}
+
+impl RandomSearch {
+    /// Creates a random search with the given episode budget (at least 1).
+    pub fn new(episodes: usize) -> Self {
+        Self {
+            episodes: episodes.max(1),
+        }
+    }
+}
+
+impl Default for RandomSearch {
+    fn default() -> Self {
+        Self::new(32)
+    }
+}
+
+/// Samples a uniform-random action among those the mask allows.
+pub fn random_action(obs: &Observation, config: &EnvConfig, rng: &mut ChaCha8Rng) -> Action {
+    let allowed: Vec<usize> = (0..6).filter(|i| obs.mask.transformation[*i]).collect();
+    let kind = if allowed.is_empty() {
+        TransformationKind::NoTransformation
+    } else {
+        TransformationKind::from_index(allowed[rng.gen_range(0..allowed.len())])
+    };
+    let m = config.num_tile_candidates();
+    let random_tiles = |rng: &mut ChaCha8Rng| -> Vec<usize> {
+        (0..obs.num_loops)
+            .map(|level| {
+                let level_allowed: Vec<usize> = match obs.mask.tile_sizes.get(level) {
+                    Some(mask) => (0..mask.len()).filter(|i| mask[*i]).collect(),
+                    None => (0..m).collect(),
+                };
+                if level_allowed.is_empty() {
+                    0
+                } else {
+                    level_allowed[rng.gen_range(0..level_allowed.len())]
+                }
+            })
+            .collect()
+    };
+    match kind {
+        TransformationKind::Tiling => Action::Tiling {
+            tile_indices: random_tiles(rng),
+        },
+        TransformationKind::TiledParallelization => Action::TiledParallelization {
+            tile_indices: random_tiles(rng),
+        },
+        TransformationKind::TiledFusion => Action::TiledFusion {
+            tile_indices: random_tiles(rng),
+        },
+        TransformationKind::Interchange => match config.interchange_mode {
+            InterchangeMode::EnumeratedCandidates => {
+                let candidates: Vec<usize> = (0..obs.mask.interchange_candidates.len())
+                    .filter(|i| obs.mask.interchange_candidates[*i])
+                    .collect();
+                if candidates.is_empty() {
+                    Action::NoTransformation
+                } else {
+                    Action::Interchange(InterchangeSpec::Candidate(
+                        candidates[rng.gen_range(0..candidates.len())],
+                    ))
+                }
+            }
+            InterchangeMode::LevelPointers => {
+                let mut permutation: Vec<usize> = (0..obs.num_loops).collect();
+                permutation.shuffle(rng);
+                Action::Interchange(InterchangeSpec::Permutation(permutation))
+            }
+        },
+        TransformationKind::Vectorization => Action::Vectorization,
+        TransformationKind::NoTransformation => Action::NoTransformation,
+    }
+}
+
+impl<P: PolicyModel> Searcher<P> for RandomSearch {
+    fn name(&self) -> String {
+        format!("random-{}", self.episodes)
+    }
+
+    fn search(
+        &self,
+        env: &mut OptimizationEnv,
+        policy: &mut P,
+        module: &Module,
+        seed: u64,
+    ) -> SearchOutcome {
+        let _ = policy; // policy-free baseline
+        let meter = LookupMeter::start(env);
+        reseed_for_search(env, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut nodes = 0usize;
+        let max_steps = max_episode_steps(env, module);
+        let config = env.config().clone();
+
+        let mut baseline_s = 0.0;
+        let mut best_s = f64::INFINITY;
+        let mut best_actions: Vec<Action> = Vec::new();
+        for episode in 0..self.episodes {
+            let mut obs = env.reset(module.clone());
+            if episode == 0 {
+                // The noise-free estimate of the do-nothing schedule is the
+                // baseline and the floor of the best-so-far.
+                baseline_s = env.peek_time_s();
+                best_s = baseline_s;
+            }
+            let mut actions = Vec::new();
+            while let Some(current) = obs {
+                let action = random_action(&current, &config, &mut rng);
+                let outcome = env.step(&action);
+                actions.push(action);
+                nodes += 1;
+                obs = outcome.observation;
+                if actions.len() > max_steps {
+                    break;
+                }
+            }
+            let final_s = env.peek_time_s();
+            if final_s < best_s {
+                best_s = final_s;
+                best_actions = actions;
+            }
+        }
+
+        finish_outcome(
+            Searcher::<P>::name(self),
+            env,
+            module,
+            &meter,
+            baseline_s,
+            BestFound {
+                time_s: best_s,
+                actions: best_actions,
+            },
+            nodes,
+        )
+    }
+}

@@ -1,0 +1,176 @@
+//! The common search interface and its outcome type.
+
+use serde::{Deserialize, Serialize};
+
+use mlir_rl_agent::PolicyModel;
+use mlir_rl_env::{Action, OptimizationEnv};
+use mlir_rl_ir::Module;
+use mlir_rl_transforms::Schedule;
+
+/// The result of searching the schedule space of one module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// Name of the searcher that produced this outcome.
+    pub searcher: String,
+    /// Name of the optimized module.
+    pub module: String,
+    /// Baseline (untransformed) execution-time estimate, seconds. Like
+    /// `best_s`, this is the noise-free cost-model quantity — search scores
+    /// schedules analytically; the measurement-noise protocol belongs to
+    /// the training environment's episode stats.
+    pub baseline_s: f64,
+    /// Best execution-time estimate found, seconds (noise-free).
+    pub best_s: f64,
+    /// Speedup of the best schedule over the baseline.
+    pub speedup: f64,
+    /// The environment action sequence that reproduces the best schedule.
+    pub best_actions: Vec<Action>,
+    /// The best per-operation transformation lists (indexed by operation
+    /// id), as materialized by replaying `best_actions`.
+    pub best_schedule: Vec<Schedule>,
+    /// Environment steps taken across every branch of the search.
+    pub nodes_expanded: usize,
+    /// Cost-model evaluations actually performed (cache misses) during the
+    /// search.
+    pub evaluations: usize,
+    /// Evaluation requests served by the schedule-keyed cache.
+    pub cache_hits: usize,
+}
+
+impl SearchOutcome {
+    /// Total cost-model lookups of the search
+    /// (`evaluations + cache_hits`; the same invariant as
+    /// [`mlir_rl_env::EpisodeStats::total_lookups`]).
+    pub fn total_lookups(&self) -> usize {
+        self.evaluations + self.cache_hits
+    }
+
+    /// Fraction of lookups served by the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.total_lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A schedule-search procedure over the RL environment.
+///
+/// Implementations must be deterministic in `seed`: the same environment
+/// configuration, policy, module and seed produce the same outcome (up to
+/// cache hit/miss counts, which depend on what was already memoized). The
+/// environment is handed in hot — its evaluation cache persists across
+/// calls, which is what makes repeated searches (and batch searches through
+/// [`crate::SearchDriver`]) cheap.
+pub trait Searcher<P: PolicyModel>: Send + Sync {
+    /// Display name of the searcher (used in tables and reports).
+    fn name(&self) -> String;
+
+    /// Searches the schedule space of `module` and returns the best
+    /// schedule found.
+    fn search(
+        &self,
+        env: &mut OptimizationEnv,
+        policy: &mut P,
+        module: &Module,
+        seed: u64,
+    ) -> SearchOutcome;
+}
+
+/// Upper bound on episode length (guards against malformed modules), the
+/// same bound the rollout engine uses.
+pub(crate) fn max_episode_steps(env: &OptimizationEnv, module: &Module) -> usize {
+    (module.ops().len() + 1) * (env.config().max_schedule_len + 3)
+}
+
+/// Puts the environment's measurement-noise stream (when configured) in a
+/// canonical per-search state derived from the search seed, the same way
+/// the rollout engine reseeds per episode — so a search is deterministic in
+/// its seed regardless of what ran on this environment before, and the
+/// driver's outcomes stay worker-count invariant under noise.
+pub(crate) fn reseed_for_search(env: &mut OptimizationEnv, seed: u64) {
+    if let Some(noise_seed) = env.config().noise_seed {
+        env.reseed_noise(mlir_rl_agent::episode_seed(noise_seed, seed));
+    }
+}
+
+/// Snapshot of an environment's cache counters, to attribute a delta of
+/// lookups to one search (the counters survive `env.reset`, which zeroes
+/// only the per-episode accounting).
+pub(crate) struct LookupMeter {
+    hits: u64,
+    misses: u64,
+}
+
+impl LookupMeter {
+    pub(crate) fn start(env: &OptimizationEnv) -> Self {
+        Self {
+            hits: env.cache().hits(),
+            misses: env.cache().misses(),
+        }
+    }
+
+    /// `(evaluations, cache_hits)` observed since `start`.
+    pub(crate) fn finish(&self, env: &OptimizationEnv) -> (usize, usize) {
+        (
+            (env.cache().misses() - self.misses) as usize,
+            (env.cache().hits() - self.hits) as usize,
+        )
+    }
+}
+
+/// Replays an action sequence on a fresh episode and returns the resulting
+/// per-operation schedules (the materialized best schedule).
+pub(crate) fn materialize_schedule(
+    env: &mut OptimizationEnv,
+    module: &Module,
+    actions: &[Action],
+) -> Vec<Schedule> {
+    env.reset(module.clone());
+    for action in actions {
+        env.step(action);
+    }
+    env.scheduled()
+        .map(|s| s.states().iter().map(|st| st.schedule.clone()).collect())
+        .unwrap_or_default()
+}
+
+/// The best terminal state a search has found so far: its estimated time
+/// and the action sequence that reproduces it.
+pub(crate) struct BestFound {
+    pub(crate) time_s: f64,
+    pub(crate) actions: Vec<Action>,
+}
+
+/// Assembles a [`SearchOutcome`] from a finished search: materializes the
+/// best schedule by replay and reads the lookup meter.
+pub(crate) fn finish_outcome(
+    name: String,
+    env: &mut OptimizationEnv,
+    module: &Module,
+    meter: &LookupMeter,
+    baseline_s: f64,
+    best: BestFound,
+    nodes_expanded: usize,
+) -> SearchOutcome {
+    let best_schedule = materialize_schedule(env, module, &best.actions);
+    let (evaluations, cache_hits) = meter.finish(env);
+    SearchOutcome {
+        searcher: name,
+        module: module.name().to_string(),
+        baseline_s,
+        best_s: best.time_s,
+        speedup: if best.time_s > 0.0 {
+            baseline_s / best.time_s
+        } else {
+            1.0
+        },
+        best_actions: best.actions,
+        best_schedule,
+        nodes_expanded,
+        evaluations,
+        cache_hits,
+    }
+}
