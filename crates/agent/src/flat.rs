@@ -11,10 +11,12 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use mlir_rl_env::{flat_action_space, Action, EnvConfig, FlatAction, Observation};
-use mlir_rl_nn::{Linear, Lstm, MaskedCategorical, Mlp, Param, Scratch};
+use mlir_rl_env::{
+    flat_action_space, Action, EnvConfig, FlatAction, Observation, ObservationBatch,
+};
+use mlir_rl_nn::{Linear, Lstm, MaskedCategorical, Mlp, Param, Scratch, Tensor2};
 
-use crate::policy::{ActionRecord, PolicyHyperparams};
+use crate::policy::{lstm_step_tensors, rank_candidates, ActionRecord, PolicyHyperparams};
 use crate::ppo::PolicyModel;
 
 /// The flat policy network: same embedding and backbone as the
@@ -34,6 +36,13 @@ pub struct FlatPolicyNetwork {
     /// `backward` so the backward pass never re-runs the forward network.
     #[serde(skip)]
     pending_logits: Scratch<Vec<Vec<f64>>>,
+    /// Batched logits of pending `evaluate_batch` calls, consumed by
+    /// `backward_batch`.
+    #[serde(skip)]
+    pending_batches: Scratch<Vec<Tensor2>>,
+    /// Reusable batched logits buffer for `rank_actions_batch`.
+    #[serde(skip)]
+    batch_scratch: Scratch<Tensor2>,
 }
 
 impl FlatPolicyNetwork {
@@ -55,6 +64,8 @@ impl FlatPolicyNetwork {
             head,
             logits_scratch: Scratch::default(),
             pending_logits: Scratch::default(),
+            pending_batches: Scratch::default(),
+            batch_scratch: Scratch::default(),
         }
     }
 
@@ -111,6 +122,44 @@ impl FlatPolicyNetwork {
         let embedding = self.lstm.forward(&sequence);
         let z = self.backbone.forward(&embedding);
         self.head.forward(&z)
+    }
+
+    /// Batched training-mode logits: one blocked matmul per layer, rows
+    /// bit-identical to [`FlatPolicyNetwork::logits_train`] per
+    /// observation.
+    fn logits_train_batch(&mut self, batch: &ObservationBatch) -> Tensor2 {
+        let steps = lstm_step_tensors(batch);
+        let embedding = self.lstm.forward_batch(&steps);
+        let z = self.backbone.forward_batch(&embedding);
+        self.head.forward_batch(&z)
+    }
+
+    /// Batched inference logits into a reusable buffer.
+    fn infer_logits_batch(&mut self, batch: &ObservationBatch, out: &mut Tensor2) {
+        let steps = lstm_step_tensors(batch);
+        let embedding = self.lstm.infer_batch(&[&steps[0], &steps[1]]);
+        let z = self.backbone.infer_batch(embedding);
+        self.head.infer_batch_into(z, out);
+    }
+
+    /// Draws one record from fixed logits/mask (the logits never change
+    /// between draws of one ranking, so this is bit-identical to repeated
+    /// `select_action` calls).
+    fn record_from_logits(
+        &self,
+        obs: &Observation,
+        logits: &[f64],
+        mask: &[bool],
+        greedy: bool,
+        rng: &mut ChaCha8Rng,
+    ) -> ActionRecord {
+        let dist = MaskedCategorical::new(logits, mask);
+        let index = if greedy {
+            dist.argmax()
+        } else {
+            dist.sample(rng)
+        };
+        self.record_for(obs, index, dist.log_prob(index), dist.entropy())
     }
 
     fn record_for(
@@ -195,12 +244,94 @@ impl PolicyModel for FlatPolicyNetwork {
         self.backbone.zero_grad();
         self.head.zero_grad();
         self.pending_logits.0.clear();
+        self.pending_batches.0.clear();
     }
 
     fn parameters_mut(&mut self) -> Vec<&mut Param> {
         let mut out = self.lstm.parameters_mut();
         out.extend(self.backbone.parameters_mut());
         out.extend(self.head.parameters_mut());
+        out
+    }
+
+    fn evaluate_batch(
+        &mut self,
+        batch: &ObservationBatch,
+        items: &[(&Observation, &ActionRecord)],
+    ) -> Vec<(f64, f64)> {
+        assert_eq!(batch.len(), items.len(), "packed batch size mismatch");
+        assert!(!items.is_empty(), "evaluate_batch needs at least one item");
+        let logits = self.logits_train_batch(batch);
+        let mut out = Vec::with_capacity(items.len());
+        for (i, (obs, record)) in items.iter().enumerate() {
+            let mask = self.flat_mask(obs);
+            let dist = MaskedCategorical::new(logits.row(i), &mask);
+            out.push((dist.log_prob(record.kind_index), dist.entropy()));
+        }
+        self.pending_batches.0.push(logits);
+        out
+    }
+
+    fn backward_batch(&mut self, items: &[(&Observation, &ActionRecord)], coeffs: &[(f64, f64)]) {
+        let logits = self
+            .pending_batches
+            .0
+            .pop()
+            .expect("backward_batch called without a matching evaluate_batch");
+        assert_eq!(items.len(), logits.rows(), "batch mismatch");
+        let mut grads = Tensor2::zeros(logits.rows(), logits.cols());
+        for (i, ((obs, record), (coeff_logprob, coeff_entropy))) in
+            items.iter().zip(coeffs).enumerate()
+        {
+            let mask = self.flat_mask(obs);
+            let dist = MaskedCategorical::new(logits.row(i), &mask);
+            let lp = dist.log_prob_grad(record.kind_index);
+            let eg = dist.entropy_grad();
+            for (slot, (l, e)) in grads.row_mut(i).iter_mut().zip(lp.iter().zip(&eg)) {
+                *slot = coeff_logprob * l + coeff_entropy * e;
+            }
+        }
+        let grad_z = self.head.backward_batch(&grads);
+        let grad_embedding = self.backbone.backward_batch(&grad_z);
+        self.lstm.backward_batch(&grad_embedding);
+    }
+
+    fn rank_actions(
+        &mut self,
+        obs: &Observation,
+        k: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<ActionRecord> {
+        let mut logits = std::mem::take(&mut self.logits_scratch).0;
+        self.infer_logits(obs, &mut logits);
+        let mask = self.flat_mask(obs);
+        let records = rank_candidates(k, rng, |greedy, rng| {
+            self.record_from_logits(obs, &logits, &mask, greedy, rng)
+        });
+        self.logits_scratch = Scratch(logits);
+        records
+    }
+
+    fn rank_actions_batch(
+        &mut self,
+        observations: &[&Observation],
+        k: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Vec<ActionRecord>> {
+        if observations.is_empty() {
+            return Vec::new();
+        }
+        let batch = ObservationBatch::from_observations(observations.iter().copied());
+        let mut logits = std::mem::take(&mut self.batch_scratch).0;
+        self.infer_logits_batch(&batch, &mut logits);
+        let mut out = Vec::with_capacity(observations.len());
+        for (i, obs) in observations.iter().enumerate() {
+            let mask = self.flat_mask(obs);
+            out.push(rank_candidates(k, rng, |greedy, rng| {
+                self.record_from_logits(obs, logits.row(i), &mask, greedy, rng)
+            }));
+        }
+        self.batch_scratch = Scratch(logits);
         out
     }
 }

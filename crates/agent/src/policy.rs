@@ -18,10 +18,13 @@
 //!   permutations. This covers all `N!` permutations with only `N` outputs.
 
 use rand::Rng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use mlir_rl_env::{Action, EnvConfig, InterchangeMode, InterchangeSpec, Observation};
-use mlir_rl_nn::{Linear, Lstm, MaskedCategorical, Mlp, Param, Scratch};
+use mlir_rl_env::{
+    Action, EnvConfig, InterchangeMode, InterchangeSpec, Observation, ObservationBatch,
+};
+use mlir_rl_nn::{Linear, Lstm, MaskedCategorical, Mlp, Param, Scratch, Tensor2};
 use mlir_rl_transforms::TransformationKind;
 
 /// Hyper-parameters of the network (the paper uses 512 units everywhere;
@@ -95,6 +98,14 @@ pub struct PolicyNetwork {
     /// never re-runs the forward network.
     #[serde(skip)]
     pending_outputs: Scratch<Vec<HeadOutputs>>,
+    /// Batched head outputs of pending [`PolicyNetwork::evaluate_batch`]
+    /// calls, consumed by [`PolicyNetwork::backward_batch`].
+    #[serde(skip)]
+    pending_batches: Scratch<Vec<HeadBatch>>,
+    /// Reusable batched head-logit buffers for
+    /// [`PolicyNetwork::rank_actions_batch`].
+    #[serde(skip)]
+    batch_scratch: Scratch<HeadBatch>,
 }
 
 /// Per-head logits of one forward pass (training mode keeps them to build
@@ -106,6 +117,91 @@ struct HeadOutputs {
     parallelization: Vec<f64>,
     fusion: Vec<f64>,
     interchange: Vec<f64>,
+}
+
+/// Per-head logits of one **batched** forward pass: one row per
+/// observation in each tensor.
+#[derive(Debug, Clone, Default)]
+struct HeadBatch {
+    transformation: Tensor2,
+    tiling: Tensor2,
+    parallelization: Tensor2,
+    fusion: Tensor2,
+    interchange: Tensor2,
+}
+
+impl HeadBatch {
+    /// Extracts observation `i`'s logits as a per-sample [`HeadOutputs`].
+    fn row_outputs(&self, i: usize) -> HeadOutputs {
+        HeadOutputs {
+            transformation: self.transformation.row(i).to_vec(),
+            tiling: self.tiling.row(i).to_vec(),
+            parallelization: self.parallelization.row(i).to_vec(),
+            fusion: self.fusion.row(i).to_vec(),
+            interchange: self.interchange.row(i).to_vec(),
+        }
+    }
+
+    /// A zero-filled batch with the same shapes.
+    fn zeros_like(&self) -> Self {
+        Self {
+            transformation: Tensor2::zeros(self.transformation.rows(), self.transformation.cols()),
+            tiling: Tensor2::zeros(self.tiling.rows(), self.tiling.cols()),
+            parallelization: Tensor2::zeros(
+                self.parallelization.rows(),
+                self.parallelization.cols(),
+            ),
+            fusion: Tensor2::zeros(self.fusion.rows(), self.fusion.cols()),
+            interchange: Tensor2::zeros(self.interchange.rows(), self.interchange.cols()),
+        }
+    }
+}
+
+/// Packs an observation batch into the two LSTM time-step tensors
+/// (producers first, consumers second — the same order the per-vector paths
+/// feed the embedding LSTM).
+pub(crate) fn lstm_step_tensors(batch: &ObservationBatch) -> [Tensor2; 2] {
+    let rows = batch.len();
+    let cols = batch.feature_len();
+    [
+        Tensor2::from_flat(rows, cols, batch.producers().to_vec()),
+        Tensor2::from_flat(rows, cols, batch.consumers().to_vec()),
+    ]
+}
+
+/// The shared candidate-ranking procedure behind
+/// [`crate::PolicyModel::rank_actions`]: the greedy draw first, then
+/// oversampled distinct candidates sorted by descending log-probability.
+/// `draw(greedy, rng)` produces one action record; implementations that
+/// can cache their forward pass hand in a draw closure over precomputed
+/// logits, which keeps the RNG consumption (and therefore the results)
+/// bit-identical to repeated `select_action` calls.
+pub(crate) fn rank_candidates<F>(k: usize, rng: &mut ChaCha8Rng, mut draw: F) -> Vec<ActionRecord>
+where
+    F: FnMut(bool, &mut ChaCha8Rng) -> ActionRecord,
+{
+    let k = k.max(1);
+    let mut out = vec![draw(true, rng)];
+    if k > 1 {
+        // Oversample: duplicates (and re-draws of the greedy action)
+        // are discarded, so a few multiples of `k` attempts are needed
+        // to fill the candidate list on peaked distributions.
+        for _ in 0..k * 8 {
+            if out.len() == k {
+                break;
+            }
+            let candidate = draw(false, rng);
+            if !out.iter().any(|r| r.action == candidate.action) {
+                out.push(candidate);
+            }
+        }
+        out[1..].sort_by(|a, b| {
+            b.log_prob
+                .partial_cmp(&a.log_prob)
+                .expect("log-probabilities are finite")
+        });
+    }
+    out
 }
 
 impl PolicyNetwork {
@@ -136,6 +232,8 @@ impl PolicyNetwork {
             hyper,
             head_scratch: Scratch::default(),
             pending_outputs: Scratch::default(),
+            pending_batches: Scratch::default(),
+            batch_scratch: Scratch::default(),
         }
     }
 
@@ -183,6 +281,40 @@ impl PolicyNetwork {
             .infer_into(z, &mut out.parallelization);
         self.fusion_head.infer_into(z, &mut out.fusion);
         self.interchange_head.infer_into(z, &mut out.interchange);
+    }
+
+    /// Batched training-mode forward pass over a packed observation batch:
+    /// one blocked matmul per layer for the whole batch, caching every
+    /// layer's activations for [`PolicyNetwork::backward_batch`]. Row `i`
+    /// of every head tensor is bit-identical to
+    /// [`PolicyNetwork::forward_heads_train`] on observation `i`.
+    fn forward_heads_train_batch(&mut self, batch: &ObservationBatch) -> HeadBatch {
+        let steps = lstm_step_tensors(batch);
+        let embedding = self.lstm.forward_batch(&steps);
+        let z = self.backbone.forward_batch(&embedding);
+        HeadBatch {
+            transformation: self.transformation_head.forward_batch(&z),
+            tiling: self.tiling_head.forward_batch(&z),
+            parallelization: self.parallelization_head.forward_batch(&z),
+            fusion: self.fusion_head.forward_batch(&z),
+            interchange: self.interchange_head.forward_batch(&z),
+        }
+    }
+
+    /// Batched inference forward pass into reusable head buffers
+    /// (bit-identical per row to [`PolicyNetwork::infer_heads`]).
+    fn infer_heads_batch(&mut self, batch: &ObservationBatch, out: &mut HeadBatch) {
+        let steps = lstm_step_tensors(batch);
+        let embedding = self.lstm.infer_batch(&[&steps[0], &steps[1]]);
+        let z = self.backbone.infer_batch(embedding);
+        self.transformation_head
+            .infer_batch_into(z, &mut out.transformation);
+        self.tiling_head.infer_batch_into(z, &mut out.tiling);
+        self.parallelization_head
+            .infer_batch_into(z, &mut out.parallelization);
+        self.fusion_head.infer_batch_into(z, &mut out.fusion);
+        self.interchange_head
+            .infer_batch_into(z, &mut out.interchange);
     }
 
     fn tile_head_logits(outputs: &HeadOutputs, kind: TransformationKind) -> &[f64] {
@@ -380,6 +512,148 @@ impl PolicyNetwork {
         self.lstm.backward(&grad_embedding);
     }
 
+    /// Batched [`PolicyNetwork::evaluate`]: recomputes log-probabilities
+    /// and entropies of a whole minibatch through one batched forward pass
+    /// per layer, caching the batch for
+    /// [`PolicyNetwork::backward_batch`]. `batch` must pack the items'
+    /// observations in order. Bit-identical, entry for entry, to calling
+    /// `evaluate` once per item.
+    pub fn evaluate_batch(
+        &mut self,
+        batch: &ObservationBatch,
+        items: &[(&Observation, &ActionRecord)],
+    ) -> Vec<(f64, f64)> {
+        assert_eq!(batch.len(), items.len(), "packed batch size mismatch");
+        assert!(!items.is_empty(), "evaluate_batch needs at least one item");
+        let heads = self.forward_heads_train_batch(batch);
+        let mut out = Vec::with_capacity(items.len());
+        for (i, (obs, record)) in items.iter().enumerate() {
+            let row = heads.row_outputs(i);
+            let (log_prob, entropy, _) = self.log_prob_and_grads(obs, record, &row, 0.0, 0.0);
+            out.push((log_prob, entropy));
+        }
+        self.pending_batches.0.push(heads);
+        out
+    }
+
+    /// Batched [`PolicyNetwork::backward`] for the most recent un-consumed
+    /// [`PolicyNetwork::evaluate_batch`] call. `coeffs[i]` holds
+    /// `(coeff_logprob, coeff_entropy)` for item `i`. Parameter gradients
+    /// accumulate in reverse item order — bit-identical to calling
+    /// `backward` once per item in reverse (the stacked-replay sequence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a matching `evaluate_batch` or the item
+    /// count differs from the evaluated batch.
+    pub fn backward_batch(
+        &mut self,
+        items: &[(&Observation, &ActionRecord)],
+        coeffs: &[(f64, f64)],
+    ) {
+        let heads = self
+            .pending_batches
+            .0
+            .pop()
+            .expect("backward_batch called without a matching evaluate_batch");
+        assert_eq!(items.len(), heads.transformation.rows(), "batch mismatch");
+        assert_eq!(items.len(), coeffs.len(), "coefficient count mismatch");
+        let mut grads = heads.zeros_like();
+        for (i, ((obs, record), (coeff_logprob, coeff_entropy))) in
+            items.iter().zip(coeffs).enumerate()
+        {
+            let row = heads.row_outputs(i);
+            let (_, _, g) =
+                self.log_prob_and_grads(obs, record, &row, *coeff_logprob, *coeff_entropy);
+            grads
+                .transformation
+                .row_mut(i)
+                .copy_from_slice(&g.transformation);
+            grads.tiling.row_mut(i).copy_from_slice(&g.tiling);
+            grads
+                .parallelization
+                .row_mut(i)
+                .copy_from_slice(&g.parallelization);
+            grads.fusion.row_mut(i).copy_from_slice(&g.fusion);
+            grads.interchange.row_mut(i).copy_from_slice(&g.interchange);
+        }
+
+        // Push gradients through the heads into the backbone embedding, in
+        // the same head order (and starting from zeros) as the per-sample
+        // backward pass.
+        let rows = items.len();
+        let h = self.hyper.hidden_size;
+        let mut grad_z = Tensor2::zeros(rows, h);
+        let add = |grad_z: &mut Tensor2, g: Tensor2| {
+            for (a, b) in grad_z.data_mut().iter_mut().zip(g.data()) {
+                *a += b;
+            }
+        };
+        let g = self
+            .transformation_head
+            .backward_batch(&grads.transformation);
+        add(&mut grad_z, g);
+        let g = self.tiling_head.backward_batch(&grads.tiling);
+        add(&mut grad_z, g);
+        let g = self
+            .parallelization_head
+            .backward_batch(&grads.parallelization);
+        add(&mut grad_z, g);
+        let g = self.fusion_head.backward_batch(&grads.fusion);
+        add(&mut grad_z, g);
+        let g = self.interchange_head.backward_batch(&grads.interchange);
+        add(&mut grad_z, g);
+        let grad_embedding = self.backbone.backward_batch(&grad_z);
+        self.lstm.backward_batch(&grad_embedding);
+    }
+
+    /// Ranks up to `k` distinct candidate actions for an observation (the
+    /// greedy action first, then sampled candidates by descending
+    /// log-probability) through **one** head inference instead of one per
+    /// draw. Bit-identical to repeated `select_action` calls because the
+    /// head logits do not change between draws.
+    pub fn rank_actions(
+        &mut self,
+        obs: &Observation,
+        k: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<ActionRecord> {
+        let mut outputs = std::mem::take(&mut self.head_scratch).0;
+        self.infer_heads(obs, &mut outputs);
+        let records = rank_candidates(k, rng, |greedy, rng| {
+            self.decide(obs, &outputs, greedy, rng)
+        });
+        self.head_scratch = Scratch(outputs);
+        records
+    }
+
+    /// Ranks candidates for a whole frontier of observations through one
+    /// batched head inference. Observation order is preserved, and the RNG
+    /// is consumed per observation in order, so the result is bit-identical
+    /// to calling [`PolicyNetwork::rank_actions`] once per observation.
+    pub fn rank_actions_batch(
+        &mut self,
+        observations: &[&Observation],
+        k: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Vec<ActionRecord>> {
+        if observations.is_empty() {
+            return Vec::new();
+        }
+        let batch = ObservationBatch::from_observations(observations.iter().copied());
+        let mut heads = std::mem::take(&mut self.batch_scratch).0;
+        self.infer_heads_batch(&batch, &mut heads);
+        let mut out = Vec::with_capacity(observations.len());
+        for (i, obs) in observations.iter().enumerate() {
+            let row = heads.row_outputs(i);
+            out.push(rank_candidates(k, rng, |greedy, rng| {
+                self.decide(obs, &row, greedy, rng)
+            }));
+        }
+        self.batch_scratch = Scratch(heads);
+        out
+    }
+
     /// Computes the log-prob, entropy and per-head logit gradients
     /// (`coeff_logprob * dlogp/dlogits + coeff_entropy * dH/dlogits`) of a
     /// stored action under the given head outputs.
@@ -487,6 +761,7 @@ impl PolicyNetwork {
         self.fusion_head.zero_grad();
         self.interchange_head.zero_grad();
         self.pending_outputs.0.clear();
+        self.pending_batches.0.clear();
     }
 
     /// All trainable parameters, in a stable order.

@@ -7,6 +7,13 @@
 //! (coefficient 0.5) and an entropy bonus (coefficient 0.01). The paper's
 //! hyper-parameters are the defaults of [`PpoConfig::paper`].
 //!
+//! Each minibatch is stacked into a packed
+//! [`mlir_rl_env::ObservationBatch`] and pushed through the batched tensor
+//! engine ([`PolicyModel::evaluate_batch`] / `backward_batch` and
+//! [`ValueNetwork::forward_batch`] / `backward_batch`): one blocked matmul
+//! per network layer per minibatch instead of one matvec sweep per sample,
+//! bit-identical to the per-sample replay path (property-tested).
+//!
 //! # Rollout engine
 //!
 //! Episode collection is handled by [`collect_rollouts`]: every episode of
@@ -28,11 +35,11 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use mlir_rl_env::{EnvConfig, EpisodeStats, Observation, OptimizationEnv};
+use mlir_rl_env::{EnvConfig, EpisodeStats, Observation, ObservationBatch, OptimizationEnv};
 use mlir_rl_ir::Module;
 use mlir_rl_nn::{clip_grad_norm, Adam, Param};
 
-use crate::policy::{ActionRecord, PolicyHyperparams, PolicyNetwork};
+use crate::policy::{rank_candidates, ActionRecord, PolicyHyperparams, PolicyNetwork};
 use crate::value::ValueNetwork;
 
 /// Abstraction over policy networks so that the same PPO trainer drives both
@@ -65,6 +72,36 @@ pub trait PolicyModel: Clone + Send {
     /// Trainable parameters in a stable order.
     fn parameters_mut(&mut self) -> Vec<&mut Param>;
 
+    /// Batched [`PolicyModel::evaluate`] over a minibatch. `batch` must be
+    /// the packed form of the items' observations in the same order (the
+    /// caller packs once and shares it with the value network). The default
+    /// implementation loops per sample; networks with a batched inference
+    /// engine override it with one blocked matmul per layer. Overrides must
+    /// stay bit-identical, entry for entry, to the per-sample loop.
+    fn evaluate_batch(
+        &mut self,
+        batch: &ObservationBatch,
+        items: &[(&Observation, &ActionRecord)],
+    ) -> Vec<(f64, f64)> {
+        let _ = batch;
+        items
+            .iter()
+            .map(|(obs, record)| self.evaluate(obs, record))
+            .collect()
+    }
+
+    /// Batched [`PolicyModel::backward`] for the most recent un-consumed
+    /// [`PolicyModel::evaluate_batch`] call; `coeffs[i]` is
+    /// `(coeff_logprob, coeff_entropy)` for item `i`. The default replays
+    /// per-sample backward calls in **reverse** item order (the layer
+    /// caches are stacks); overrides must accumulate gradients in exactly
+    /// that order so results stay bit-identical.
+    fn backward_batch(&mut self, items: &[(&Observation, &ActionRecord)], coeffs: &[(f64, f64)]) {
+        for ((obs, record), (coeff_logprob, coeff_entropy)) in items.iter().zip(coeffs).rev() {
+            self.backward(obs, record, *coeff_logprob, *coeff_entropy);
+        }
+    }
+
     /// Policy-inference hook for search: proposes up to `k` *distinct*
     /// candidate actions for an observation, the greedy (sequential-argmax)
     /// action first, followed by sampled candidates in descending
@@ -78,28 +115,24 @@ pub trait PolicyModel: Clone + Send {
         k: usize,
         rng: &mut ChaCha8Rng,
     ) -> Vec<ActionRecord> {
-        let k = k.max(1);
-        let mut out = vec![self.select_action(obs, true, rng)];
-        if k > 1 {
-            // Oversample: duplicates (and re-draws of the greedy action)
-            // are discarded, so a few multiples of `k` attempts are needed
-            // to fill the candidate list on peaked distributions.
-            for _ in 0..k * 8 {
-                if out.len() == k {
-                    break;
-                }
-                let candidate = self.select_action(obs, false, rng);
-                if !out.iter().any(|r| r.action == candidate.action) {
-                    out.push(candidate);
-                }
-            }
-            out[1..].sort_by(|a, b| {
-                b.log_prob
-                    .partial_cmp(&a.log_prob)
-                    .expect("log-probabilities are finite")
-            });
-        }
-        out
+        rank_candidates(k, rng, |greedy, rng| self.select_action(obs, greedy, rng))
+    }
+
+    /// Ranks candidates for a whole frontier of observations (the batched
+    /// twin of [`PolicyModel::rank_actions`], used by beam search to score
+    /// every live beam state through one forward pass). The default loops;
+    /// overrides must preserve observation order and per-observation RNG
+    /// consumption so results stay bit-identical to the loop.
+    fn rank_actions_batch(
+        &mut self,
+        observations: &[&Observation],
+        k: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Vec<ActionRecord>> {
+        observations
+            .iter()
+            .map(|obs| self.rank_actions(obs, k, rng))
+            .collect()
     }
 }
 
@@ -129,6 +162,32 @@ impl PolicyModel for PolicyNetwork {
     }
     fn parameters_mut(&mut self) -> Vec<&mut Param> {
         PolicyNetwork::parameters_mut(self)
+    }
+    fn evaluate_batch(
+        &mut self,
+        batch: &ObservationBatch,
+        items: &[(&Observation, &ActionRecord)],
+    ) -> Vec<(f64, f64)> {
+        PolicyNetwork::evaluate_batch(self, batch, items)
+    }
+    fn backward_batch(&mut self, items: &[(&Observation, &ActionRecord)], coeffs: &[(f64, f64)]) {
+        PolicyNetwork::backward_batch(self, items, coeffs);
+    }
+    fn rank_actions(
+        &mut self,
+        obs: &Observation,
+        k: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<ActionRecord> {
+        PolicyNetwork::rank_actions(self, obs, k, rng)
+    }
+    fn rank_actions_batch(
+        &mut self,
+        observations: &[&Observation],
+        k: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Vec<ActionRecord>> {
+        PolicyNetwork::rank_actions_batch(self, observations, k, rng)
     }
 }
 
@@ -628,15 +687,24 @@ impl<P: PolicyModel> PpoTrainer<P> {
                 self.policy.zero_grad();
                 self.value.zero_grad();
                 let scale = 1.0 / chunk.len() as f64;
-                // Pass 1: batched forward passes over the minibatch. Every
-                // evaluate/forward stacks its activations (and the policy's
-                // head outputs), so the backward pass below never re-runs
-                // the forward network.
-                let mut pending: Vec<(usize, f64, f64)> = Vec::with_capacity(chunk.len());
-                for &idx in chunk {
-                    let (obs, record, advantage, ret) = &batch[idx];
+                // Pass 1: the whole minibatch goes through ONE batched
+                // forward per layer (policy heads and value head) instead
+                // of one matvec sweep per sample; the stacked activations
+                // mean the backward pass never re-runs the forward network.
+                let items: Vec<(&Observation, &ActionRecord)> = chunk
+                    .iter()
+                    .map(|&idx| (batch[idx].0, batch[idx].1))
+                    .collect();
+                // Packed once, shared by the policy and the value network.
+                let obs_batch =
+                    ObservationBatch::from_observations(items.iter().map(|(obs, _)| *obs));
+                let evals = self.policy.evaluate_batch(&obs_batch, &items);
+                let values = self.value.forward_batch(&obs_batch);
+                let mut policy_coeffs: Vec<(f64, f64)> = Vec::with_capacity(chunk.len());
+                let mut value_grads: Vec<f64> = Vec::with_capacity(chunk.len());
+                for ((&idx, &(log_prob, entropy)), &v) in chunk.iter().zip(&evals).zip(&values) {
+                    let (_, record, advantage, ret) = &batch[idx];
                     // Policy: clipped surrogate objective.
-                    let (log_prob, entropy) = self.policy.evaluate(obs, record);
                     let ratio = (log_prob - record.log_prob).exp();
                     let clipped =
                         ratio.clamp(1.0 - self.config.clip_range, 1.0 + self.config.clip_range);
@@ -653,24 +721,17 @@ impl<P: PolicyModel> PpoTrainer<P> {
                     };
 
                     // Value: squared-error loss.
-                    let v = self.value.forward(obs);
                     let v_err = v - ret;
                     value_loss_acc += 0.5 * v_err * v_err;
-                    pending.push((idx, dl_dlogp, v_err));
+                    policy_coeffs.push((dl_dlogp * scale, -self.config.entropy_coef * scale));
+                    value_grads.push(self.config.value_coef * v_err * scale);
                     updates += 1;
                 }
-                // Pass 2: batched backward passes, in reverse order because
-                // the cached activations are stacks.
-                for &(idx, dl_dlogp, v_err) in pending.iter().rev() {
-                    let (obs, record, _, _) = &batch[idx];
-                    self.policy.backward(
-                        obs,
-                        record,
-                        dl_dlogp * scale,
-                        -self.config.entropy_coef * scale,
-                    );
-                    self.value.backward(self.config.value_coef * v_err * scale);
-                }
+                // Pass 2: one batched backward per layer, accumulating
+                // parameter gradients in reverse sample order — bit-identical
+                // to replaying per-sample backward calls against the stacks.
+                self.policy.backward_batch(&items, &policy_coeffs);
+                self.value.backward_batch(&value_grads);
                 clip_grad_norm(&mut self.policy.parameters_mut(), self.config.max_grad_norm);
                 clip_grad_norm(&mut self.value.parameters_mut(), self.config.max_grad_norm);
                 self.policy_optimizer

@@ -7,10 +7,10 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use mlir_rl_env::{EnvConfig, Observation};
-use mlir_rl_nn::{Linear, Lstm, Mlp, Param, Scratch};
+use mlir_rl_env::{EnvConfig, Observation, ObservationBatch};
+use mlir_rl_nn::{Linear, Lstm, Mlp, Param, Scratch, Tensor2};
 
-use crate::policy::PolicyHyperparams;
+use crate::policy::{lstm_step_tensors, PolicyHyperparams};
 
 /// The value network.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -21,6 +21,9 @@ pub struct ValueNetwork {
     /// Reusable one-element output buffer for [`ValueNetwork::predict_fast`].
     #[serde(skip)]
     infer_out: Scratch<Vec<f64>>,
+    /// Reusable batched output buffer for [`ValueNetwork::predict_batch`].
+    #[serde(skip)]
+    batch_out: Scratch<Tensor2>,
 }
 
 impl ValueNetwork {
@@ -38,6 +41,7 @@ impl ValueNetwork {
             backbone,
             head,
             infer_out: Scratch::default(),
+            batch_out: Scratch::default(),
         }
     }
 
@@ -70,6 +74,32 @@ impl ValueNetwork {
         self.head.forward(&z)[0]
     }
 
+    /// Batched [`ValueNetwork::predict_fast`]: estimates every packed
+    /// observation's value through one batched forward pass per layer,
+    /// using internal scratch. Entry `i` is bit-identical to
+    /// [`ValueNetwork::predict`] on observation `i`.
+    pub fn predict_batch(&mut self, batch: &ObservationBatch) -> Vec<f64> {
+        let steps = lstm_step_tensors(batch);
+        let embedding = self.lstm.infer_batch(&[&steps[0], &steps[1]]);
+        let z = self.backbone.infer_batch(embedding);
+        let mut out = std::mem::take(&mut self.batch_out).0;
+        self.head.infer_batch_into(z, &mut out);
+        let values = out.data().to_vec();
+        self.batch_out = Scratch(out);
+        values
+    }
+
+    /// Batched [`ValueNetwork::forward`]: estimates every packed
+    /// observation's value through one batched forward pass per layer,
+    /// caching activations for [`ValueNetwork::backward_batch`]. Entry `i`
+    /// is bit-identical to `forward` on observation `i`.
+    pub fn forward_batch(&mut self, batch: &ObservationBatch) -> Vec<f64> {
+        let steps = lstm_step_tensors(batch);
+        let embedding = self.lstm.forward_batch(&steps);
+        let z = self.backbone.forward_batch(&embedding);
+        self.head.forward_batch(&z).into_flat()
+    }
+
     /// Backward pass for the most recent un-consumed [`ValueNetwork::forward`]
     /// call, given `d loss / d value`.
     ///
@@ -80,6 +110,22 @@ impl ValueNetwork {
         let grad_z = self.head.backward(&[grad_value]);
         let grad_embedding = self.backbone.backward(&grad_z);
         self.lstm.backward(&grad_embedding);
+    }
+
+    /// Batched backward pass for the most recent un-consumed
+    /// [`ValueNetwork::forward_batch`] call, given `d loss / d value` per
+    /// observation. Parameter gradients accumulate in reverse item order —
+    /// bit-identical to per-sample `backward` calls in reverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a matching `forward_batch` or the gradient
+    /// count differs from the forwarded batch.
+    pub fn backward_batch(&mut self, grad_values: &[f64]) {
+        let g = Tensor2::from_flat(grad_values.len(), 1, grad_values.to_vec());
+        let grad_z = self.head.backward_batch(&g);
+        let grad_embedding = self.backbone.backward_batch(&grad_z);
+        self.lstm.backward_batch(&grad_embedding);
     }
 
     /// Clears gradients and caches.

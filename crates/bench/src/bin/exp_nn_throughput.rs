@@ -1,0 +1,20 @@
+//! Prints the batched-inference experiment: rows/sec for batched
+//! (blocked-matmul) vs per-vector forward, scratch inference and backward
+//! on the MLP backbone and the embedding LSTM, at PPO/beam-realistic layer
+//! shapes and batch sizes. Both sides of every comparison compute
+//! bit-identical results, so the ratios are pure engine throughput.
+//!
+//! Scale with `MLIR_RL_SCALE` (`smoke` / `standard` / `full`) or pass
+//! `--smoke`.
+
+use mlir_rl_bench::{nn_throughput, ExperimentScale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        ExperimentScale::smoke()
+    } else {
+        ExperimentScale::from_env()
+    };
+    let report = nn_throughput(&scale);
+    println!("{report}");
+}

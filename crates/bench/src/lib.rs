@@ -682,6 +682,248 @@ pub fn search_speedups(scale: &ExperimentScale, workers: usize) -> SearchReport 
 }
 
 // ---------------------------------------------------------------------------
+// E12 — NN throughput: batched (blocked-matmul) vs per-vector inference and
+// training on PPO/beam-realistic layer shapes.
+// ---------------------------------------------------------------------------
+
+/// One batch-size row of the NN-throughput experiment. All figures are
+/// rows (samples) per second; `*_speedup` is batched over looped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NnThroughputRow {
+    /// Batch size (rows per batched call; the looped figures process the
+    /// same rows one at a time).
+    pub batch: usize,
+    /// MLP training forward, one `forward` call per row.
+    pub forward_looped: f64,
+    /// MLP training forward, one `forward_batch` call.
+    pub forward_batched: f64,
+    /// `forward_batched / forward_looped`.
+    pub forward_speedup: f64,
+    /// MLP scratch inference, one `infer` call per row.
+    pub infer_looped: f64,
+    /// MLP scratch inference, one `infer_batch` call.
+    pub infer_batched: f64,
+    /// `infer_batched / infer_looped`.
+    pub infer_speedup: f64,
+    /// MLP backward, one `backward` call per row in reverse order.
+    pub backward_looped: f64,
+    /// MLP backward, one `backward_batch` call.
+    pub backward_batched: f64,
+    /// `backward_batched / backward_looped`.
+    pub backward_speedup: f64,
+    /// LSTM scratch inference (sequence length 2, the producer-consumer
+    /// embedding shape), one `infer` call per row.
+    pub lstm_infer_looped: f64,
+    /// LSTM scratch inference, one `infer_batch` call.
+    pub lstm_infer_batched: f64,
+    /// `lstm_infer_batched / lstm_infer_looped`.
+    pub lstm_infer_speedup: f64,
+}
+
+/// The `exp_nn_throughput` report: rows/sec for batched vs per-vector
+/// forward, inference and backward at PPO/beam-realistic shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NnThroughputReport {
+    /// Input feature count of the measured MLP (equal to the hidden size,
+    /// like the paper's backbone).
+    pub input: usize,
+    /// Hidden width of the measured layers.
+    pub hidden: usize,
+    /// Number of MLP layers.
+    pub layers: usize,
+    /// One row per measured batch size.
+    pub rows: Vec<NnThroughputRow>,
+}
+
+impl fmt::Display for NnThroughputReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== nn throughput (mlp {}x{} x{} layers; rows/sec, batched vs per-vector) ==",
+            self.input, self.hidden, self.layers
+        )?;
+        writeln!(
+            f,
+            "{:>6}  {:>33}  {:>33}  {:>33}  {:>33}",
+            "batch",
+            "mlp forward (loop|batch|x)",
+            "mlp infer (loop|batch|x)",
+            "mlp backward (loop|batch|x)",
+            "lstm infer (loop|batch|x)"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>6}  {:>12.0} {:>12.0} {:>6.2}x  {:>12.0} {:>12.0} {:>6.2}x  {:>12.0} {:>12.0} {:>6.2}x  {:>12.0} {:>12.0} {:>6.2}x",
+                r.batch,
+                r.forward_looped,
+                r.forward_batched,
+                r.forward_speedup,
+                r.infer_looped,
+                r.infer_batched,
+                r.infer_speedup,
+                r.backward_looped,
+                r.backward_batched,
+                r.backward_speedup,
+                r.lstm_infer_looped,
+                r.lstm_infer_batched,
+                r.lstm_infer_speedup,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Repeats `rep` until its self-timed measured region has accumulated at
+/// least `budget_s` seconds; returns rows/sec over the measured region.
+/// `rep(timer)` must add its measured duration to `timer` and return the
+/// rows it processed.
+fn measure_rows_per_sec<F: FnMut(&mut f64) -> usize>(budget_s: f64, mut rep: F) -> f64 {
+    let mut rows = 0usize;
+    let mut timed = 0.0f64;
+    while timed < budget_s {
+        rows += rep(&mut timed);
+    }
+    rows as f64 / timed.max(1e-9)
+}
+
+/// Measures rows/sec for batched vs per-vector NN execution: MLP training
+/// forward, scratch inference and backward, plus LSTM scratch inference at
+/// sequence length 2 (the producer-consumer embedding). Shapes follow the
+/// scale: the smoke scale uses a 96-unit stack so CI stays fast; every
+/// other scale uses the paper's 512-unit PPO shape. Both sides of each
+/// comparison compute bit-identical results (the batched kernels fix their
+/// accumulation order), so the ratio is pure engine throughput.
+pub fn nn_throughput(scale: &ExperimentScale) -> NnThroughputReport {
+    use mlir_rl_nn::{Lstm, Mlp, Tensor2};
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    let hidden = if scale.hidden_size <= 16 { 96 } else { 512 };
+    let budget_s = if scale.hidden_size <= 16 { 0.02 } else { 0.25 };
+    let layers = 3usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(2026);
+    let sizes: Vec<usize> = std::iter::repeat_n(hidden, layers + 1).collect();
+    let mlp_template = Mlp::new(&sizes, false, &mut rng);
+    let lstm_template = Lstm::new(hidden, hidden, &mut rng);
+
+    let mut rows = Vec::new();
+    for batch in [1usize, 16, 32, 64] {
+        let data: Vec<Vec<f64>> = (0..batch)
+            .map(|_| (0..hidden).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let x = Tensor2::from_rows(hidden, data.iter().map(Vec::as_slice));
+        let grad: Vec<Vec<f64>> = (0..batch)
+            .map(|_| (0..hidden).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let g = Tensor2::from_rows(hidden, grad.iter().map(Vec::as_slice));
+
+        // --- MLP training forward -------------------------------------
+        let mut mlp = mlp_template.clone();
+        let forward_looped = measure_rows_per_sec(budget_s, |timer| {
+            mlp.zero_grad();
+            let start = Instant::now();
+            for row in &data {
+                std::hint::black_box(mlp.forward(row));
+            }
+            *timer += start.elapsed().as_secs_f64();
+            batch
+        });
+        let mut mlp = mlp_template.clone();
+        let forward_batched = measure_rows_per_sec(budget_s, |timer| {
+            mlp.zero_grad();
+            let start = Instant::now();
+            std::hint::black_box(mlp.forward_batch(&x));
+            *timer += start.elapsed().as_secs_f64();
+            batch
+        });
+
+        // --- MLP scratch inference ------------------------------------
+        let mut mlp = mlp_template.clone();
+        let infer_looped = measure_rows_per_sec(budget_s, |timer| {
+            let start = Instant::now();
+            for row in &data {
+                std::hint::black_box(mlp.infer(row));
+            }
+            *timer += start.elapsed().as_secs_f64();
+            batch
+        });
+        let mut mlp = mlp_template.clone();
+        let infer_batched = measure_rows_per_sec(budget_s, |timer| {
+            let start = Instant::now();
+            std::hint::black_box(mlp.infer_batch(&x));
+            *timer += start.elapsed().as_secs_f64();
+            batch
+        });
+
+        // --- MLP backward (forward untimed, backward timed) -----------
+        let mut mlp = mlp_template.clone();
+        let backward_looped = measure_rows_per_sec(budget_s, |timer| {
+            mlp.zero_grad();
+            for row in &data {
+                mlp.forward(row);
+            }
+            let start = Instant::now();
+            for grow in grad.iter().rev() {
+                std::hint::black_box(mlp.backward(grow));
+            }
+            *timer += start.elapsed().as_secs_f64();
+            batch
+        });
+        let mut mlp = mlp_template.clone();
+        let backward_batched = measure_rows_per_sec(budget_s, |timer| {
+            mlp.zero_grad();
+            mlp.forward_batch(&x);
+            let start = Instant::now();
+            std::hint::black_box(mlp.backward_batch(&g));
+            *timer += start.elapsed().as_secs_f64();
+            batch
+        });
+
+        // --- LSTM scratch inference (sequence length 2) ---------------
+        let mut lstm = lstm_template.clone();
+        let lstm_infer_looped = measure_rows_per_sec(budget_s, |timer| {
+            let start = Instant::now();
+            for row in &data {
+                std::hint::black_box(lstm.infer(&[row.as_slice(), row.as_slice()]));
+            }
+            *timer += start.elapsed().as_secs_f64();
+            batch
+        });
+        let mut lstm = lstm_template.clone();
+        let lstm_infer_batched = measure_rows_per_sec(budget_s, |timer| {
+            let start = Instant::now();
+            std::hint::black_box(lstm.infer_batch(&[&x, &x]));
+            *timer += start.elapsed().as_secs_f64();
+            batch
+        });
+
+        rows.push(NnThroughputRow {
+            batch,
+            forward_looped,
+            forward_batched,
+            forward_speedup: forward_batched / forward_looped.max(1e-9),
+            infer_looped,
+            infer_batched,
+            infer_speedup: infer_batched / infer_looped.max(1e-9),
+            backward_looped,
+            backward_batched,
+            backward_speedup: backward_batched / backward_looped.max(1e-9),
+            lstm_infer_looped,
+            lstm_infer_batched,
+            lstm_infer_speedup: lstm_infer_batched / lstm_infer_looped.max(1e-9),
+        });
+    }
+
+    NnThroughputReport {
+        input: hidden,
+        hidden,
+        layers,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // E8 — Tables II and V: dataset and model composition.
 // ---------------------------------------------------------------------------
 
@@ -808,6 +1050,30 @@ mod tests {
             "repeated baselines must produce cache hits"
         );
         assert!(report.to_string().contains("cache hit-rate"));
+    }
+
+    #[test]
+    fn smoke_nn_throughput_reports_all_paths() {
+        let report = nn_throughput(&ExperimentScale::smoke());
+        assert_eq!(report.rows.len(), 4);
+        assert!(report.rows.iter().any(|r| r.batch >= 16));
+        for r in &report.rows {
+            for v in [
+                r.forward_looped,
+                r.forward_batched,
+                r.infer_looped,
+                r.infer_batched,
+                r.backward_looped,
+                r.backward_batched,
+                r.lstm_infer_looped,
+                r.lstm_infer_batched,
+            ] {
+                assert!(v.is_finite() && v > 0.0);
+            }
+        }
+        let printed = report.to_string();
+        assert!(printed.contains("nn throughput"));
+        assert!(printed.contains("mlp forward"));
     }
 
     #[test]

@@ -19,6 +19,100 @@ use mlir_rl_ir::{IteratorType, OpId};
 use mlir_rl_transforms::ScheduledModule;
 
 use crate::config::EnvConfig;
+use crate::env::Observation;
+
+/// A batch of observations packed for batched network inference: the
+/// producer and consumer feature vectors are stored contiguously row-major
+/// (one observation per row), so a policy or value network can run one
+/// blocked matmul per layer over the whole batch instead of one matvec per
+/// observation. PPO minibatches, beam-search frontiers and MCTS expansions
+/// all pack through this type.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ObservationBatch {
+    feature_len: usize,
+    len: usize,
+    producers: Vec<f64>,
+    consumers: Vec<f64>,
+}
+
+impl ObservationBatch {
+    /// Creates an empty batch for observations with the given feature
+    /// length.
+    pub fn new(feature_len: usize) -> Self {
+        Self {
+            feature_len,
+            len: 0,
+            producers: Vec::new(),
+            consumers: Vec::new(),
+        }
+    }
+
+    /// Packs a batch from an iterator of observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty or the observations disagree on
+    /// feature length.
+    pub fn from_observations<'a, I>(observations: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Observation>,
+    {
+        let mut iter = observations.into_iter();
+        let first = iter.next().expect("observation batch must not be empty");
+        let mut batch = Self::new(first.producer.len());
+        batch.push(first);
+        for obs in iter {
+            batch.push(obs);
+        }
+        batch
+    }
+
+    /// Appends one observation's feature vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observation's feature length does not match the batch.
+    pub fn push(&mut self, obs: &Observation) {
+        assert_eq!(
+            obs.producer.len(),
+            self.feature_len,
+            "producer feature length mismatch"
+        );
+        assert_eq!(
+            obs.consumer.len(),
+            self.feature_len,
+            "consumer feature length mismatch"
+        );
+        self.producers.extend_from_slice(&obs.producer);
+        self.consumers.extend_from_slice(&obs.consumer);
+        self.len += 1;
+    }
+
+    /// Number of observations in the batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no observation was packed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Feature length of every packed vector.
+    pub fn feature_len(&self) -> usize {
+        self.feature_len
+    }
+
+    /// The packed producer features, row-major (`len x feature_len`).
+    pub fn producers(&self) -> &[f64] {
+        &self.producers
+    }
+
+    /// The packed consumer features, row-major (`len x feature_len`).
+    pub fn consumers(&self) -> &[f64] {
+        &self.consumers
+    }
+}
 
 /// The per-operation action history, encoded per Appendix A.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -297,6 +391,56 @@ mod tests {
             config.max_schedule_len * config.max_loops * config.num_tile_candidates()
                 + config.max_schedule_len * config.max_loops * config.max_loops
         );
+    }
+
+    #[test]
+    fn observation_batch_packs_row_major() {
+        let obs = |p: f64, c: f64| Observation {
+            producer: vec![p, p + 1.0],
+            consumer: vec![c, c + 1.0],
+            mask: crate::mask::ActionMask {
+                transformation: [true; 6],
+                tile_sizes: vec![],
+                interchange_candidates: vec![true],
+                level_pointer: vec![true],
+            },
+            num_loops: 1,
+            op: OpId(0),
+        };
+        let a = obs(1.0, 10.0);
+        let b = obs(2.0, 20.0);
+        let batch = ObservationBatch::from_observations([&a, &b]);
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.feature_len(), 2);
+        assert_eq!(batch.producers(), &[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(batch.consumers(), &[10.0, 11.0, 20.0, 21.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature length mismatch")]
+    fn observation_batch_rejects_mismatched_lengths() {
+        let mask = crate::mask::ActionMask {
+            transformation: [true; 6],
+            tile_sizes: vec![],
+            interchange_candidates: vec![true],
+            level_pointer: vec![true],
+        };
+        let a = Observation {
+            producer: vec![1.0],
+            consumer: vec![1.0],
+            mask: mask.clone(),
+            num_loops: 1,
+            op: OpId(0),
+        };
+        let b = Observation {
+            producer: vec![1.0, 2.0],
+            consumer: vec![1.0, 2.0],
+            mask,
+            num_loops: 1,
+            op: OpId(0),
+        };
+        ObservationBatch::from_observations([&a, &b]);
     }
 
     #[test]

@@ -42,6 +42,6 @@ pub use action::{
 };
 pub use config::{ActionSpaceMode, EnvConfig, InterchangeMode, RewardMode};
 pub use env::{EpisodeSnapshot, EpisodeStats, Observation, OptimizationEnv, StepOutcome};
-pub use features::{extract_features, zero_features, ActionHistory};
+pub use features::{extract_features, zero_features, ActionHistory, ObservationBatch};
 pub use mask::{compute_mask, ActionMask};
 pub use reward::{log_speedup, speedup_from_log, step_reward};

@@ -27,6 +27,14 @@ pub fn sigmoid(x: &[f64]) -> Vec<f64> {
     x.iter().map(|v| 1.0 / (1.0 + (-v).exp())).collect()
 }
 
+/// Sigmoid applied in place (bit-identical to [`sigmoid`], without
+/// allocating).
+pub fn sigmoid_in_place(x: &mut [f64]) {
+    for v in x {
+        *v = 1.0 / (1.0 + (-*v).exp());
+    }
+}
+
 /// Sigmoid backward given the forward *output*.
 pub fn sigmoid_backward(output: &[f64], grad_output: &[f64]) -> Vec<f64> {
     output
@@ -39,6 +47,13 @@ pub fn sigmoid_backward(output: &[f64], grad_output: &[f64]) -> Vec<f64> {
 /// Tanh forward.
 pub fn tanh(x: &[f64]) -> Vec<f64> {
     x.iter().map(|v| v.tanh()).collect()
+}
+
+/// Tanh applied in place (bit-identical to [`tanh`], without allocating).
+pub fn tanh_in_place(x: &mut [f64]) {
+    for v in x {
+        *v = v.tanh();
+    }
 }
 
 /// Tanh backward given the forward *output*.

@@ -6,10 +6,17 @@
 //! networks need (LSTM producer-consumer embedding, 3x512 ReLU backbone,
 //! softmax action heads, value head, PPO training).
 //!
-//! All layers operate on single samples (`&[f64]` feature vectors); a
-//! minibatch is processed by calling `forward` once per sample and
-//! `backward` once per sample in reverse order, which accumulates gradients
-//! exactly like summing a batched loss.
+//! Layers operate on batches: a minibatch is a row-major [`Tensor2`] (one
+//! sample per row) pushed through `forward_batch` / `infer_batch` /
+//! `backward_batch`, which run one blocked matmul per layer instead of one
+//! matvec per sample. The per-vector entry points (`forward`, `infer`,
+//! `backward`) remain as thin wrappers over batch-of-1, and the batched
+//! kernels fix their accumulation order so that every row of a batched
+//! result is **bit-for-bit identical** to the per-vector path — batching is
+//! purely a throughput knob, never a numerics change (property-tested).
+//! `backward_batch` accumulates parameter gradients in reverse row order,
+//! exactly like replaying per-sample `backward` calls against stacked
+//! caches.
 //!
 //! ## Example
 //!
@@ -41,9 +48,11 @@ pub mod linear;
 pub mod lstm;
 pub mod param;
 pub mod scratch;
+pub mod tensor;
 
 pub use activation::{
-    masked_softmax, relu, relu_in_place, sigmoid, softmax, softmax_backward, tanh,
+    masked_softmax, relu, relu_in_place, sigmoid, sigmoid_in_place, softmax, softmax_backward,
+    tanh, tanh_in_place,
 };
 pub use adam::{clip_grad_norm, Adam};
 pub use distribution::MaskedCategorical;
@@ -51,3 +60,4 @@ pub use linear::{Linear, Mlp};
 pub use lstm::Lstm;
 pub use param::Param;
 pub use scratch::Scratch;
+pub use tensor::Tensor2;

@@ -1,25 +1,32 @@
 //! Fully connected (dense) layers and the ReLU MLP used as the policy
 //! backbone.
+//!
+//! Both layer types process row-major batches ([`Tensor2`], one sample per
+//! row) through `forward_batch` / `infer_batch` / `backward_batch`; the
+//! per-vector entry points are thin wrappers over batch-of-1 and stay
+//! bit-identical to what they computed when they were hand-rolled matvec
+//! loops (the kernels fix the accumulation order — see
+//! [`crate::tensor`]).
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::activation::{relu, relu_backward, relu_in_place};
+use crate::activation::relu_in_place;
 use crate::param::Param;
 use crate::scratch::{resize_buffer, Scratch};
+use crate::tensor::{matmul_nt, Tensor2};
 
 /// A fully connected layer `y = W x + b`.
 ///
-/// The layer caches the inputs of every forward call since the last
+/// The layer caches the input batch of every forward call since the last
 /// [`Linear::zero_grad`] so that backward passes can be replayed in reverse
-/// order (the usual pattern when processing a minibatch one sample at a
-/// time).
+/// order (the caches are stacks; a per-vector forward pushes a batch of 1).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Linear {
     weight: Param,
     bias: Param,
     #[serde(skip)]
-    cached_inputs: Vec<Vec<f64>>,
+    cached_inputs: Vec<Tensor2>,
 }
 
 impl Linear {
@@ -42,17 +49,70 @@ impl Linear {
         self.weight.rows
     }
 
-    /// Forward pass, caching the input for a later backward pass.
+    /// The shared affine map `W x + b` for one sample, written into `out`
+    /// (resized to the output size). Every per-vector forward/inference
+    /// entry point funnels through here.
+    fn affine_row_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.weight.cols, "matvec dimension mismatch");
+        resize_buffer(out, self.weight.rows);
+        matmul_nt(
+            x,
+            &self.weight.value,
+            1,
+            self.weight.rows,
+            self.weight.cols,
+            out,
+        );
+        for (yi, b) in out.iter_mut().zip(&self.bias.value) {
+            *yi += b;
+        }
+    }
+
+    /// The shared affine map for a batch: `out = x W^T + b` row-wise, with
+    /// `out` resized to `batch x output`.
+    fn affine_batch_into(&self, x: &Tensor2, out: &mut Tensor2) {
+        self.weight.matmul_batch_into(x, out);
+        for r in 0..out.rows() {
+            for (yi, b) in out.row_mut(r).iter_mut().zip(&self.bias.value) {
+                *yi += b;
+            }
+        }
+    }
+
+    /// Batched forward pass (one sample per row), caching the input batch
+    /// for a later [`Linear::backward_batch`]. Row `i` of the result is
+    /// bit-identical to [`Linear::forward`]`(x.row(i))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` does not match the input size.
+    pub fn forward_batch(&mut self, x: &Tensor2) -> Tensor2 {
+        let mut y = Tensor2::zeros(0, 0);
+        self.affine_batch_into(x, &mut y);
+        self.cached_inputs.push(x.clone());
+        y
+    }
+
+    /// Batched inference (no caching) into a caller-provided tensor;
+    /// bit-identical to [`Linear::forward_batch`] row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` does not match the input size.
+    pub fn infer_batch_into(&self, x: &Tensor2, out: &mut Tensor2) {
+        self.affine_batch_into(x, out);
+    }
+
+    /// Forward pass, caching the input for a later backward pass (a thin
+    /// wrapper over batch-of-1).
     ///
     /// # Panics
     ///
     /// Panics if `x.len()` does not match the input size.
     pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
-        let mut y = self.weight.matvec(x);
-        for (yi, b) in y.iter_mut().zip(&self.bias.value) {
-            *yi += b;
-        }
-        self.cached_inputs.push(x.to_vec());
+        let mut y = Vec::new();
+        self.affine_row_into(x, &mut y);
+        self.cached_inputs.push(Tensor2::from_row(x));
         y
     }
 
@@ -62,10 +122,8 @@ impl Linear {
     ///
     /// Panics if `x.len()` does not match the input size.
     pub fn forward_inference(&self, x: &[f64]) -> Vec<f64> {
-        let mut y = self.weight.matvec(x);
-        for (yi, b) in y.iter_mut().zip(&self.bias.value) {
-            *yi += b;
-        }
+        let mut y = Vec::new();
+        self.affine_row_into(x, &mut y);
         y
     }
 
@@ -76,24 +134,21 @@ impl Linear {
     ///
     /// Panics if `x.len()` does not match the input size.
     pub fn infer_into(&self, x: &[f64], out: &mut Vec<f64>) {
-        resize_buffer(out, self.weight.rows);
-        self.weight.matvec_into(x, out);
-        for (yi, b) in out.iter_mut().zip(&self.bias.value) {
-            *yi += b;
-        }
+        self.affine_row_into(x, out);
     }
 
-    /// Backward pass for the most recent un-consumed forward call.
-    /// Accumulates parameter gradients and returns the gradient with respect
-    /// to the input.
+    /// Batched backward pass for the most recent un-consumed forward call.
+    /// Accumulates parameter gradients in **reverse row order** (exactly
+    /// the sequence a per-sample replay performs against stacked caches)
+    /// and returns the per-row gradients with respect to the inputs.
     ///
     /// # Panics
     ///
     /// Panics if there is no cached forward call to consume or the gradient
-    /// length does not match the output size.
-    pub fn backward(&mut self, grad_output: &[f64]) -> Vec<f64> {
+    /// batch shape does not match the cached input batch / output size.
+    pub fn backward_batch(&mut self, grad_output: &Tensor2) -> Tensor2 {
         assert_eq!(
-            grad_output.len(),
+            grad_output.cols(),
             self.weight.rows,
             "gradient size mismatch"
         );
@@ -101,11 +156,27 @@ impl Linear {
             .cached_inputs
             .pop()
             .expect("backward called without a matching forward");
-        self.weight.add_outer_to_grad(grad_output, &x);
-        for (gb, g) in self.bias.grad.iter_mut().zip(grad_output) {
-            *gb += g;
+        assert_eq!(grad_output.rows(), x.rows(), "gradient batch size mismatch");
+        self.weight.add_outer_batch_to_grad(grad_output, &x);
+        for b in (0..grad_output.rows()).rev() {
+            for (gb, g) in self.bias.grad.iter_mut().zip(grad_output.row(b)) {
+                *gb += g;
+            }
         }
-        self.weight.matvec_transposed(grad_output)
+        self.weight.matmul_batch_transposed(grad_output)
+    }
+
+    /// Backward pass for the most recent un-consumed forward call (a thin
+    /// wrapper over batch-of-1). Accumulates parameter gradients and
+    /// returns the gradient with respect to the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no cached forward call to consume or the gradient
+    /// length does not match the output size.
+    pub fn backward(&mut self, grad_output: &[f64]) -> Vec<f64> {
+        self.backward_batch(&Tensor2::from_row(grad_output))
+            .into_flat()
     }
 
     /// Clears gradients and cached activations.
@@ -126,6 +197,15 @@ impl Linear {
     }
 }
 
+/// Ping-pong working memory for [`Mlp::infer`] / [`Mlp::infer_batch`].
+#[derive(Debug, Clone, Default)]
+struct MlpBuffers {
+    /// Batch-of-1 staging tensor for the per-vector [`Mlp::infer`] wrapper.
+    input: Tensor2,
+    /// The two alternating layer-output buffers.
+    pp: [Tensor2; 2],
+}
+
 /// A multi-layer perceptron with ReLU activations after every layer except
 /// the last (the paper's backbone uses three 512-unit ReLU layers; heads add
 /// a final linear layer without activation).
@@ -134,10 +214,10 @@ pub struct Mlp {
     layers: Vec<Linear>,
     relu_output: bool,
     #[serde(skip)]
-    cached_activations: Vec<Vec<Vec<f64>>>,
-    /// Ping-pong buffers reused by [`Mlp::infer`].
+    cached_activations: Vec<Vec<Tensor2>>,
+    /// Ping-pong buffers reused by [`Mlp::infer`] / [`Mlp::infer_batch`].
     #[serde(skip)]
-    infer_buffers: Scratch<[Vec<f64>; 2]>,
+    infer_buffers: Scratch<MlpBuffers>,
 }
 
 impl Mlp {
@@ -178,82 +258,128 @@ impl Mlp {
             .input_size()
     }
 
-    /// Forward pass with caching for backward. Activations are stored by
-    /// move (the backward pass borrows them); only the final output is
-    /// cloned once for the caller.
-    pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
+    /// Batched forward pass with caching for
+    /// [`Mlp::backward_batch`]: one matmul per layer for the whole batch.
+    /// Row `i` is bit-identical to [`Mlp::forward`]`(x.row(i))`.
+    pub fn forward_batch(&mut self, x: &Tensor2) -> Tensor2 {
         let n = self.layers.len();
-        let mut activations: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut activations: Vec<Tensor2> = Vec::with_capacity(n);
         for (i, layer) in self.layers.iter_mut().enumerate() {
-            let input: &[f64] = activations.last().map_or(x, Vec::as_slice);
-            let mut h = layer.forward(input);
+            let input: &Tensor2 = activations.last().unwrap_or(x);
+            let mut h = layer.forward_batch(input);
             if i + 1 < n || self.relu_output {
-                relu_in_place(&mut h);
+                relu_in_place(h.data_mut());
             }
             activations.push(h);
         }
-        let out = activations.last().cloned().unwrap_or_else(|| x.to_vec());
+        let out = activations.last().expect("at least one layer").clone();
         self.cached_activations.push(activations);
         out
     }
 
+    /// Forward pass with caching for backward (a thin wrapper over
+    /// batch-of-1).
+    pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
+        self.forward_batch(&Tensor2::from_row(x)).into_flat()
+    }
+
     /// Forward pass without caching (inference only).
     pub fn forward_inference(&self, x: &[f64]) -> Vec<f64> {
-        let mut h = x.to_vec();
         let n = self.layers.len();
+        let mut h = x.to_vec();
         for (i, layer) in self.layers.iter().enumerate() {
-            let pre = layer.forward_inference(&h);
-            h = if i + 1 < n || self.relu_output {
-                relu(&pre)
-            } else {
-                pre
-            };
+            let mut pre = layer.forward_inference(&h);
+            if i + 1 < n || self.relu_output {
+                relu_in_place(&mut pre);
+            }
+            h = pre;
         }
         h
     }
 
-    /// Allocation-free inference using internal ping-pong buffers. Returns
+    /// Runs the inference layer stack over `x` using the given ping-pong
+    /// buffers; returns the index of the buffer holding the final output.
+    fn run_infer(&self, x: &Tensor2, pp: &mut [Tensor2; 2]) -> usize {
+        let n = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (cur, prev) = {
+                let (a, b) = pp.split_at_mut(1);
+                if i % 2 == 0 {
+                    (&mut a[0], &b[0])
+                } else {
+                    (&mut b[0], &a[0])
+                }
+            };
+            let input: &Tensor2 = if i == 0 { x } else { prev };
+            layer.infer_batch_into(input, cur);
+            if i + 1 < n || self.relu_output {
+                relu_in_place(cur.data_mut());
+            }
+        }
+        (n + 1) % 2
+    }
+
+    /// Allocation-free batched inference using internal ping-pong buffers.
+    /// Returns a tensor borrowing the network's scratch; row `i` is
+    /// bit-identical to [`Mlp::infer`]`(x.row(i))` and to
+    /// [`Mlp::forward_inference`].
+    pub fn infer_batch(&mut self, x: &Tensor2) -> &Tensor2 {
+        let mut bufs = std::mem::take(&mut self.infer_buffers).0;
+        let idx = self.run_infer(x, &mut bufs.pp);
+        self.infer_buffers = Scratch(bufs);
+        &self.infer_buffers.0.pp[idx]
+    }
+
+    /// Allocation-free inference (a thin wrapper over batch-of-1). Returns
     /// a slice borrowing the network's scratch; bit-identical to
     /// [`Mlp::forward_inference`].
     pub fn infer(&mut self, x: &[f64]) -> &[f64] {
-        let n = self.layers.len();
-        let [buf_a, buf_b] = &mut self.infer_buffers.0;
-        let mut cur: &mut Vec<f64> = buf_a;
-        let mut prev: &mut Vec<f64> = buf_b;
-        for (i, layer) in self.layers.iter().enumerate() {
-            let input: &[f64] = if i == 0 { x } else { prev };
-            layer.infer_into(input, cur);
-            if i + 1 < n || self.relu_output {
-                relu_in_place(cur);
-            }
-            std::mem::swap(&mut cur, &mut prev);
-        }
-        if n.is_multiple_of(2) {
-            &self.infer_buffers.0[1]
-        } else {
-            &self.infer_buffers.0[0]
-        }
+        let mut bufs = std::mem::take(&mut self.infer_buffers).0;
+        bufs.input.resize(1, x.len());
+        bufs.input.row_mut(0).copy_from_slice(x);
+        let idx = self.run_infer(&bufs.input, &mut bufs.pp);
+        self.infer_buffers = Scratch(bufs);
+        self.infer_buffers.0.pp[idx].row(0)
     }
 
-    /// Backward pass for the most recent un-consumed forward call.
+    /// Batched backward pass for the most recent un-consumed forward call.
+    /// Parameter gradients accumulate in reverse row order (the per-sample
+    /// replay sequence); returns the per-row input gradients.
     ///
     /// # Panics
     ///
     /// Panics if there is no cached forward call.
-    pub fn backward(&mut self, grad_output: &[f64]) -> Vec<f64> {
+    pub fn backward_batch(&mut self, grad_output: &Tensor2) -> Tensor2 {
         let activations = self
             .cached_activations
             .pop()
             .expect("backward called without a matching forward");
         let n = self.layers.len();
-        let mut grad = grad_output.to_vec();
+        let mut grad = grad_output.clone();
         for (i, layer) in self.layers.iter_mut().enumerate().rev() {
             if i + 1 < n || self.relu_output {
-                grad = relu_backward(&activations[i], &grad);
+                // Gate in place (bit-identical to `relu_backward` per row,
+                // without allocating): gradient passes only where the
+                // forward output was positive.
+                let act = &activations[i];
+                for (g, a) in grad.data_mut().iter_mut().zip(act.data()) {
+                    *g = if *a > 0.0 { *g } else { 0.0 };
+                }
             }
-            grad = layer.backward(&grad);
+            grad = layer.backward_batch(&grad);
         }
         grad
+    }
+
+    /// Backward pass for the most recent un-consumed forward call (a thin
+    /// wrapper over batch-of-1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no cached forward call.
+    pub fn backward(&mut self, grad_output: &[f64]) -> Vec<f64> {
+        self.backward_batch(&Tensor2::from_row(grad_output))
+            .into_flat()
     }
 
     /// Clears gradients and cached activations of all layers.
@@ -424,6 +550,72 @@ mod tests {
         let a = mlp.infer(&x).to_vec();
         let mut cloned = mlp.clone();
         assert_eq!(a, cloned.infer(&x).to_vec());
+    }
+
+    #[test]
+    fn forward_batch_rows_match_per_vector_forward() {
+        let rows = [
+            vec![0.1, -0.2, 0.3, 0.7],
+            vec![1.0, 0.0, -1.0, 0.5],
+            vec![-0.4, 0.9, 0.2, -0.6],
+        ];
+        let batch = Tensor2::from_rows(4, rows.iter().map(Vec::as_slice));
+
+        let mut batched = Mlp::new(&[4, 6, 3], false, &mut rng());
+        let mut serial = batched.clone();
+        let out = batched.forward_batch(&batch);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(out.row(i), serial.forward(row).as_slice(), "row {i}");
+        }
+        // The batched inference path agrees too.
+        let inferred = batched.infer_batch(&batch).clone();
+        assert_eq!(inferred, out);
+        batched.zero_grad();
+        serial.zero_grad();
+    }
+
+    #[test]
+    fn backward_batch_matches_reverse_per_sample_replay() {
+        let rows = [
+            vec![0.1, -0.2, 0.3],
+            vec![1.0, 0.4, -1.0],
+            vec![-0.4, 0.9, 0.2],
+            vec![0.7, -0.7, 0.1],
+            vec![0.0, 0.5, -0.3],
+        ];
+        let grads = [
+            vec![1.0, -0.5],
+            vec![0.2, 0.8],
+            vec![-1.0, 0.1],
+            vec![0.4, 0.4],
+            vec![-0.2, 0.9],
+        ];
+        let x = Tensor2::from_rows(3, rows.iter().map(Vec::as_slice));
+        let g = Tensor2::from_rows(2, grads.iter().map(Vec::as_slice));
+
+        let mut batched = Mlp::new(&[3, 7, 2], true, &mut rng());
+        let mut serial = batched.clone();
+
+        batched.forward_batch(&x);
+        let gx_batched = batched.backward_batch(&g);
+
+        for row in &rows {
+            serial.forward(row);
+        }
+        let mut gx_serial: Vec<Vec<f64>> = Vec::new();
+        for grad in grads.iter().rev() {
+            gx_serial.push(serial.backward(grad));
+        }
+        gx_serial.reverse();
+        for (i, gs) in gx_serial.iter().enumerate() {
+            assert_eq!(gx_batched.row(i), gs.as_slice(), "input grad row {i}");
+        }
+        // Parameter gradients are bit-identical to the reverse replay.
+        let pb = batched.parameters_mut();
+        let ps = serial.parameters_mut();
+        for (a, b) in pb.iter().zip(&ps) {
+            assert_eq!(a.grad, b.grad);
+        }
     }
 
     #[test]

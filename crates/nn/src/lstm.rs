@@ -5,36 +5,45 @@
 //! hidden state as the embedding (Sec. V-A-1). This module implements the
 //! standard LSTM cell with full backpropagation through time over the short
 //! sequences involved.
+//!
+//! All state is batched: a time step is a row-major [`Tensor2`] with one
+//! sequence per row, so a batch of observations runs one blocked matmul per
+//! gate per step instead of one matvec per observation. The per-vector
+//! entry points are thin wrappers over batch-of-1 and remain bit-identical
+//! to the historical single-sample loops; `backward_batch` accumulates
+//! parameter gradients sample-major in reverse row order, exactly like a
+//! per-sample replay of [`Lstm::backward`] against stacked caches.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::activation::{sigmoid, tanh};
+use crate::activation::{sigmoid_in_place, tanh_in_place};
 use crate::param::Param;
-use crate::scratch::{resize_buffer, Scratch};
+use crate::scratch::Scratch;
+use crate::tensor::Tensor2;
 
-/// Cached values of one LSTM time step, needed for backpropagation.
+/// Cached values of one (batched) LSTM time step, needed for
+/// backpropagation. Every field is `batch x size` row-major.
 #[derive(Debug, Clone, PartialEq)]
 struct StepCache {
-    x: Vec<f64>,
-    h_prev: Vec<f64>,
-    c_prev: Vec<f64>,
-    i: Vec<f64>,
-    f: Vec<f64>,
-    g: Vec<f64>,
-    o: Vec<f64>,
-    c: Vec<f64>,
-    tanh_c: Vec<f64>,
+    x: Tensor2,
+    h_prev: Tensor2,
+    c_prev: Tensor2,
+    i: Tensor2,
+    f: Tensor2,
+    g: Tensor2,
+    o: Tensor2,
+    c: Tensor2,
+    tanh_c: Tensor2,
 }
 
-/// Preallocated working memory for [`Lstm::infer`].
+/// Preallocated working memory for [`Lstm::infer`] / [`Lstm::infer_batch`].
 #[derive(Debug, Clone, Default, PartialEq)]
 struct LstmScratch {
-    h: Vec<f64>,
-    c: Vec<f64>,
-    gates: [Vec<f64>; 4],
-    uh: Vec<f64>,
-    tanh_c: Vec<f64>,
+    h: Tensor2,
+    c: Tensor2,
+    gates: [Tensor2; 4],
+    uh: Tensor2,
 }
 
 /// A single-layer LSTM.
@@ -50,6 +59,10 @@ pub struct Lstm {
     cached_sequences: Vec<Vec<StepCache>>,
     #[serde(skip)]
     infer_scratch: Scratch<LstmScratch>,
+    /// Batch-of-1 staging tensors for the per-vector [`Lstm::infer`]
+    /// wrapper (one per time step).
+    #[serde(skip)]
+    infer_inputs: Scratch<Vec<Tensor2>>,
 }
 
 impl Lstm {
@@ -68,6 +81,7 @@ impl Lstm {
             b,
             cached_sequences: Vec::new(),
             infer_scratch: Scratch::default(),
+            infer_inputs: Scratch::default(),
         }
     }
 
@@ -81,31 +95,64 @@ impl Lstm {
         self.hidden_size
     }
 
-    fn step(&self, x: &[f64], h_prev: &[f64], c_prev: &[f64]) -> (Vec<f64>, Vec<f64>, StepCache) {
-        let pre = |gate: usize| -> Vec<f64> {
-            let mut z = self.w[gate].matvec(x);
-            let uh = self.u[gate].matvec(h_prev);
-            for ((zi, uhi), bi) in z.iter_mut().zip(&uh).zip(&self.b[gate].value) {
-                *zi += uhi + bi;
+    /// One batched cell step: `x`, `h_prev`, `c_prev` are `batch x size`.
+    /// Row `b` of every output is bit-identical to the single-sample cell
+    /// on row `b` of the inputs.
+    fn step_batch(
+        &self,
+        x: &Tensor2,
+        h_prev: &Tensor2,
+        c_prev: &Tensor2,
+    ) -> (Tensor2, Tensor2, StepCache) {
+        let rows = x.rows();
+        let pre = |gate: usize| -> Tensor2 {
+            // z_g = W_g x + (U_g h + b_g), with the same per-element
+            // addition order as the historical single-sample cell.
+            let mut z = self.w[gate].matmul_batch(x);
+            let uh = self.u[gate].matmul_batch(h_prev);
+            for r in 0..rows {
+                for ((zi, uhi), bi) in z
+                    .row_mut(r)
+                    .iter_mut()
+                    .zip(uh.row(r))
+                    .zip(&self.b[gate].value)
+                {
+                    *zi += uhi + bi;
+                }
             }
             z
         };
-        let i = sigmoid(&pre(0));
-        let f = sigmoid(&pre(1));
-        let g = tanh(&pre(2));
-        let o = sigmoid(&pre(3));
-        let c: Vec<f64> = f
-            .iter()
-            .zip(c_prev)
-            .zip(i.iter().zip(&g))
-            .map(|((f, cp), (i, g))| f * cp + i * g)
-            .collect();
-        let tanh_c = tanh(&c);
-        let h: Vec<f64> = o.iter().zip(&tanh_c).map(|(o, t)| o * t).collect();
+        let mut i = pre(0);
+        let mut f = pre(1);
+        let mut g = pre(2);
+        let mut o = pre(3);
+        sigmoid_in_place(i.data_mut());
+        sigmoid_in_place(f.data_mut());
+        tanh_in_place(g.data_mut());
+        sigmoid_in_place(o.data_mut());
+        let mut c = Tensor2::zeros(rows, self.hidden_size);
+        for (slot, ((fv, cp), (iv, gv))) in c.data_mut().iter_mut().zip(
+            f.data()
+                .iter()
+                .zip(c_prev.data())
+                .zip(i.data().iter().zip(g.data())),
+        ) {
+            *slot = fv * cp + iv * gv;
+        }
+        let mut tanh_c = c.clone();
+        tanh_c.data_mut().iter_mut().for_each(|v| *v = v.tanh());
+        let mut h = Tensor2::zeros(rows, self.hidden_size);
+        for (slot, (ov, tv)) in h
+            .data_mut()
+            .iter_mut()
+            .zip(o.data().iter().zip(tanh_c.data()))
+        {
+            *slot = ov * tv;
+        }
         let cache = StepCache {
-            x: x.to_vec(),
-            h_prev: h_prev.to_vec(),
-            c_prev: c_prev.to_vec(),
+            x: x.clone(),
+            h_prev: h_prev.clone(),
+            c_prev: c_prev.clone(),
             i,
             f,
             g,
@@ -116,27 +163,47 @@ impl Lstm {
         (h, c, cache)
     }
 
-    /// Runs the LSTM over a sequence of input vectors, starting from zero
-    /// state, and returns the final hidden state. Caches everything needed
-    /// for [`Lstm::backward`].
+    fn check_step(&self, step: &Tensor2, rows: usize) {
+        assert_eq!(step.cols(), self.input_size, "LSTM input size mismatch");
+        assert_eq!(step.rows(), rows, "LSTM batch size mismatch");
+    }
+
+    /// Runs the LSTM over a batched sequence (each element one time step,
+    /// `batch x input` row-major), starting from zero state, and returns
+    /// the final hidden states (`batch x hidden`). Caches everything needed
+    /// for [`Lstm::backward_batch`]. Row `b` is bit-identical to
+    /// [`Lstm::forward`] on row `b` of every step.
     ///
     /// # Panics
     ///
-    /// Panics if the sequence is empty or any input has the wrong size.
-    pub fn forward(&mut self, sequence: &[Vec<f64>]) -> Vec<f64> {
+    /// Panics if the sequence is empty or any step has the wrong shape.
+    pub fn forward_batch(&mut self, sequence: &[Tensor2]) -> Tensor2 {
         assert!(!sequence.is_empty(), "LSTM sequence must not be empty");
-        let mut h = vec![0.0; self.hidden_size];
-        let mut c = vec![0.0; self.hidden_size];
+        let rows = sequence[0].rows();
+        let mut h = Tensor2::zeros(rows, self.hidden_size);
+        let mut c = Tensor2::zeros(rows, self.hidden_size);
         let mut caches = Vec::with_capacity(sequence.len());
         for x in sequence {
-            assert_eq!(x.len(), self.input_size, "LSTM input size mismatch");
-            let (nh, nc, cache) = self.step(x, &h, &c);
+            self.check_step(x, rows);
+            let (nh, nc, cache) = self.step_batch(x, &h, &c);
             h = nh;
             c = nc;
             caches.push(cache);
         }
         self.cached_sequences.push(caches);
         h
+    }
+
+    /// Runs the LSTM over a sequence of input vectors, starting from zero
+    /// state, and returns the final hidden state (a thin wrapper over
+    /// batch-of-1). Caches everything needed for [`Lstm::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or any input has the wrong size.
+    pub fn forward(&mut self, sequence: &[Vec<f64>]) -> Vec<f64> {
+        let steps: Vec<Tensor2> = sequence.iter().map(|x| Tensor2::from_row(x)).collect();
+        self.forward_batch(&steps).into_flat()
     }
 
     /// Inference-only forward (no caching).
@@ -146,19 +213,85 @@ impl Lstm {
     /// Panics if the sequence is empty or any input has the wrong size.
     pub fn forward_inference(&self, sequence: &[Vec<f64>]) -> Vec<f64> {
         assert!(!sequence.is_empty(), "LSTM sequence must not be empty");
-        let mut h = vec![0.0; self.hidden_size];
-        let mut c = vec![0.0; self.hidden_size];
+        let mut h = Tensor2::zeros(1, self.hidden_size);
+        let mut c = Tensor2::zeros(1, self.hidden_size);
         for x in sequence {
-            assert_eq!(x.len(), self.input_size, "LSTM input size mismatch");
-            let (nh, nc, _) = self.step(x, &h, &c);
+            let step = Tensor2::from_row(x);
+            self.check_step(&step, 1);
+            let (nh, nc, _) = self.step_batch(&step, &h, &c);
             h = nh;
             c = nc;
         }
-        h
+        h.into_flat()
     }
 
-    /// Allocation-free inference over a sequence of borrowed inputs using
-    /// internal scratch buffers. Returns the final hidden state as a slice
+    /// Core of the scratch-based inference paths: runs the cell over the
+    /// given steps with all working memory in `s`; leaves the final hidden
+    /// states in `s.h`.
+    fn run_infer<'a, I>(&self, steps: I, rows: usize, s: &mut LstmScratch)
+    where
+        I: Iterator<Item = &'a Tensor2>,
+    {
+        let hs = self.hidden_size;
+        s.h.resize(rows, hs);
+        s.c.resize(rows, hs);
+        s.uh.resize(rows, hs);
+        for gate in &mut s.gates {
+            gate.resize(rows, hs);
+        }
+        for x in steps {
+            self.check_step(x, rows);
+            // Pre-activations: z_g = W_g x + (U_g h + b_g), exactly as in
+            // `step_batch` so results stay bit-identical.
+            for gate in 0..4 {
+                self.w[gate].matmul_batch_into(x, &mut s.gates[gate]);
+                self.u[gate].matmul_batch_into(&s.h, &mut s.uh);
+                for r in 0..rows {
+                    for ((zi, uhi), bi) in s.gates[gate]
+                        .row_mut(r)
+                        .iter_mut()
+                        .zip(s.uh.row(r))
+                        .zip(&self.b[gate].value)
+                    {
+                        *zi += uhi + bi;
+                    }
+                }
+            }
+            sigmoid_in_place(s.gates[0].data_mut());
+            sigmoid_in_place(s.gates[1].data_mut());
+            tanh_in_place(s.gates[2].data_mut());
+            sigmoid_in_place(s.gates[3].data_mut());
+            for e in 0..rows * hs {
+                let i = s.gates[0].data()[e];
+                let f = s.gates[1].data()[e];
+                let g = s.gates[2].data()[e];
+                let o = s.gates[3].data()[e];
+                let c = f * s.c.data()[e] + i * g;
+                s.c.data_mut()[e] = c;
+                s.h.data_mut()[e] = o * c.tanh();
+            }
+        }
+    }
+
+    /// Allocation-free batched inference over a sequence of borrowed time
+    /// steps using internal scratch buffers. Returns the final hidden
+    /// states (`batch x hidden`) as a tensor borrowing the scratch; row `b`
+    /// is bit-identical to [`Lstm::forward_inference`] on row `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or any step has the wrong shape.
+    pub fn infer_batch(&mut self, sequence: &[&Tensor2]) -> &Tensor2 {
+        assert!(!sequence.is_empty(), "LSTM sequence must not be empty");
+        let rows = sequence[0].rows();
+        let mut s = std::mem::take(&mut self.infer_scratch).0;
+        self.run_infer(sequence.iter().copied(), rows, &mut s);
+        self.infer_scratch = Scratch(s);
+        &self.infer_scratch.0.h
+    }
+
+    /// Allocation-free inference over a sequence of borrowed inputs (a thin
+    /// wrapper over batch-of-1). Returns the final hidden state as a slice
     /// borrowing the scratch; bit-identical to [`Lstm::forward_inference`].
     ///
     /// # Panics
@@ -166,115 +299,153 @@ impl Lstm {
     /// Panics if the sequence is empty or any input has the wrong size.
     pub fn infer(&mut self, sequence: &[&[f64]]) -> &[f64] {
         assert!(!sequence.is_empty(), "LSTM sequence must not be empty");
-        let hs = self.hidden_size;
-        let scratch = &mut self.infer_scratch.0;
-        resize_buffer(&mut scratch.h, hs);
-        resize_buffer(&mut scratch.c, hs);
-        resize_buffer(&mut scratch.uh, hs);
-        resize_buffer(&mut scratch.tanh_c, hs);
-        for gate in &mut scratch.gates {
-            resize_buffer(gate, hs);
+        let mut inputs = std::mem::take(&mut self.infer_inputs).0;
+        inputs.resize(sequence.len(), Tensor2::default());
+        for (staged, x) in inputs.iter_mut().zip(sequence) {
+            staged.resize(1, x.len());
+            staged.row_mut(0).copy_from_slice(x);
         }
-        for x in sequence {
-            assert_eq!(x.len(), self.input_size, "LSTM input size mismatch");
-            // Pre-activations: z_g = W_g x + (U_g h + b_g), exactly as in
-            // `step` so results stay bit-identical.
-            for gate in 0..4 {
-                let z = &mut scratch.gates[gate];
-                self.w[gate].matvec_into(x, z);
-                self.u[gate].matvec_into(&scratch.h, &mut scratch.uh);
-                for ((zi, uhi), bi) in z.iter_mut().zip(&scratch.uh).zip(&self.b[gate].value) {
-                    *zi += uhi + bi;
+        let mut s = std::mem::take(&mut self.infer_scratch).0;
+        self.run_infer(inputs.iter(), 1, &mut s);
+        self.infer_scratch = Scratch(s);
+        self.infer_inputs = Scratch(inputs);
+        self.infer_scratch.0.h.row(0)
+    }
+
+    /// Batched backpropagation through time for the most recent un-consumed
+    /// forward call, given the gradients with respect to the final hidden
+    /// states (`batch x hidden`). Accumulates parameter gradients
+    /// **sample-major in reverse row order** (bit-identical to replaying
+    /// [`Lstm::backward`] per sample against stacked caches) and returns
+    /// the per-step input gradients (`batch x input` each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cached forward call is available or the gradient shape
+    /// does not match.
+    pub fn backward_batch(&mut self, grad_h_final: &Tensor2) -> Vec<Tensor2> {
+        let caches = self
+            .cached_sequences
+            .pop()
+            .expect("backward called without a matching forward");
+        let rows = caches[0].x.rows();
+        assert_eq!(grad_h_final.rows(), rows, "gradient batch size mismatch");
+        assert_eq!(
+            grad_h_final.cols(),
+            self.hidden_size,
+            "gradient size mismatch"
+        );
+        let h = self.hidden_size;
+        let mut grad_x: Vec<Tensor2> = caches
+            .iter()
+            .map(|_| Tensor2::zeros(rows, self.input_size))
+            .collect();
+        // Pre-activation gradients per step and gate, kept so the parameter
+        // accumulation below can run in per-sample replay order.
+        let mut dpres: Vec<[Tensor2; 4]> = Vec::with_capacity(caches.len());
+        let mut dh = grad_h_final.clone();
+        let mut dc = Tensor2::zeros(rows, h);
+        let mut tmp = Tensor2::zeros(0, 0);
+
+        for (t, cache) in caches.iter().enumerate().rev() {
+            // h = o * tanh(c)
+            let mut do_gate = Tensor2::zeros(rows, h);
+            for (slot, (d, tc)) in do_gate
+                .data_mut()
+                .iter_mut()
+                .zip(dh.data().iter().zip(cache.tanh_c.data()))
+            {
+                *slot = d * tc;
+            }
+            for e in 0..rows * h {
+                dc.data_mut()[e] += dh.data()[e]
+                    * cache.o.data()[e]
+                    * (1.0 - cache.tanh_c.data()[e] * cache.tanh_c.data()[e]);
+            }
+            // c = f * c_prev + i * g
+            let elementwise = |a: &Tensor2, b: &Tensor2| {
+                let mut out = Tensor2::zeros(rows, h);
+                for (slot, (x, y)) in out.data_mut().iter_mut().zip(a.data().iter().zip(b.data())) {
+                    *slot = x * y;
+                }
+                out
+            };
+            let di = elementwise(&dc, &cache.g);
+            let dg = elementwise(&dc, &cache.i);
+            let df = elementwise(&dc, &cache.c_prev);
+            let dc_prev = elementwise(&dc, &cache.f);
+
+            // Pre-activation gradients.
+            let sigmoid_pre = |d: &Tensor2, v: &Tensor2| {
+                let mut out = Tensor2::zeros(rows, h);
+                for (slot, (dv, vv)) in out.data_mut().iter_mut().zip(d.data().iter().zip(v.data()))
+                {
+                    *slot = dv * vv * (1.0 - vv);
+                }
+                out
+            };
+            let di_pre = sigmoid_pre(&di, &cache.i);
+            let df_pre = sigmoid_pre(&df, &cache.f);
+            let mut dg_pre = Tensor2::zeros(rows, h);
+            for (slot, (dv, vv)) in dg_pre
+                .data_mut()
+                .iter_mut()
+                .zip(dg.data().iter().zip(cache.g.data()))
+            {
+                *slot = dv * (1.0 - vv * vv);
+            }
+            let do_pre = sigmoid_pre(&do_gate, &cache.o);
+
+            let gate_grads = [di_pre, df_pre, dg_pre, do_pre];
+            let mut dh_prev = Tensor2::zeros(rows, h);
+            for (gate, dpre) in gate_grads.iter().enumerate() {
+                self.w[gate].matmul_batch_transposed_into(dpre, &mut tmp);
+                for (acc, v) in grad_x[t].data_mut().iter_mut().zip(tmp.data()) {
+                    *acc += v;
+                }
+                self.u[gate].matmul_batch_transposed_into(dpre, &mut tmp);
+                for (acc, v) in dh_prev.data_mut().iter_mut().zip(tmp.data()) {
+                    *acc += v;
                 }
             }
-            for k in 0..hs {
-                let i = 1.0 / (1.0 + (-scratch.gates[0][k]).exp());
-                let f = 1.0 / (1.0 + (-scratch.gates[1][k]).exp());
-                let g = scratch.gates[2][k].tanh();
-                let o = 1.0 / (1.0 + (-scratch.gates[3][k]).exp());
-                let c = f * scratch.c[k] + i * g;
-                let tanh_c = c.tanh();
-                scratch.c[k] = c;
-                scratch.tanh_c[k] = tanh_c;
-                scratch.h[k] = o * tanh_c;
+            dpres.push(gate_grads);
+            dh = dh_prev;
+            dc = dc_prev;
+        }
+        // `dpres` was filled in reverse time order; index it back to t.
+        dpres.reverse();
+
+        // Parameter accumulation in per-sample replay order: sample-major
+        // (reverse rows), then reverse time, then gates — the exact `+=`
+        // sequence B stacked per-vector backward calls perform.
+        for b in (0..rows).rev() {
+            for (cache, step_dpres) in caches.iter().zip(&dpres).rev() {
+                for (gate, gate_dpre) in step_dpres.iter().enumerate() {
+                    let dpre = gate_dpre.row(b);
+                    self.w[gate].add_outer_to_grad(dpre, cache.x.row(b));
+                    self.u[gate].add_outer_to_grad(dpre, cache.h_prev.row(b));
+                    for (gb, g) in self.b[gate].grad.iter_mut().zip(dpre) {
+                        *gb += g;
+                    }
+                }
             }
         }
-        &self.infer_scratch.0.h
+        grad_x
     }
 
     /// Backpropagation through time for the most recent un-consumed forward
-    /// call, given the gradient with respect to the final hidden state.
-    /// Accumulates parameter gradients and returns the gradients with
-    /// respect to the input sequence.
+    /// call, given the gradient with respect to the final hidden state (a
+    /// thin wrapper over batch-of-1). Accumulates parameter gradients and
+    /// returns the gradients with respect to the input sequence.
     ///
     /// # Panics
     ///
     /// Panics if no cached forward call is available.
     pub fn backward(&mut self, grad_h_final: &[f64]) -> Vec<Vec<f64>> {
-        let caches = self
-            .cached_sequences
-            .pop()
-            .expect("backward called without a matching forward");
-        let h = self.hidden_size;
-        let mut grad_x = vec![vec![0.0; self.input_size]; caches.len()];
-        let mut dh = grad_h_final.to_vec();
-        let mut dc = vec![0.0; h];
-
-        for (t, cache) in caches.iter().enumerate().rev() {
-            // h = o * tanh(c)
-            let do_gate: Vec<f64> = dh.iter().zip(&cache.tanh_c).map(|(d, t)| d * t).collect();
-            for k in 0..h {
-                dc[k] += dh[k] * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k]);
-            }
-            // c = f * c_prev + i * g
-            let di: Vec<f64> = dc.iter().zip(&cache.g).map(|(d, g)| d * g).collect();
-            let dg: Vec<f64> = dc.iter().zip(&cache.i).map(|(d, i)| d * i).collect();
-            let df: Vec<f64> = dc.iter().zip(&cache.c_prev).map(|(d, c)| d * c).collect();
-            let dc_prev: Vec<f64> = dc.iter().zip(&cache.f).map(|(d, f)| d * f).collect();
-
-            // Pre-activation gradients.
-            let di_pre: Vec<f64> = di
-                .iter()
-                .zip(&cache.i)
-                .map(|(d, v)| d * v * (1.0 - v))
-                .collect();
-            let df_pre: Vec<f64> = df
-                .iter()
-                .zip(&cache.f)
-                .map(|(d, v)| d * v * (1.0 - v))
-                .collect();
-            let dg_pre: Vec<f64> = dg
-                .iter()
-                .zip(&cache.g)
-                .map(|(d, v)| d * (1.0 - v * v))
-                .collect();
-            let do_pre: Vec<f64> = do_gate
-                .iter()
-                .zip(&cache.o)
-                .map(|(d, v)| d * v * (1.0 - v))
-                .collect();
-
-            let gate_grads = [&di_pre, &df_pre, &dg_pre, &do_pre];
-            let mut dh_prev = vec![0.0; h];
-            for (gate, dpre) in gate_grads.iter().enumerate() {
-                self.w[gate].add_outer_to_grad(dpre, &cache.x);
-                self.u[gate].add_outer_to_grad(dpre, &cache.h_prev);
-                for (gb, g) in self.b[gate].grad.iter_mut().zip(dpre.iter()) {
-                    *gb += g;
-                }
-                let dx = self.w[gate].matvec_transposed(dpre);
-                for (acc, v) in grad_x[t].iter_mut().zip(&dx) {
-                    *acc += v;
-                }
-                let dhp = self.u[gate].matvec_transposed(dpre);
-                for (acc, v) in dh_prev.iter_mut().zip(&dhp) {
-                    *acc += v;
-                }
-            }
-            dh = dh_prev;
-            dc = dc_prev;
-        }
-        grad_x
+        self.backward_batch(&Tensor2::from_row(grad_h_final))
+            .into_iter()
+            .map(Tensor2::into_flat)
+            .collect()
     }
 
     /// Clears gradients and cached activations.
@@ -340,6 +511,69 @@ mod tests {
         assert_eq!(expected, lstm.infer(&borrowed).to_vec());
         // Clones start with fresh scratch but identical weights.
         assert_eq!(expected, lstm.clone().infer(&borrowed).to_vec());
+    }
+
+    #[test]
+    fn batched_forward_and_infer_match_per_sample_rows() {
+        let mut lstm = Lstm::new(3, 5, &mut rng());
+        let sequences = [
+            vec![vec![0.2, -0.4, 0.6], vec![-0.1, 0.3, 0.5]],
+            vec![vec![1.0, 0.0, -1.0], vec![0.7, 0.7, 0.0]],
+            vec![vec![-0.5, 0.5, 0.1], vec![0.0, -0.9, 0.4]],
+        ];
+        // Pack: one tensor per time step, one row per sequence.
+        let steps: Vec<Tensor2> = (0..2)
+            .map(|t| Tensor2::from_rows(3, sequences.iter().map(|s| s[t].as_slice())))
+            .collect();
+        let batched = lstm.forward_batch(&steps);
+        for (b, seq) in sequences.iter().enumerate() {
+            assert_eq!(batched.row(b), lstm.forward_inference(seq).as_slice());
+        }
+        let refs: Vec<&Tensor2> = steps.iter().collect();
+        let inferred = lstm.infer_batch(&refs).clone();
+        assert_eq!(inferred, batched);
+        lstm.zero_grad();
+    }
+
+    #[test]
+    fn backward_batch_matches_reverse_per_sample_replay() {
+        let mut batched = Lstm::new(3, 4, &mut rng());
+        let mut serial = batched.clone();
+        let sequences = [
+            vec![vec![0.2, -0.4, 0.6], vec![-0.1, 0.3, 0.5]],
+            vec![vec![1.0, 0.0, -1.0], vec![0.7, 0.7, 0.0]],
+            vec![vec![-0.5, 0.5, 0.1], vec![0.0, -0.9, 0.4]],
+        ];
+        let grads = [
+            vec![1.0, -0.5, 0.2, 0.8],
+            vec![-1.0, 0.1, 0.4, 0.4],
+            vec![0.3, 0.9, -0.2, 0.0],
+        ];
+        let steps: Vec<Tensor2> = (0..2)
+            .map(|t| Tensor2::from_rows(3, sequences.iter().map(|s| s[t].as_slice())))
+            .collect();
+        batched.forward_batch(&steps);
+        let g = Tensor2::from_rows(4, grads.iter().map(Vec::as_slice));
+        let gx_batched = batched.backward_batch(&g);
+
+        for seq in &sequences {
+            serial.forward(seq);
+        }
+        let mut gx_serial: Vec<Vec<Vec<f64>>> = Vec::new();
+        for grad in grads.iter().rev() {
+            gx_serial.push(serial.backward(grad));
+        }
+        gx_serial.reverse();
+        for (b, gs) in gx_serial.iter().enumerate() {
+            for (t, gt) in gs.iter().enumerate() {
+                assert_eq!(gx_batched[t].row(b), gt.as_slice(), "b={b} t={t}");
+            }
+        }
+        let pb = batched.parameters_mut();
+        let ps = serial.parameters_mut();
+        for (a, b) in pb.iter().zip(&ps) {
+            assert_eq!(a.grad, b.grad);
+        }
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::tensor::{add_matmul_tn_rev, matmul_nn, matmul_nt, Tensor2};
+
 /// A trainable parameter: a dense matrix (or vector when `cols == 1`) with
 /// an accumulated gradient.
 ///
@@ -140,6 +142,90 @@ impl Param {
                 row[c] += yr * xc;
             }
         }
+    }
+
+    /// Batched matrix product `x * value^T` (`x` is one sample per row):
+    /// row `i` of the result is bit-identical to
+    /// [`Param::matvec`]`(x.row(i))` for every batch size. Writes into
+    /// `out`, resizing it to `x.rows() x self.rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.cols`.
+    pub fn matmul_batch_into(&self, x: &Tensor2, out: &mut Tensor2) {
+        assert_eq!(x.cols(), self.cols, "matmul_batch dimension mismatch");
+        out.resize(x.rows(), self.rows);
+        matmul_nt(
+            x.data(),
+            &self.value,
+            x.rows(),
+            self.rows,
+            self.cols,
+            out.data_mut(),
+        );
+    }
+
+    /// Allocating twin of [`Param::matmul_batch_into`].
+    pub fn matmul_batch(&self, x: &Tensor2) -> Tensor2 {
+        let mut out = Tensor2::zeros(0, 0);
+        self.matmul_batch_into(x, &mut out);
+        out
+    }
+
+    /// Batched transposed product `y * value` (`y` is one upstream gradient
+    /// per row): row `i` is bit-identical to
+    /// [`Param::matvec_transposed`]`(y.row(i))`. Writes into `out`,
+    /// resizing it to `y.rows() x self.cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.cols() != self.rows`.
+    pub fn matmul_batch_transposed_into(&self, y: &Tensor2, out: &mut Tensor2) {
+        assert_eq!(
+            y.cols(),
+            self.rows,
+            "matmul_batch_transposed dimension mismatch"
+        );
+        out.resize(y.rows(), self.cols);
+        matmul_nn(
+            y.data(),
+            &self.value,
+            y.rows(),
+            self.cols,
+            self.rows,
+            out.data_mut(),
+        );
+    }
+
+    /// Allocating twin of [`Param::matmul_batch_transposed_into`].
+    pub fn matmul_batch_transposed(&self, y: &Tensor2) -> Tensor2 {
+        let mut out = Tensor2::zeros(0, 0);
+        self.matmul_batch_transposed_into(y, &mut out);
+        out
+    }
+
+    /// Accumulates the outer products `y.row(b) * x.row(b)^T` into the
+    /// gradient for `b` from the **last** batch row down to the first —
+    /// bit-identical to calling [`Param::add_outer_to_grad`] once per row
+    /// in reverse order, which is the order a per-sample backward replay
+    /// visits a minibatch (layer caches are stacks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ or the column counts do not match
+    /// the parameter shape.
+    pub fn add_outer_batch_to_grad(&mut self, y: &Tensor2, x: &Tensor2) {
+        assert_eq!(y.rows(), x.rows(), "outer product batch mismatch");
+        assert_eq!(y.cols(), self.rows, "outer product row mismatch");
+        assert_eq!(x.cols(), self.cols, "outer product col mismatch");
+        add_matmul_tn_rev(
+            y.data(),
+            x.data(),
+            y.rows(),
+            self.rows,
+            self.cols,
+            &mut self.grad,
+        );
     }
 
     /// L2 norm of the gradient (used for gradient clipping).

@@ -1,0 +1,464 @@
+//! Row-major matrices and the blocked, deterministically-ordered matmul
+//! kernels behind every batched network path.
+//!
+//! The per-vector inference/training paths (`Param::matvec` and friends)
+//! accumulate each output element as one sequential left-to-right sum over
+//! the contraction dimension. The kernels here block the *independent*
+//! dimensions (batch rows and output features) for instruction-level
+//! parallelism and cache reuse, but keep exactly one accumulator per output
+//! element that walks the contraction dimension in the same fixed order —
+//! so a batched product is **bit-for-bit identical, row by row, to the
+//! per-vector loops** for every batch size (property-tested). That is what
+//! lets the whole stack (layers, heads, PPO, beam search) migrate to
+//! batched inference without perturbing a single determinism test.
+//!
+//! Why batching wins even without SIMD reassociation: a lone dot product is
+//! latency-bound on its single accumulator chain. A 4x4 register tile runs
+//! sixteen independent chains side by side, which is where the measured
+//! multi-x `exp_nn_throughput` speedup comes from.
+
+use serde::{Deserialize, Serialize};
+
+/// Register-tile height (rows of the left operand per tile).
+const MR: usize = 4;
+/// Register-tile width (output columns per tile).
+const NR: usize = 4;
+
+/// A dense row-major matrix of `f64` values.
+///
+/// `Tensor2` is the batch currency of the NN crate: a batch of `B` feature
+/// vectors of length `F` is a `B x F` tensor whose row `i` is sample `i`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Tensor2 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor2 {
+    /// Creates a zero-filled `rows x cols` tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat buffer length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// A `1 x len` tensor holding one row (the batch-of-1 constructor the
+    /// per-vector wrappers use).
+    pub fn from_row(row: &[f64]) -> Self {
+        Self {
+            rows: 1,
+            cols: row.len(),
+            data: row.to_vec(),
+        }
+    }
+
+    /// Builds a tensor from an iterator of equally sized rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from `cols`.
+    pub fn from_rows<'a, I>(cols: usize, rows: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let mut out = Self::zeros(0, cols);
+        for row in rows {
+            out.push_row(row);
+        }
+        out
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The row-major backing slice.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the row-major backing slice.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of range");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index out of range");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != cols`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols, "pushed row length mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Reshapes to `rows x cols`, zero-filling (scratch reuse: contents are
+    /// always fully overwritten by the caller).
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Consumes the tensor and returns the row-major buffer (used by the
+    /// batch-of-1 wrappers to hand back a plain `Vec`).
+    pub fn into_flat(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// `self * rhs^T`: `(M x K) * (N x K)^T -> M x N`.
+    ///
+    /// Row `i` of the result is exactly `rhs.matvec(self.row(i))` bit for
+    /// bit. This is the batched **forward** product (`rhs` holds one weight
+    /// row per output feature).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_nt(&self, rhs: &Tensor2) -> Tensor2 {
+        let mut out = Tensor2::zeros(self.rows, rhs.rows);
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Tensor2::matmul_nt`] into a caller-provided tensor (resized to
+    /// `M x N`).
+    pub fn matmul_nt_into(&self, rhs: &Tensor2, out: &mut Tensor2) {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt contraction mismatch");
+        out.resize(self.rows, rhs.rows);
+        matmul_nt(
+            &self.data,
+            &rhs.data,
+            self.rows,
+            rhs.rows,
+            self.cols,
+            &mut out.data,
+        );
+    }
+
+    /// `self * rhs`: `(M x K) * (K x N) -> M x N`.
+    ///
+    /// Row `i` of the result is exactly `rhs.matvec_transposed(self.row(i))`
+    /// bit for bit (the batched **input-gradient** product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul_nn(&self, rhs: &Tensor2) -> Tensor2 {
+        let mut out = Tensor2::zeros(self.rows, rhs.cols);
+        self.matmul_nn_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Tensor2::matmul_nn`] into a caller-provided tensor (resized to
+    /// `M x N`).
+    pub fn matmul_nn_into(&self, rhs: &Tensor2, out: &mut Tensor2) {
+        assert_eq!(self.cols, rhs.rows, "matmul_nn contraction mismatch");
+        out.resize(self.rows, rhs.cols);
+        matmul_nn(
+            &self.data,
+            &rhs.data,
+            self.rows,
+            rhs.cols,
+            self.cols,
+            &mut out.data,
+        );
+    }
+}
+
+/// `out = a * b^T` where `a` is `m x k`, `b` is `n x k`, `out` is `m x n`,
+/// all row-major. Each output element is one sequential sum over `p = 0..k`
+/// (bit-identical to [`crate::Param::matvec`] per row); the `m`/`n`
+/// dimensions are register-tiled `MR x NR` for instruction-level
+/// parallelism.
+pub fn matmul_nt(a: &[f64], b: &[f64], m: usize, n: usize, k: usize, out: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 1 {
+        // Per-vector fast path: the classic matvec loop, no tiling overhead
+        // (this is the shape every rollout-time inference call takes).
+        for (j, slot) in out.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (av, bv) in a.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *slot = acc;
+        }
+        return;
+    }
+    let mut i = 0;
+    while i < m {
+        let mh = MR.min(m - i);
+        let mut j = 0;
+        while j < n {
+            let nh = NR.min(n - j);
+            if mh == MR && nh == NR {
+                // Full register tile: 16 independent accumulator chains.
+                let mut acc = [[0.0f64; NR]; MR];
+                for p in 0..k {
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        let av = a[(i + r) * k + p];
+                        for (c, slot) in accr.iter_mut().enumerate() {
+                            *slot += av * b[(j + c) * k + p];
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    out[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(accr);
+                }
+            } else {
+                // Edge tile: plain sequential dot per element (same order).
+                for r in 0..mh {
+                    let arow = &a[(i + r) * k..(i + r + 1) * k];
+                    for c in 0..nh {
+                        let brow = &b[(j + c) * k..(j + c + 1) * k];
+                        let mut acc = 0.0;
+                        for (av, bv) in arow.iter().zip(brow) {
+                            acc += av * bv;
+                        }
+                        out[(i + r) * n + j + c] = acc;
+                    }
+                }
+            }
+            j += nh;
+        }
+        i += mh;
+    }
+}
+
+/// `out = a * b` where `a` is `m x k`, `b` is `k x n`, `out` is `m x n`,
+/// all row-major. Accumulation runs over `p = 0..k` in ascending order with
+/// one running accumulator per output element — bit-identical to
+/// [`crate::Param::matvec_transposed`] per row. The kernel streams whole
+/// rows of `b` (contiguous) while keeping an `MR`-row band of `out` hot.
+pub fn matmul_nn(a: &[f64], b: &[f64], m: usize, n: usize, k: usize, out: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    out.iter_mut().for_each(|o| *o = 0.0);
+    let mut i = 0;
+    while i < m {
+        let mh = MR.min(m - i);
+        for p in 0..k {
+            let brow = &b[p * n..(p + 1) * n];
+            for r in 0..mh {
+                let av = a[(i + r) * k + p];
+                let orow = &mut out[(i + r) * n..(i + r + 1) * n];
+                for (slot, bv) in orow.iter_mut().zip(brow) {
+                    *slot += av * bv;
+                }
+            }
+        }
+        i += mh;
+    }
+}
+
+/// `acc += a^T * b` contracted over the **batch** dimension in *descending*
+/// order: `a` is `bsz x m` (e.g. upstream gradients), `b` is `bsz x n`
+/// (e.g. cached inputs), `acc` is `m x n` (e.g. a weight gradient).
+///
+/// Each target element is updated as one running sum seeded from its
+/// current value with batch rows added from `bsz - 1` down to `0` — exactly
+/// the sequence of `+=` a reverse-order per-sample replay of
+/// [`crate::Param::add_outer_to_grad`] performs, which is what keeps the
+/// batched PPO update bit-identical to the stacked-replay path.
+pub fn add_matmul_tn_rev(a: &[f64], b: &[f64], bsz: usize, m: usize, n: usize, acc: &mut [f64]) {
+    debug_assert_eq!(a.len(), bsz * m);
+    debug_assert_eq!(b.len(), bsz * n);
+    debug_assert_eq!(acc.len(), m * n);
+    let mut i = 0;
+    while i < m {
+        let mh = MR.min(m - i);
+        let mut j = 0;
+        while j < n {
+            let nh = NR.min(n - j);
+            if mh == MR && nh == NR {
+                let mut tile = [[0.0f64; NR]; MR];
+                for (r, tr) in tile.iter_mut().enumerate() {
+                    for (c, slot) in tr.iter_mut().enumerate() {
+                        *slot = acc[(i + r) * n + j + c];
+                    }
+                }
+                for p in (0..bsz).rev() {
+                    for (r, tr) in tile.iter_mut().enumerate() {
+                        let av = a[p * m + i + r];
+                        for (c, slot) in tr.iter_mut().enumerate() {
+                            *slot += av * b[p * n + j + c];
+                        }
+                    }
+                }
+                for (r, tr) in tile.iter().enumerate() {
+                    acc[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(tr);
+                }
+            } else {
+                for r in 0..mh {
+                    for c in 0..nh {
+                        let mut slot = acc[(i + r) * n + j + c];
+                        for p in (0..bsz).rev() {
+                            slot += a[p * m + i + r] * b[p * n + j + c];
+                        }
+                        acc[(i + r) * n + j + c] = slot;
+                    }
+                }
+            }
+            j += nh;
+        }
+        i += mh;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_tensor(rows: usize, cols: usize, rng: &mut ChaCha8Rng) -> Tensor2 {
+        Tensor2::from_flat(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+        )
+    }
+
+    fn random_param(rows: usize, cols: usize, rng: &mut ChaCha8Rng) -> Param {
+        let mut p = Param::zeros(rows, cols);
+        p.value = (0..rows * cols).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        p
+    }
+
+    #[test]
+    fn shape_accessors_and_rows() {
+        let mut t = Tensor2::zeros(0, 3);
+        assert!(t.is_empty());
+        t.push_row(&[1.0, 2.0, 3.0]);
+        t.push_row(&[4.0, 5.0, 6.0]);
+        assert_eq!((t.rows(), t.cols(), t.len()), (2, 3, 6));
+        assert_eq!(t.row(1), &[4.0, 5.0, 6.0]);
+        t.row_mut(0)[0] = 9.0;
+        assert_eq!(t.data()[0], 9.0);
+        let u = Tensor2::from_rows(3, [t.row(0), t.row(1)]);
+        assert_eq!(u, t);
+        assert_eq!(Tensor2::from_row(&[1.0, 2.0]).into_flat(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn resize_reshapes_and_zeroes() {
+        let mut t = Tensor2::from_row(&[1.0, 2.0]);
+        t.resize(2, 3);
+        assert_eq!((t.rows(), t.cols()), (2, 3));
+        assert!(t.data().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn matmul_nt_matches_per_row_matvec_bitwise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        // Shapes straddling the register-tile boundaries.
+        for (m, n, k) in [(1, 7, 5), (4, 4, 9), (5, 6, 3), (16, 9, 17), (3, 12, 1)] {
+            let a = random_tensor(m, k, &mut rng);
+            let w = random_param(n, k, &mut rng);
+            let wt = Tensor2::from_flat(n, k, w.value.clone());
+            let out = a.matmul_nt(&wt);
+            for i in 0..m {
+                assert_eq!(out.row(i), w.matvec(a.row(i)).as_slice(), "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_nn_matches_per_row_matvec_transposed_bitwise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for (m, n, k) in [(1, 5, 4), (4, 4, 4), (6, 10, 7), (13, 3, 8)] {
+            let a = random_tensor(m, k, &mut rng);
+            let w = random_param(k, n, &mut rng);
+            let wt = Tensor2::from_flat(k, n, w.value.clone());
+            let out = a.matmul_nn(&wt);
+            for i in 0..m {
+                assert_eq!(
+                    out.row(i),
+                    w.matvec_transposed(a.row(i)).as_slice(),
+                    "row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_matmul_tn_rev_matches_reverse_outer_product_replay() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for (bsz, m, n) in [(1, 3, 4), (4, 4, 4), (7, 6, 9), (16, 5, 5)] {
+            let dy = random_tensor(bsz, m, &mut rng);
+            let x = random_tensor(bsz, n, &mut rng);
+            // Reference: per-sample add_outer_to_grad in reverse batch order,
+            // starting from a non-zero accumulator.
+            let mut reference = random_param(m, n, &mut rng);
+            reference.grad = (0..m * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut batched = reference.grad.clone();
+            for p in (0..bsz).rev() {
+                reference.add_outer_to_grad(dy.row(p), x.row(p));
+            }
+            add_matmul_tn_rev(dy.data(), x.data(), bsz, m, n, &mut batched);
+            assert_eq!(batched, reference.grad, "bsz={bsz} m={m} n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "contraction mismatch")]
+    fn matmul_checks_dimensions() {
+        Tensor2::zeros(2, 3).matmul_nt(&Tensor2::zeros(2, 4));
+    }
+}

@@ -4,7 +4,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use mlir_rl_agent::PolicyModel;
-use mlir_rl_env::{Action, EpisodeSnapshot, OptimizationEnv};
+use mlir_rl_env::{Action, EpisodeSnapshot, Observation, OptimizationEnv};
 use mlir_rl_ir::Module;
 
 use crate::greedy::greedy_rollout;
@@ -15,15 +15,18 @@ use crate::searcher::{
 
 /// Beam search over the schedule space.
 ///
-/// At every step each live beam state expands its top-`width`
-/// policy-ranked actions ([`PolicyModel::rank_actions`]: the greedy action
-/// first, then sampled candidates by descending log-probability); children
-/// are scored with the cost model through the shared evaluation cache, and
-/// the best `width` children (lowest estimated time) survive. The search is
-/// seeded with the plain greedy trajectory, so the outcome is **never worse
-/// than [`crate::GreedyPolicy`]**, and with `width == 1` the expansion is
+/// At every step the **whole frontier** is ranked in one batched policy
+/// inference ([`PolicyModel::rank_actions_batch`]: per state, the greedy
+/// action first, then sampled candidates by descending log-probability —
+/// one blocked matmul per network layer for all live beam states instead
+/// of one forward pass per state and draw); children are scored with the
+/// cost model through the shared evaluation cache, and the best `width`
+/// children (lowest estimated time) survive. The search is seeded with the
+/// plain greedy trajectory, so the outcome is **never worse than
+/// [`crate::GreedyPolicy`]**, and with `width == 1` the expansion is
 /// exactly the greedy action at every step — step-for-step identical to
-/// greedy decoding (property-tested).
+/// greedy decoding (property-tested; the batched ranking is bit-identical
+/// to ranking each state separately).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BeamSearch {
     /// Beam width: surviving states per step *and* candidate actions ranked
@@ -98,13 +101,24 @@ impl<P: PolicyModel> Searcher<P> for BeamSearch {
             if beams.is_empty() {
                 break;
             }
+            // Rank the whole frontier in one batched policy inference. The
+            // policy RNG is consumed per state in beam order and the
+            // environment steps run afterwards in the same order as the
+            // historical per-state loop, so outcomes are bit-identical.
+            let frontier: Vec<Observation> = beams
+                .iter()
+                .map(|beam| {
+                    env.restore(&beam.snapshot);
+                    env.current_observation()
+                        .expect("live beam state has an observation")
+                })
+                .collect();
+            let frontier_refs: Vec<&Observation> = frontier.iter().collect();
+            let ranked = policy.rank_actions_batch(&frontier_refs, self.width, &mut rng);
+
             let mut children = Vec::new();
-            for beam in &beams {
-                env.restore(&beam.snapshot);
-                let obs = env
-                    .current_observation()
-                    .expect("live beam state has an observation");
-                for record in policy.rank_actions(&obs, self.width, &mut rng) {
+            for (beam, records) in beams.iter().zip(ranked) {
+                for record in records {
                     env.restore(&beam.snapshot);
                     let outcome = env.step(&record.action);
                     nodes += 1;
