@@ -1,0 +1,27 @@
+//! Prints the portfolio-search experiment: each roster member (greedy
+//! decode, beam, progressively-widened MCTS, random) run independently vs
+//! the same roster as a round-robin and a racing [`mlir_rl_search::Portfolio`]
+//! on one shared evaluation cache — per-module speedups, per-member win
+//! counts and spend, evals-to-target for the racing winner, and the
+//! bit-identical-across-worker-counts determinism check.
+//!
+//! Scale with `MLIR_RL_SCALE` (`smoke` / `standard` / `full`) or pass
+//! `--smoke`; worker count with `MLIR_RL_WORKERS` (default: available
+//! parallelism).
+
+use mlir_rl_bench::{portfolio_speedups, ExperimentScale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        ExperimentScale::smoke()
+    } else {
+        ExperimentScale::from_env()
+    };
+    let workers = std::env::var("MLIR_RL_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(mlir_rl_agent::default_rollout_workers)
+        .max(1);
+    let report = portfolio_speedups(&scale, workers);
+    println!("{report}");
+}

@@ -21,10 +21,13 @@ use mlir_rl_baselines::{
     speedup_over_mlir, Baseline, HalideRl, MullapudiAutoscheduler, VendorLibrary, VendorMode,
 };
 use mlir_rl_core::{Figure, MlirRlOptimizer, OptimizerConfig, Series, SpeedupTable};
-use mlir_rl_costmodel::{CostModel, MachineModel};
+use mlir_rl_costmodel::{median, CostModel, MachineModel};
 use mlir_rl_env::{ActionSpaceMode, EnvConfig, InterchangeMode, OptimizationEnv, RewardMode};
 use mlir_rl_ir::Module;
-use mlir_rl_search::{BaselineSearcher, BeamSearch, GreedyPolicy, Mcts, RandomSearch, Searcher};
+use mlir_rl_search::{
+    BaselineSearcher, BatchSearchReport, BeamSearch, GreedyPolicy, Mcts, MemberAggregate,
+    Portfolio, RandomSearch, SearchDriver, Searcher,
+};
 use mlir_rl_transforms::{flat_action_space_size, multi_discrete_decision_count};
 use mlir_rl_workloads::{
     dl_ops, full_training_dataset, lqcd, models, DlOperator, LqcdApplication, NeuralNetwork,
@@ -617,6 +620,19 @@ impl fmt::Display for SearchReport {
     }
 }
 
+/// Condenses one batch report into a [`SearcherBudgetSummary`] row.
+fn budget_summary(name: String, report: &BatchSearchReport) -> SearcherBudgetSummary {
+    SearcherBudgetSummary {
+        name,
+        geomean_speedup: report.geomean_speedup(),
+        evaluations: report.total_evaluations(),
+        total_lookups: report.outcomes.iter().map(|o| o.total_lookups()).sum(),
+        shared_cache_hit_rate: report.shared_cache_hit_rate(),
+        nodes_expanded: report.total_nodes_expanded(),
+        wall_s: report.wall_s,
+    }
+}
+
 /// Runs every searcher (greedy, beam-4, MCTS, random, plus the vendor and
 /// Mullapudi comparison systems through the [`BaselineSearcher`] adapter)
 /// over the Sec. VII-A-2 DL-operator evaluation workloads with a policy
@@ -661,15 +677,7 @@ pub fn search_speedups(scale: &ExperimentScale, workers: usize) -> SearchReport 
         for (i, outcome) in report.outcomes.iter().enumerate() {
             per_module[i].push(outcome.speedup);
         }
-        summaries.push(SearcherBudgetSummary {
-            name: searcher.name(),
-            geomean_speedup: report.geomean_speedup(),
-            evaluations: report.total_evaluations(),
-            total_lookups: report.outcomes.iter().map(|o| o.total_lookups()).sum(),
-            shared_cache_hit_rate: report.shared_cache_hit_rate(),
-            nodes_expanded: report.total_nodes_expanded(),
-            wall_s: report.wall_s,
-        });
+        summaries.push(budget_summary(searcher.name(), &report));
     }
     for (module, speedups) in workloads.iter().zip(per_module) {
         table.push_row(module.name(), speedups);
@@ -677,6 +685,304 @@ pub fn search_speedups(scale: &ExperimentScale, workers: usize) -> SearchReport 
     SearchReport {
         table,
         summaries,
+        workers: workers.max(1),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E13 — exp_portfolio: portfolio search (round-robin + racing) vs the
+// single-searcher baselines, on one shared eval cache per batch.
+// ---------------------------------------------------------------------------
+
+/// The `exp_portfolio` report: per-workload speedups for each roster member
+/// run independently and for the portfolio (round-robin and racing), the
+/// eval budgets showing the shared-cache warmth the portfolio gains, the
+/// per-member win/spend attribution, and the racing determinism check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioReport {
+    /// Rows: workloads; columns: independent members, then the two
+    /// portfolio modes; values: speedup over the MLIR baseline.
+    pub table: SpeedupTable,
+    /// Budget summary of each member run independently (fresh cache each).
+    pub singles: Vec<SearcherBudgetSummary>,
+    /// Budget summary of the round-robin portfolio batch.
+    pub round_robin: SearcherBudgetSummary,
+    /// Budget summary of the racing portfolio batch. Its figures cover the
+    /// winner prefix of each module's roster; the prefix's *total lookups*
+    /// are deterministic, but the evaluations/cache-hits split within it
+    /// can shift with thread interleaving (loser threads may pre-score a
+    /// schedule a prefix member was about to evaluate). The shared-cache
+    /// counters additionally include the losers' own spend.
+    pub racing: SearcherBudgetSummary,
+    /// Per-member attribution of the round-robin batch (wins, spend).
+    pub members: Vec<MemberAggregate>,
+    /// Per-member attribution of the racing batch (wins, targets, stops).
+    pub racing_members: Vec<MemberAggregate>,
+    /// Total estimator runs of all independent member runs together (the
+    /// spend the portfolio's shared warmth is measured against).
+    pub singles_evaluations: usize,
+    /// Best shared-cache hit-rate any independent member achieved.
+    pub best_single_hit_rate: f64,
+    /// Hit-rate of the independent member runs **combined** (all their
+    /// lookups, no warmth shared between members) — the apples-to-apples
+    /// baseline the portfolio's cross-member warmth is measured against:
+    /// the portfolio performs the same lookups and must hit strictly more.
+    pub singles_hit_rate: f64,
+    /// Modules on which the round-robin portfolio's speedup equals the
+    /// best of the independently-run members (expected: all of them).
+    pub best_of_members_matches: usize,
+    /// Number of workload modules.
+    pub modules: usize,
+    /// The racing target speedup (median of the per-module best-of-members,
+    /// so roughly half the modules can end their race early).
+    pub racing_target: f64,
+    /// Modules whose racing winner reached the target.
+    pub racing_reached_target: usize,
+    /// Mean cost-model lookups the racing winner spent per module — the
+    /// evals-to-target figure when the target was reached.
+    pub racing_mean_winner_lookups: f64,
+    /// Whether the racing batch produced bit-identical outcomes with 1, 2
+    /// and 4 driver workers (the determinism acceptance check).
+    pub racing_worker_invariant: bool,
+    /// Worker threads the driver fanned each batch over.
+    pub workers: usize,
+}
+
+impl fmt::Display for PortfolioReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.table)?;
+        writeln!(f, "== eval budgets (driver workers = {}) ==", self.workers)?;
+        for s in self.singles.iter().chain([&self.round_robin, &self.racing]) {
+            writeln!(
+                f,
+                "{:<24} geomean {:>7.2}x  evals {:>8}  lookups {:>8}  shared-cache hit-rate {:>5.1}%  nodes {:>8}  wall {:>7.2}s",
+                s.name,
+                s.geomean_speedup,
+                s.evaluations,
+                s.total_lookups,
+                s.shared_cache_hit_rate * 100.0,
+                s.nodes_expanded,
+                s.wall_s,
+            )?;
+        }
+        writeln!(f, "== member attribution (round-robin | racing) ==")?;
+        for (rr, race) in self.members.iter().zip(&self.racing_members) {
+            writeln!(
+                f,
+                "{:<24} wins {:>2} | {:>2}  reached-target {:>2}  stopped {:>2}  evals {:>8} | {:>8}",
+                rr.member,
+                rr.wins,
+                race.wins,
+                race.reached_target,
+                race.stopped,
+                rr.evaluations,
+                race.evaluations,
+            )?;
+        }
+        writeln!(
+            f,
+            "portfolio best-of-members   {}/{} modules",
+            self.best_of_members_matches, self.modules
+        )?;
+        writeln!(
+            f,
+            "portfolio evals vs singles  {} vs {} ({:+.1}%)",
+            self.round_robin.evaluations,
+            self.singles_evaluations,
+            100.0
+                * (self.round_robin.evaluations as f64 / self.singles_evaluations.max(1) as f64
+                    - 1.0),
+        )?;
+        writeln!(
+            f,
+            "shared-cache hit-rate       portfolio {:.1}% vs singles combined {:.1}% (best single {:.1}%)",
+            self.round_robin.shared_cache_hit_rate * 100.0,
+            self.singles_hit_rate * 100.0,
+            self.best_single_hit_rate * 100.0,
+        )?;
+        writeln!(
+            f,
+            "racing target {:.2}x          reached on {}/{} modules, mean winner lookups {:.0}",
+            self.racing_target,
+            self.racing_reached_target,
+            self.modules,
+            self.racing_mean_winner_lookups,
+        )?;
+        writeln!(
+            f,
+            "racing worker-invariance    {}",
+            if self.racing_worker_invariant {
+                "bit-identical across 1/2/4 workers"
+            } else {
+                "DIVERGED"
+            }
+        )
+    }
+}
+
+/// Runs the portfolio experiment: each roster member (greedy, beam-4,
+/// progressively-widened MCTS, random) independently through the
+/// [`SearchDriver`] on a fresh shared cache, then the same roster as a
+/// round-robin [`Portfolio`] (one cache warming every member and module)
+/// and as a racing portfolio targeting the median best-of-members speedup.
+/// All runs use the same base seed, so the round-robin portfolio's
+/// per-module result is exactly the best of the members' independent
+/// results — for less total estimator spend, which is the point.
+pub fn portfolio_speedups(scale: &ExperimentScale, workers: usize) -> PortfolioReport {
+    use mlir_rl_agent::PolicyNetwork;
+
+    let dataset = dl_ops::training_dataset(scale.dataset_scale, 91);
+    let rl = train_mlir_rl(EnvConfig::small(), &dataset, scale, 13);
+    let workloads: Vec<Module> = dl_ops::evaluation_benchmark()
+        .into_iter()
+        .map(|(_, m)| m)
+        .collect();
+    let fresh_env = || {
+        OptimizationEnv::new(
+            EnvConfig::small(),
+            CostModel::new(MachineModel::xeon_e5_2680_v4()),
+        )
+    };
+    let base_seed = 77;
+    let driver = SearchDriver::new(workers).with_seed(base_seed);
+
+    // One definition of the roster, used for the independent-singles runs
+    // AND both portfolio modes, so the best-of-members comparison can
+    // never drift apart from what the portfolio actually runs.
+    let budget = scale.trajectories_per_iteration;
+    let make_members = || -> Vec<Box<dyn Searcher<PolicyNetwork>>> {
+        vec![
+            Box::new(GreedyPolicy),
+            Box::new(BeamSearch::new(4)),
+            Box::new(
+                Mcts::new((budget * 4).max(8))
+                    .with_branch(4)
+                    .with_progressive_widening(1.0, 0.6),
+            ),
+            Box::new(RandomSearch::new((budget * 2).max(4))),
+        ]
+    };
+    let members = make_members();
+    let roster = |mode: Portfolio<PolicyNetwork>| {
+        make_members()
+            .into_iter()
+            .fold(mode, Portfolio::with_boxed_member)
+    };
+
+    // --- each member independently, fresh cache each -----------------
+    let mut singles = Vec::new();
+    let mut single_reports = Vec::new();
+    for member in &members {
+        let report = driver.run(&fresh_env(), rl.policy(), member.as_ref(), &workloads);
+        singles.push(budget_summary(member.name(), &report));
+        single_reports.push(report);
+    }
+    let singles_evaluations: usize = singles.iter().map(|s| s.evaluations).sum();
+    let best_single_hit_rate = singles
+        .iter()
+        .map(|s| s.shared_cache_hit_rate)
+        .fold(0.0, f64::max);
+    let singles_lookups: usize = singles.iter().map(|s| s.total_lookups).sum();
+    let singles_hit_rate =
+        (singles_lookups - singles_evaluations) as f64 / singles_lookups.max(1) as f64;
+    let best_of_singles: Vec<f64> = (0..workloads.len())
+        .map(|i| {
+            single_reports
+                .iter()
+                .map(|r| r.outcomes[i].speedup)
+                .fold(0.0, f64::max)
+        })
+        .collect();
+
+    // --- the same roster as a round-robin portfolio ------------------
+    let rr = roster(Portfolio::round_robin());
+    let rr_report = driver.run_portfolio(&fresh_env(), rl.policy(), &rr, &workloads);
+    let best_of_members_matches = rr_report
+        .outcomes
+        .iter()
+        .zip(&best_of_singles)
+        .filter(|(o, best)| (o.speedup - **best).abs() <= 1e-9 * best.max(1.0))
+        .count();
+
+    // --- racing, targeting the median best-of-members ----------------
+    let racing_target = median(&best_of_singles).unwrap_or(1.0);
+    let race = roster(Portfolio::racing(racing_target));
+    let race_report = driver.run_portfolio(&fresh_env(), rl.policy(), &race, &workloads);
+    let racing_reached_target = race_report
+        .outcomes
+        .iter()
+        .filter(|o| o.members.iter().any(|m| m.winner && m.reached_target))
+        .count();
+    let winner_lookups: Vec<usize> = race_report
+        .outcomes
+        .iter()
+        .flat_map(|o| o.members.iter().filter(|m| m.winner))
+        .map(|m| m.total_lookups())
+        .collect();
+    let racing_mean_winner_lookups =
+        winner_lookups.iter().sum::<usize>() as f64 / winner_lookups.len().max(1) as f64;
+
+    // --- the determinism acceptance check: 1/2/4 driver workers ------
+    let fields = |report: &BatchSearchReport| -> Vec<_> {
+        report
+            .outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.best_s.to_bits(),
+                    o.speedup.to_bits(),
+                    o.best_actions.clone(),
+                    o.nodes_expanded,
+                    o.total_lookups(),
+                )
+            })
+            .collect()
+    };
+    let reference = fields(&race_report);
+    let racing_worker_invariant = [1usize, 2, 4].iter().all(|w| {
+        let report = SearchDriver::new(*w).with_seed(base_seed).run_portfolio(
+            &fresh_env(),
+            rl.policy(),
+            &race,
+            &workloads,
+        );
+        fields(&report) == reference
+    });
+
+    // --- the per-workload table --------------------------------------
+    let mut columns: Vec<String> = members.iter().map(|m| m.name()).collect();
+    columns.push(Searcher::<PolicyNetwork>::name(&rr));
+    columns.push(Searcher::<PolicyNetwork>::name(&race));
+    let mut table = SpeedupTable::new(
+        "exp_portfolio: speedup over MLIR baseline, members vs portfolio",
+        columns,
+    );
+    for (i, module) in workloads.iter().enumerate() {
+        let mut row: Vec<f64> = single_reports
+            .iter()
+            .map(|r| r.outcomes[i].speedup)
+            .collect();
+        row.push(rr_report.outcomes[i].speedup);
+        row.push(race_report.outcomes[i].speedup);
+        table.push_row(module.name(), row);
+    }
+
+    PortfolioReport {
+        table,
+        singles,
+        round_robin: budget_summary(Searcher::<PolicyNetwork>::name(&rr), &rr_report),
+        racing: budget_summary(Searcher::<PolicyNetwork>::name(&race), &race_report),
+        members: rr_report.member_attribution(),
+        racing_members: race_report.member_attribution(),
+        singles_evaluations,
+        best_single_hit_rate,
+        singles_hit_rate,
+        best_of_members_matches,
+        modules: workloads.len(),
+        racing_target,
+        racing_reached_target,
+        racing_mean_winner_lookups,
+        racing_worker_invariant,
         workers: workers.max(1),
     }
 }
@@ -1108,6 +1414,51 @@ mod tests {
         for summary in &report.summaries {
             assert!(summary.evaluations <= summary.total_lookups);
         }
+    }
+
+    #[test]
+    fn smoke_portfolio_reaches_best_of_members_for_less_spend() {
+        let report = portfolio_speedups(&ExperimentScale::smoke(), 2);
+        assert!(report.modules > 0);
+        // The acceptance invariants: the round-robin portfolio reproduces
+        // the per-module best of its independently-run members, spends
+        // fewer estimator runs doing it (shared warmth), and beats every
+        // single member's hit-rate.
+        assert_eq!(
+            report.best_of_members_matches, report.modules,
+            "portfolio must reach the best-of-members speedup on every module"
+        );
+        assert!(
+            report.round_robin.evaluations < report.singles_evaluations,
+            "shared warmth must save estimator runs: {} vs {}",
+            report.round_robin.evaluations,
+            report.singles_evaluations
+        );
+        assert!(
+            report.round_robin.shared_cache_hit_rate > report.singles_hit_rate,
+            "portfolio hit-rate {} must beat the members' combined rate {}",
+            report.round_robin.shared_cache_hit_rate,
+            report.singles_hit_rate
+        );
+        // Racing determinism: bit-identical outcomes across 1/2/4 workers.
+        assert!(report.racing_worker_invariant);
+        assert!(report.racing_reached_target > 0);
+        assert!(report.racing_mean_winner_lookups > 0.0);
+        // Attribution rows cover the whole roster, and every module has a
+        // winner in both modes.
+        assert_eq!(report.members.len(), 4);
+        assert_eq!(
+            report.members.iter().map(|m| m.wins).sum::<usize>(),
+            report.modules
+        );
+        assert_eq!(
+            report.racing_members.iter().map(|m| m.wins).sum::<usize>(),
+            report.modules
+        );
+        let printed = report.to_string();
+        assert!(printed.contains("member attribution"));
+        assert!(printed.contains("racing worker-invariance"));
+        assert!(printed.contains("bit-identical across 1/2/4 workers"));
     }
 
     #[test]

@@ -18,7 +18,9 @@ use mlir_rl_agent::{IterationStats, PolicyHyperparams, PpoConfig, PpoTrainer};
 use mlir_rl_costmodel::{CostModel, MachineModel};
 use mlir_rl_env::{EnvConfig, EpisodeStats, OptimizationEnv};
 use mlir_rl_ir::Module;
-use mlir_rl_search::{BatchSearchReport, GreedyPolicy, SearchDriver, SearchOutcome, Searcher};
+use mlir_rl_search::{
+    BatchSearchReport, GreedyPolicy, Portfolio, SearchDriver, SearchOutcome, Searcher,
+};
 
 /// The outcome of optimizing one module.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -132,6 +134,12 @@ impl MlirRlOptimizer {
         &self.config
     }
 
+    /// The current policy network (e.g. to drive a [`SearchDriver`]
+    /// directly with custom environment templates).
+    pub fn policy(&self) -> &PolicyNetwork {
+        &self.trainer.policy
+    }
+
     /// Per-iteration training history.
     pub fn training_history(&self) -> &[IterationStats] {
         self.trainer.history()
@@ -194,6 +202,39 @@ impl MlirRlOptimizer {
             searcher,
             modules,
         )
+    }
+
+    /// Optimizes one module with a [`Portfolio`] of searchers, returning
+    /// the best schedule any member found with per-member attribution in
+    /// [`SearchOutcome::members`]. Round-robin portfolios run on the
+    /// optimizer's cache as-is (serial stays lock-free); racing portfolios
+    /// switch it to shared mode themselves, so their members' warmth lands
+    /// back in the optimizer.
+    pub fn portfolio(
+        &mut self,
+        module: &Module,
+        portfolio: &Portfolio<PolicyNetwork>,
+    ) -> SearchOutcome {
+        self.search(module, portfolio)
+    }
+
+    /// Optimizes a batch of modules with a [`Portfolio`] fanned out over
+    /// `workers` threads via [`SearchDriver::run_portfolio`]; every module
+    /// and every roster member shares one evaluation cache (which stays
+    /// with the optimizer, warming later calls). Outcomes are identical
+    /// for any worker count.
+    pub fn optimize_portfolio_batch(
+        &mut self,
+        modules: &[Module],
+        portfolio: &Portfolio<PolicyNetwork>,
+        workers: usize,
+    ) -> BatchSearchReport {
+        use rand::Rng;
+        let base_seed = self.rng.gen();
+        self.env.enable_shared_cache();
+        SearchDriver::new(workers)
+            .with_seed(base_seed)
+            .run_portfolio(&self.env, &self.trainer.policy, portfolio, modules)
     }
 
     /// Average policy-inference plus transformation-application time per
@@ -285,6 +326,34 @@ mod tests {
         assert_eq!(report.outcomes.len(), modules.len());
         assert!(report.geomean_speedup() > 0.0);
         assert!(report.shared_cache_hits + report.shared_cache_misses > 0);
+    }
+
+    #[test]
+    fn portfolio_entry_points_work_through_the_facade() {
+        use mlir_rl_search::{BeamSearch, Mcts};
+        let mut opt = MlirRlOptimizer::new(tiny_config());
+        let modules = tiny_dataset();
+        let roster = || {
+            Portfolio::round_robin()
+                .with_member(GreedyPolicy)
+                .with_member(BeamSearch::new(2))
+                .with_member(Mcts::new(4).with_branch(2))
+        };
+        let outcome = opt.portfolio(&modules[0], &roster());
+        assert_eq!(outcome.members.len(), 3);
+        let greedy = opt.optimize(&modules[0]);
+        assert!(
+            outcome.speedup >= greedy.speedup,
+            "a greedy-seeded portfolio is never worse than greedy"
+        );
+        let report = opt.optimize_portfolio_batch(&modules, &roster(), 2);
+        assert_eq!(report.outcomes.len(), modules.len());
+        let attribution = report.member_attribution();
+        assert_eq!(attribution.len(), 3);
+        assert_eq!(
+            attribution.iter().map(|m| m.wins).sum::<usize>(),
+            modules.len()
+        );
     }
 
     #[test]

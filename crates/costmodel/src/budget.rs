@@ -1,0 +1,129 @@
+//! A thread-shared evaluation-budget ledger.
+//!
+//! Search procedures spend cost-model evaluations the way training spends
+//! gradient steps: they are the unit of work every searcher is compared in.
+//! The [`EvalBudget`] is one shared atomic ledger that several spenders
+//! (portfolio members, batch workers, whole searches) charge against, so a
+//! roster of searchers racing on one [`crate::SharedEvalCache`] can be held
+//! to a *common* budget instead of each bringing its own.
+//!
+//! The ledger is deliberately minimal: a monotone spend counter and an
+//! optional cap. It never blocks or fails a lookup — enforcement is the
+//! spender's job (the portfolio searcher checks [`EvalBudget::is_exhausted`]
+//! at deterministic points, between member runs, so outcomes stay
+//! reproducible even though the ledger itself is racy at the lookup level).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared ledger of evaluation spend with an optional cap.
+///
+/// Cloning shares the ledger: every clone charges the same counter, which is
+/// what makes it a *common* budget across threads and searchers.
+#[derive(Debug, Clone)]
+pub struct EvalBudget {
+    spent: Arc<AtomicU64>,
+    /// `u64::MAX` means unlimited.
+    cap: u64,
+}
+
+impl EvalBudget {
+    /// A ledger capped at `cap` units of spend.
+    pub fn limited(cap: u64) -> Self {
+        Self {
+            spent: Arc::new(AtomicU64::new(0)),
+            cap,
+        }
+    }
+
+    /// A ledger that only accounts (never exhausts).
+    pub fn unlimited() -> Self {
+        Self::limited(u64::MAX)
+    }
+
+    /// Charges `amount` units and returns the total spend after the charge.
+    /// Charging never fails — the ledger may go over its cap; spenders
+    /// decide what to do about exhaustion at their own safe points.
+    pub fn charge(&self, amount: u64) -> u64 {
+        self.spent
+            .fetch_add(amount, Ordering::Relaxed)
+            .saturating_add(amount)
+    }
+
+    /// Total units charged so far, across every clone of the ledger.
+    pub fn spent(&self) -> u64 {
+        self.spent.load(Ordering::Relaxed)
+    }
+
+    /// The cap, or `None` when unlimited.
+    pub fn cap(&self) -> Option<u64> {
+        (self.cap != u64::MAX).then_some(self.cap)
+    }
+
+    /// Units left before the cap (`None` when unlimited, 0 when overspent).
+    pub fn remaining(&self) -> Option<u64> {
+        self.cap().map(|cap| cap.saturating_sub(self.spent()))
+    }
+
+    /// True once the spend has reached (or passed) the cap.
+    pub fn is_exhausted(&self) -> bool {
+        self.spent() >= self.cap
+    }
+
+    /// True if `other` is a clone of the same ledger.
+    pub fn same_ledger(&self, other: &EvalBudget) -> bool {
+        Arc::ptr_eq(&self.spent, &other.spent)
+    }
+}
+
+impl Default for EvalBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charging_accumulates_across_clones() {
+        let ledger = EvalBudget::limited(10);
+        let clone = ledger.clone();
+        assert_eq!(ledger.charge(4), 4);
+        assert_eq!(clone.charge(3), 7);
+        assert_eq!(ledger.spent(), 7);
+        assert_eq!(ledger.remaining(), Some(3));
+        assert!(!ledger.is_exhausted());
+        clone.charge(5);
+        assert!(ledger.is_exhausted());
+        assert_eq!(ledger.remaining(), Some(0));
+        assert!(ledger.same_ledger(&clone));
+        assert!(!ledger.same_ledger(&EvalBudget::limited(10)));
+    }
+
+    #[test]
+    fn unlimited_ledger_never_exhausts() {
+        let ledger = EvalBudget::unlimited();
+        ledger.charge(u64::MAX / 2);
+        assert!(!ledger.is_exhausted());
+        assert_eq!(ledger.cap(), None);
+        assert_eq!(ledger.remaining(), None);
+    }
+
+    #[test]
+    fn concurrent_charges_are_all_counted() {
+        let ledger = EvalBudget::limited(1_000_000);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let ledger = ledger.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        ledger.charge(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(ledger.spent(), 4000);
+    }
+}

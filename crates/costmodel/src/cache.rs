@@ -47,6 +47,7 @@ use std::sync::{Arc, Mutex};
 use mlir_rl_ir::Module;
 use mlir_rl_transforms::ScheduledModule;
 
+use crate::budget::EvalBudget;
 use crate::estimator::{CostModel, ModuleEstimate};
 
 /// Default maximum number of memoized estimates per cache.
@@ -110,6 +111,9 @@ pub struct SharedEvalCache {
     shards: Arc<Vec<Mutex<HashMap<ScheduleKey, ModuleEstimate>>>>,
     hits: Arc<AtomicU64>,
     misses: Arc<AtomicU64>,
+    /// Every estimator run (miss) charges one unit to this ledger, so a
+    /// roster of searchers sharing the table also shares one spend account.
+    budget: EvalBudget,
     shard_capacity: usize,
 }
 
@@ -126,8 +130,22 @@ impl SharedEvalCache {
             ),
             hits: Arc::new(AtomicU64::new(0)),
             misses: Arc::new(AtomicU64::new(0)),
+            budget: EvalBudget::unlimited(),
             shard_capacity: (capacity / SHARED_CACHE_SHARDS).max(1),
         }
+    }
+
+    /// Replaces the table's spend ledger (call before cloning handles: a
+    /// clone shares whatever ledger its parent carried). Each estimator run
+    /// charges one unit.
+    pub fn with_budget(mut self, budget: EvalBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The spend ledger every miss of this table charges.
+    pub fn budget(&self) -> &EvalBudget {
+        &self.budget
     }
 
     fn shard(&self, key: &ScheduleKey) -> &Mutex<HashMap<ScheduleKey, ModuleEstimate>> {
@@ -158,6 +176,7 @@ impl SharedEvalCache {
         let estimate = model.estimate_scheduled(scheduled);
         let value = project(&estimate);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.budget.charge(1);
         self.insert(key, estimate);
         (value, false)
     }
@@ -740,6 +759,25 @@ mod tests {
         });
         assert_eq!(handle.len(), sizes.len());
         assert_eq!(handle.hits() + handle.misses(), 4 * sizes.len() as u64);
+    }
+
+    #[test]
+    fn shared_cache_misses_charge_the_attached_budget() {
+        let cm = CostModel::new(MachineModel::default());
+        let ledger = EvalBudget::limited(2);
+        let handle = SharedEvalCache::new(1 << 12).with_budget(ledger.clone());
+        let sm = ScheduledModule::new(matmul(64, 64, 64));
+        handle.total_s_keyed(schedule_key(&sm), &cm, &sm); // miss: 1 unit
+        handle.total_s_keyed(schedule_key(&sm), &cm, &sm); // hit: free
+        assert_eq!(ledger.spent(), 1);
+        assert!(!ledger.is_exhausted());
+        let sm2 = ScheduledModule::new(matmul(32, 32, 32));
+        // Clones share the ledger along with the table.
+        let clone = handle.clone();
+        clone.total_s_keyed(schedule_key(&sm2), &cm, &sm2); // miss: 1 unit
+        assert!(ledger.is_exhausted());
+        assert!(handle.budget().same_ledger(&ledger));
+        assert_eq!(ledger.spent(), handle.misses());
     }
 
     #[test]

@@ -33,12 +33,14 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod cache;
 pub mod estimator;
 pub mod footprint;
 pub mod machine;
 pub mod noise;
 
+pub use budget::EvalBudget;
 pub use cache::{
     module_fingerprint, schedule_fingerprint, schedule_key, EvalCache, ScheduleKey,
     SharedEvalCache, DEFAULT_EVAL_CACHE_CAPACITY, SHARED_CACHE_SHARDS,

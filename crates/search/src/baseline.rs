@@ -64,6 +64,7 @@ where
             nodes_expanded: 1,
             evaluations: 2,
             cache_hits: 0,
+            members: Vec::new(),
         }
     }
 }

@@ -10,7 +10,7 @@ use mlir_rl_ir::Module;
 use crate::greedy::greedy_rollout;
 use crate::searcher::{
     finish_outcome, max_episode_steps, reseed_for_search, BestFound, LookupMeter, SearchOutcome,
-    Searcher,
+    Searcher, StopToken,
 };
 
 /// Beam search over the schedule space.
@@ -70,6 +70,35 @@ impl<P: PolicyModel> Searcher<P> for BeamSearch {
         module: &Module,
         seed: u64,
     ) -> SearchOutcome {
+        self.run(env, policy, module, seed, 0, &StopToken::new())
+    }
+
+    fn search_with_stop(
+        &self,
+        env: &mut OptimizationEnv,
+        policy: &mut P,
+        module: &Module,
+        seed: u64,
+        rank: usize,
+        stop: &StopToken,
+    ) -> SearchOutcome {
+        self.run(env, policy, module, seed, rank, stop)
+    }
+}
+
+impl BeamSearch {
+    /// The search body. `stop` is checked between depths: a claim by a
+    /// lower rank ends the search with the best schedule found so far
+    /// (never worse than the greedy seed); a fresh token never fires.
+    fn run<P: PolicyModel>(
+        &self,
+        env: &mut OptimizationEnv,
+        policy: &mut P,
+        module: &Module,
+        seed: u64,
+        rank: usize,
+        stop: &StopToken,
+    ) -> SearchOutcome {
         let meter = LookupMeter::start(env);
         reseed_for_search(env, seed);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -98,7 +127,7 @@ impl<P: PolicyModel> Searcher<P> for BeamSearch {
 
         let max_depth = max_episode_steps(env, module);
         for _depth in 0..max_depth {
-            if beams.is_empty() {
+            if beams.is_empty() || stop.stops(rank) {
                 break;
             }
             // Rank the whole frontier in one batched policy inference. The

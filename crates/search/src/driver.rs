@@ -6,7 +6,8 @@ use mlir_rl_agent::{episode_seed, PolicyModel};
 use mlir_rl_env::OptimizationEnv;
 use mlir_rl_ir::Module;
 
-use crate::searcher::{SearchOutcome, Searcher};
+use crate::portfolio::Portfolio;
+use crate::searcher::{MemberStatus, SearchOutcome, Searcher};
 
 /// Fans a batch of modules out over worker threads, each running the same
 /// [`Searcher`] with its own environment handle and policy snapshot —
@@ -120,6 +121,28 @@ impl SearchDriver {
             wall_s: start.elapsed().as_secs_f64(),
         }
     }
+
+    /// Optimizes every module of the batch with a [`Portfolio`]: each
+    /// module's search runs the whole roster (round-robin or racing) and
+    /// all modules — and all members of every module's roster — share one
+    /// evaluation cache, so warmth crosses both member and module
+    /// boundaries. Outcomes carry per-member attribution; aggregate it
+    /// across the batch with [`BatchSearchReport::member_attribution`].
+    /// Like [`SearchDriver::run`], results are bit-for-bit identical for
+    /// any worker count (racing portfolios stay deterministic by
+    /// construction — see [`Portfolio`]).
+    pub fn run_portfolio<P>(
+        &self,
+        env_template: &OptimizationEnv,
+        policy: &P,
+        portfolio: &Portfolio<P>,
+        modules: &[Module],
+    ) -> BatchSearchReport
+    where
+        P: PolicyModel,
+    {
+        self.run(env_template, policy, portfolio, modules)
+    }
 }
 
 impl Default for SearchDriver {
@@ -174,5 +197,72 @@ impl BatchSearchReport {
     /// Total environment steps across every branch of every search.
     pub fn total_nodes_expanded(&self) -> usize {
         self.outcomes.iter().map(|o| o.nodes_expanded).sum()
+    }
+
+    /// Aggregates the per-member attribution of a portfolio batch: one row
+    /// per roster rank, in rank order, summed over every module's outcome.
+    /// Empty for non-portfolio batches (no outcome carries member rows).
+    pub fn member_attribution(&self) -> Vec<MemberAggregate> {
+        let mut rows: Vec<MemberAggregate> = Vec::new();
+        for outcome in &self.outcomes {
+            for member in &outcome.members {
+                if rows.len() <= member.rank {
+                    rows.resize_with(member.rank + 1, || MemberAggregate {
+                        member: member.member.clone(),
+                        rank: member.rank,
+                        ..MemberAggregate::default()
+                    });
+                }
+                let row = &mut rows[member.rank];
+                row.member = member.member.clone();
+                row.rank = member.rank;
+                if member.winner {
+                    row.wins += 1;
+                }
+                if member.reached_target {
+                    row.reached_target += 1;
+                }
+                if member.status == MemberStatus::Stopped {
+                    row.stopped += 1;
+                }
+                if member.status == MemberStatus::Skipped {
+                    row.skipped += 1;
+                }
+                row.evaluations += member.evaluations;
+                row.cache_hits += member.cache_hits;
+                row.nodes_expanded += member.nodes_expanded;
+            }
+        }
+        rows
+    }
+}
+
+/// One roster member's totals across a whole portfolio batch.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MemberAggregate {
+    /// Display name of the member searcher.
+    pub member: String,
+    /// Roster rank.
+    pub rank: usize,
+    /// Modules on which this member's schedule was the portfolio's best.
+    pub wins: usize,
+    /// Modules on which this member reached the racing target.
+    pub reached_target: usize,
+    /// Modules on which a lower-ranked racing winner preempted this member.
+    pub stopped: usize,
+    /// Modules on which the budget ledger skipped this member entirely.
+    pub skipped: usize,
+    /// Estimator runs attributed to this member across the batch.
+    pub evaluations: usize,
+    /// Shared-cache hits attributed to this member across the batch.
+    pub cache_hits: usize,
+    /// Environment steps attributed to this member across the batch.
+    pub nodes_expanded: usize,
+}
+
+impl MemberAggregate {
+    /// Total cost-model lookups attributed to this member.
+    pub fn total_lookups(&self) -> usize {
+        self.evaluations + self.cache_hits
     }
 }

@@ -10,7 +10,7 @@ use mlir_rl_ir::Module;
 
 use crate::searcher::{
     finish_outcome, max_episode_steps, reseed_for_search, BestFound, LookupMeter, SearchOutcome,
-    Searcher,
+    Searcher, StopToken,
 };
 
 /// UCT over the schedule tree, AlphaZero-style: expansion is guided by
@@ -58,6 +58,17 @@ pub struct MctsConfig {
     /// compared against the exploration bonus, so the PUCT constant keeps
     /// working when log-speedup magnitudes vary wildly across modules.
     pub value_normalization: bool,
+    /// Progressive-widening coefficient `c`: a node with `v` visits may
+    /// select among its first `⌈c·v^alpha⌉` prior-ranked edges (clamped to
+    /// `[1, branch]`), so the effective branching factor *grows with visit
+    /// count* instead of being fixed — small budgets concentrate on the
+    /// policy's top candidates, large budgets widen out. `0.0` disables
+    /// widening (every ranked edge is always selectable), preserving the
+    /// historical behavior bit for bit.
+    pub widening_c: f64,
+    /// Progressive-widening exponent `alpha` (ignored while `widening_c`
+    /// is `0.0`).
+    pub widening_alpha: f64,
 }
 
 impl Default for MctsConfig {
@@ -66,6 +77,24 @@ impl Default for MctsConfig {
             dirichlet_epsilon: 0.0,
             dirichlet_alpha: 0.3,
             value_normalization: false,
+            widening_c: 0.0,
+            widening_alpha: 0.5,
+        }
+    }
+}
+
+impl MctsConfig {
+    /// Number of selectable children under the progressive-widening
+    /// schedule `⌈c·visits^alpha⌉` for a node with `visits` visits, before
+    /// clamping to the ranked branch width. At least 1 (a node must always
+    /// have one selectable edge), and monotone non-decreasing in `visits`
+    /// (unit-tested).
+    pub fn widened_children(c: f64, alpha: f64, visits: f64) -> usize {
+        let allowed = (c * visits.max(0.0).powf(alpha.max(0.0))).ceil();
+        if allowed.is_finite() && allowed >= 1.0 {
+            allowed as usize
+        } else {
+            1
         }
     }
 }
@@ -99,6 +128,15 @@ impl Mcts {
     /// Enables min-max normalization of the exploitation term.
     pub fn with_value_normalization(mut self) -> Self {
         self.tuning.value_normalization = true;
+        self
+    }
+
+    /// Enables progressive widening: a node with `v` visits selects among
+    /// its first `⌈c·v^alpha⌉` prior-ranked edges (clamped to the branch
+    /// width). Pass `c = 0.0` to disable again.
+    pub fn with_progressive_widening(mut self, c: f64, alpha: f64) -> Self {
+        self.tuning.widening_c = c.max(0.0);
+        self.tuning.widening_alpha = alpha.max(0.0);
         self
     }
 }
@@ -183,6 +221,36 @@ impl<P: PolicyModel> Searcher<P> for Mcts {
         module: &Module,
         seed: u64,
     ) -> SearchOutcome {
+        self.run(env, policy, module, seed, 0, &StopToken::new())
+    }
+
+    fn search_with_stop(
+        &self,
+        env: &mut OptimizationEnv,
+        policy: &mut P,
+        module: &Module,
+        seed: u64,
+        rank: usize,
+        stop: &StopToken,
+    ) -> SearchOutcome {
+        self.run(env, policy, module, seed, rank, stop)
+    }
+}
+
+impl Mcts {
+    /// The search body. `stop` is checked between iterations: a claim by a
+    /// lower rank ends the search with its best-so-far (the racing-loser
+    /// wind-down); a fresh token never fires, which is the plain
+    /// [`Searcher::search`] path.
+    fn run<P: PolicyModel>(
+        &self,
+        env: &mut OptimizationEnv,
+        policy: &mut P,
+        module: &Module,
+        seed: u64,
+        rank: usize,
+        stop: &StopToken,
+    ) -> SearchOutcome {
         let meter = LookupMeter::start(env);
         reseed_for_search(env, seed);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -211,7 +279,7 @@ impl<P: PolicyModel> Searcher<P> for Mcts {
         }];
 
         for _ in 0..self.iterations {
-            if arena[0].done {
+            if arena[0].done || stop.stops(rank) {
                 break;
             }
             // --- Selection (with inline expansion of unvisited edges) ----
@@ -266,10 +334,25 @@ impl<P: PolicyModel> Searcher<P> for Mcts {
                     arena[node].expanded = true;
                 }
                 // PUCT over the edges; ties break toward the lower index.
+                // Progressive widening (when enabled) restricts selection
+                // to the first ⌈c·visits^alpha⌉ prior-ranked edges, so the
+                // branching factor grows with the node's visit count; when
+                // disabled every ranked edge is selectable, exactly the
+                // historical behavior.
+                let selectable = if self.tuning.widening_c > 0.0 {
+                    MctsConfig::widened_children(
+                        self.tuning.widening_c,
+                        self.tuning.widening_alpha,
+                        arena[node].visits,
+                    )
+                    .min(arena[node].edges.len())
+                } else {
+                    arena[node].edges.len()
+                };
                 let parent_visits = arena[node].visits.max(1.0);
                 let mut chosen = 0usize;
                 let mut chosen_score = f64::NEG_INFINITY;
-                for (i, edge) in arena[node].edges.iter().enumerate() {
+                for (i, edge) in arena[node].edges.iter().take(selectable).enumerate() {
                     let (q, child_visits) = match edge.child {
                         Some(c) => (arena[c].mean_value(), arena[c].visits),
                         None => (0.0, 0.0),

@@ -13,7 +13,7 @@ use mlir_rl_transforms::TransformationKind;
 
 use crate::searcher::{
     finish_outcome, max_episode_steps, reseed_for_search, BestFound, LookupMeter, SearchOutcome,
-    Searcher,
+    Searcher, StopToken,
 };
 
 /// Uniform-random search over the *masked* action space: `episodes` full
@@ -112,6 +112,36 @@ impl<P: PolicyModel> Searcher<P> for RandomSearch {
         module: &Module,
         seed: u64,
     ) -> SearchOutcome {
+        self.run(env, policy, module, seed, 0, &StopToken::new())
+    }
+
+    fn search_with_stop(
+        &self,
+        env: &mut OptimizationEnv,
+        policy: &mut P,
+        module: &Module,
+        seed: u64,
+        rank: usize,
+        stop: &StopToken,
+    ) -> SearchOutcome {
+        self.run(env, policy, module, seed, rank, stop)
+    }
+}
+
+impl RandomSearch {
+    /// The search body. `stop` is checked between episodes: a claim by a
+    /// lower rank ends the search with the best schedule found so far; a
+    /// fresh token never fires. The first episode always runs (it scores
+    /// the baseline the outcome is reported against).
+    fn run<P: PolicyModel>(
+        &self,
+        env: &mut OptimizationEnv,
+        policy: &mut P,
+        module: &Module,
+        seed: u64,
+        rank: usize,
+        stop: &StopToken,
+    ) -> SearchOutcome {
         let _ = policy; // policy-free baseline
         let meter = LookupMeter::start(env);
         reseed_for_search(env, seed);
@@ -124,6 +154,9 @@ impl<P: PolicyModel> Searcher<P> for RandomSearch {
         let mut best_s = f64::INFINITY;
         let mut best_actions: Vec<Action> = Vec::new();
         for episode in 0..self.episodes {
+            if episode > 0 && stop.stops(rank) {
+                break;
+            }
             let mut obs = env.reset(module.clone());
             if episode == 0 {
                 // The noise-free estimate of the do-nothing schedule is the

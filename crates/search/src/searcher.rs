@@ -1,5 +1,8 @@
 //! The common search interface and its outcome type.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use mlir_rl_agent::PolicyModel;
@@ -35,6 +38,12 @@ pub struct SearchOutcome {
     pub evaluations: usize,
     /// Evaluation requests served by the schedule-keyed cache.
     pub cache_hits: usize,
+    /// Per-member attribution when this outcome came from a
+    /// [`crate::Portfolio`] search (empty for plain searchers). Racing
+    /// losers that were preempted report their effort up to the stop, so
+    /// member rows are display/accounting data, not part of the outcome's
+    /// determinism contract.
+    pub members: Vec<MemberOutcome>,
 }
 
 impl SearchOutcome {
@@ -53,6 +62,100 @@ impl SearchOutcome {
         } else {
             self.cache_hits as f64 / total as f64
         }
+    }
+}
+
+/// How one member of a portfolio search finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemberStatus {
+    /// The member ran its full search.
+    Completed,
+    /// A lower-ranked racing member claimed the target first; this member
+    /// wound down early and its numbers cover only the work up to the stop.
+    Stopped,
+    /// The portfolio's eval-budget ledger was exhausted before this member's
+    /// turn (round-robin mode); it never ran.
+    Skipped,
+}
+
+/// One portfolio member's contribution to a [`SearchOutcome`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemberOutcome {
+    /// Display name of the member searcher.
+    pub member: String,
+    /// Roster index (the racing priority: lower ranks preempt higher ones).
+    pub rank: usize,
+    /// Best speedup this member found (1.0 for a skipped member).
+    pub speedup: f64,
+    /// Best execution-time estimate this member found, seconds.
+    pub best_s: f64,
+    /// Environment steps this member took.
+    pub nodes_expanded: usize,
+    /// Estimator runs this member's lookups caused.
+    pub evaluations: usize,
+    /// Lookups the shared cache served for this member.
+    pub cache_hits: usize,
+    /// Whether this member reached the racing target speedup.
+    pub reached_target: bool,
+    /// Whether this member's schedule is the portfolio's reported best.
+    pub winner: bool,
+    /// How the member finished.
+    pub status: MemberStatus,
+}
+
+impl MemberOutcome {
+    /// Total cost-model lookups of the member
+    /// (`evaluations + cache_hits`).
+    pub fn total_lookups(&self) -> usize {
+        self.evaluations + self.cache_hits
+    }
+}
+
+/// Cooperative early-stop channel of a racing portfolio.
+///
+/// The token holds the roster rank of the best (lowest-ranked) member that
+/// has claimed the race target so far. A member checks
+/// [`StopToken::stops`] at its iteration boundaries and winds down **only
+/// when the claimant outranks it** — so every member ranked at or below the
+/// eventual winner always runs to completion, which is what keeps racing
+/// outcomes deterministic: the winner and everything it reports never
+/// depend on thread timing, only losers *above* the winner get cut short.
+#[derive(Debug, Clone)]
+pub struct StopToken {
+    claimant: Arc<AtomicUsize>,
+}
+
+impl StopToken {
+    /// A token with no claimant: it never stops anyone until
+    /// [`StopToken::claim`] is called.
+    pub fn new() -> Self {
+        Self {
+            claimant: Arc::new(AtomicUsize::new(usize::MAX)),
+        }
+    }
+
+    /// Records that the member at `rank` reached the target. The lowest
+    /// claiming rank wins ties between concurrent claims.
+    pub fn claim(&self, rank: usize) {
+        self.claimant.fetch_min(rank, Ordering::SeqCst);
+    }
+
+    /// The best (lowest) rank that has claimed so far.
+    pub fn claimant(&self) -> Option<usize> {
+        let rank = self.claimant.load(Ordering::SeqCst);
+        (rank != usize::MAX).then_some(rank)
+    }
+
+    /// True when a member ranked below `rank` has claimed — the signal for
+    /// the member at `rank` to wind down with its best-so-far.
+    pub fn stops(&self, rank: usize) -> bool {
+        self.claimant.load(Ordering::SeqCst) < rank
+    }
+}
+
+impl Default for StopToken {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -77,6 +180,26 @@ pub trait Searcher<P: PolicyModel>: Send + Sync {
         module: &Module,
         seed: u64,
     ) -> SearchOutcome;
+
+    /// Like [`Searcher::search`], but cooperatively interruptible: the
+    /// search runs as member `rank` of a racing portfolio and should check
+    /// `stop.stops(rank)` at its iteration boundaries, finishing early with
+    /// its best-so-far when a lower-ranked member has claimed the race
+    /// target. The default ignores the token and runs the full search —
+    /// correct for atomic searchers (greedy decoding, the baseline
+    /// adapters) whose one episode cannot meaningfully be cut short.
+    fn search_with_stop(
+        &self,
+        env: &mut OptimizationEnv,
+        policy: &mut P,
+        module: &Module,
+        seed: u64,
+        rank: usize,
+        stop: &StopToken,
+    ) -> SearchOutcome {
+        let _ = (rank, stop);
+        self.search(env, policy, module, seed)
+    }
 }
 
 /// Upper bound on episode length (guards against malformed modules), the
@@ -172,5 +295,6 @@ pub(crate) fn finish_outcome(
         nodes_expanded,
         evaluations,
         cache_hits,
+        members: Vec::new(),
     }
 }

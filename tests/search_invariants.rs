@@ -1,0 +1,427 @@
+//! The searcher invariant harness: one table-driven battery that EVERY
+//! `Searcher` implementation — present and future — is run through.
+//!
+//! The contract the battery enforces (add new searchers to `roster()` and
+//! they inherit it):
+//!
+//! 1. **Same-seed reproducibility**: two searches from identical fresh
+//!    state are bit-for-bit identical (racing portfolios: identical in
+//!    everything but the per-member hit/miss split, whose sum is still
+//!    deterministic).
+//! 2. **Lookup accounting**: `evaluations + cache_hits == total_lookups`,
+//!    and for serial searchers the outcome's delta agrees with the
+//!    environment cache's own counters.
+//! 3. **Greedy floor**: searchers seeded with the greedy trajectory
+//!    (beam, portfolios containing greedy) never report a worse speedup
+//!    than greedy decoding under the same seed.
+//! 4. **Snapshot hygiene**: running any searcher on an environment does
+//!    not poison it — a snapshot taken before the search restores to a
+//!    bitwise-identical mid-episode state afterwards.
+
+use proptest::prelude::*;
+
+use mlir_rl_agent::{PolicyHyperparams, PolicyNetwork};
+use mlir_rl_costmodel::{CostModel, MachineModel};
+use mlir_rl_env::{EnvConfig, OptimizationEnv};
+use mlir_rl_ir::{Module, ModuleBuilder};
+use mlir_rl_search::{
+    random_action, BeamSearch, GreedyPolicy, Mcts, Portfolio, RandomSearch, SearchDriver,
+    SearchOutcome, Searcher,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn env() -> OptimizationEnv {
+    OptimizationEnv::new(EnvConfig::small(), CostModel::new(MachineModel::default()))
+}
+
+fn policy(seed: u64) -> PolicyNetwork {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    PolicyNetwork::new(
+        EnvConfig::small(),
+        PolicyHyperparams {
+            hidden_size: 16,
+            backbone_layers: 1,
+        },
+        &mut rng,
+    )
+}
+
+fn chain(m: u64, n: u64, k: u64) -> Module {
+    let mut b = ModuleBuilder::new(format!("chain_{m}x{n}x{k}"));
+    let a = b.argument("A", vec![m, k]);
+    let w = b.argument("B", vec![k, n]);
+    let mm = b.matmul(a, w);
+    b.relu(mm);
+    b.finish()
+}
+
+/// One roster entry: the searcher plus which battery clauses apply to it.
+struct Entry {
+    searcher: Box<dyn Searcher<PolicyNetwork>>,
+    /// Seeded with the greedy trajectory: must be `>=` greedy decoding.
+    greedy_seeded: bool,
+    /// Runs members on racing threads: the per-member hit/miss split (but
+    /// not its sum) may vary, and the caller's env handle does not observe
+    /// the member threads' lookups.
+    racing: bool,
+}
+
+fn entry(searcher: impl Searcher<PolicyNetwork> + 'static, greedy_seeded: bool) -> Entry {
+    Entry {
+        searcher: Box::new(searcher),
+        greedy_seeded,
+        racing: false,
+    }
+}
+
+/// Every `Searcher` implementation, in one table. New searchers go here.
+fn roster() -> Vec<Entry> {
+    vec![
+        entry(GreedyPolicy, true),
+        entry(BeamSearch::new(1), true),
+        entry(BeamSearch::new(4), true),
+        entry(Mcts::new(8).with_branch(3), false),
+        entry(
+            Mcts::new(8)
+                .with_branch(3)
+                .with_root_noise(0.25, 0.3)
+                .with_value_normalization(),
+            false,
+        ),
+        entry(
+            Mcts::new(8)
+                .with_branch(4)
+                .with_progressive_widening(1.0, 0.6),
+            false,
+        ),
+        entry(RandomSearch::new(3), false),
+        entry(
+            Portfolio::round_robin()
+                .with_member(GreedyPolicy)
+                .with_member(BeamSearch::new(2))
+                .with_member(Mcts::new(6).with_branch(2)),
+            true,
+        ),
+        entry(
+            Portfolio::round_robin()
+                .with_member(GreedyPolicy)
+                .with_member(BeamSearch::new(2))
+                .with_budget(40),
+            true,
+        ),
+        Entry {
+            searcher: Box::new(
+                Portfolio::racing(2.0)
+                    .with_member(GreedyPolicy)
+                    .with_member(BeamSearch::new(2))
+                    .with_member(RandomSearch::new(2)),
+            ),
+            greedy_seeded: true,
+            racing: true,
+        },
+    ]
+}
+
+/// The seed-determined payload of an outcome: everything except the cache
+/// hit/miss split (warmth/interleaving-dependent) and the member rows
+/// (racing losers' rows cover timing-dependent partial work).
+fn deterministic_fields(
+    o: &SearchOutcome,
+) -> (String, u64, u64, Vec<mlir_rl_env::Action>, usize, usize) {
+    (
+        o.module.clone(),
+        o.best_s.to_bits(),
+        o.speedup.to_bits(),
+        o.best_actions.clone(),
+        o.nodes_expanded,
+        o.total_lookups(),
+    )
+}
+
+#[test]
+fn battery_same_seed_searches_are_reproducible() {
+    let module = chain(96, 48, 64);
+    for e in roster() {
+        let mut p = policy(3);
+        let (mut e1, mut e2) = (env(), env());
+        let a = e.searcher.search(&mut e1, &mut p, &module, 17);
+        let b = e.searcher.search(&mut e2, &mut p, &module, 17);
+        assert_eq!(
+            deterministic_fields(&a),
+            deterministic_fields(&b),
+            "{} must reproduce bit-for-bit under the same seed",
+            e.searcher.name()
+        );
+        assert_eq!(a.best_schedule, b.best_schedule, "{}", e.searcher.name());
+        if !e.racing {
+            // Serial searchers on identical fresh state reproduce even the
+            // hit/miss split.
+            assert_eq!(a.evaluations, b.evaluations, "{}", e.searcher.name());
+            assert_eq!(a.cache_hits, b.cache_hits, "{}", e.searcher.name());
+        }
+    }
+}
+
+#[test]
+fn battery_lookup_accounting_is_consistent() {
+    let module = chain(64, 64, 64);
+    for e in roster() {
+        let mut environment = env();
+        let mut p = policy(5);
+        let outcome = e.searcher.search(&mut environment, &mut p, &module, 23);
+        assert_eq!(
+            outcome.total_lookups(),
+            outcome.evaluations + outcome.cache_hits,
+            "{}",
+            e.searcher.name()
+        );
+        assert!(outcome.speedup.is_finite() && outcome.speedup > 0.0);
+        assert!(outcome.baseline_s > 0.0 && outcome.best_s > 0.0);
+        assert!(!outcome.best_schedule.is_empty(), "{}", e.searcher.name());
+        if !e.racing {
+            // The outcome's delta accounting agrees with the cache's own
+            // counters (racing members search on cloned handles, which the
+            // caller's per-handle counters do not observe).
+            assert_eq!(
+                outcome.total_lookups(),
+                (environment.cache().hits() + environment.cache().misses()) as usize,
+                "{} outcome accounting must agree with the env cache",
+                e.searcher.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn battery_greedy_seeded_searchers_respect_the_greedy_floor() {
+    for (seed, module) in [chain(64, 64, 64), chain(128, 64, 32), chain(96, 48, 64)]
+        .into_iter()
+        .enumerate()
+    {
+        let mut p = policy(7);
+        let greedy = GreedyPolicy.search(&mut env(), &mut p, &module, seed as u64);
+        for e in roster() {
+            if !e.greedy_seeded {
+                continue;
+            }
+            let outcome = e.searcher.search(&mut env(), &mut p, &module, seed as u64);
+            assert!(
+                outcome.speedup >= greedy.speedup,
+                "{} ({}) must be >= greedy ({}) on {}",
+                e.searcher.name(),
+                outcome.speedup,
+                greedy.speedup,
+                module.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn battery_searches_leave_snapshots_restorable() {
+    let probe = chain(64, 64, 64);
+    let other = chain(96, 48, 32);
+    for e in roster() {
+        let mut environment = env();
+        let mut p = policy(9);
+        // Drive a fresh episode a few steps in and snapshot it.
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut obs = environment.reset(probe.clone());
+        for _ in 0..2 {
+            if let Some(current) = obs.clone() {
+                let action = random_action(&current, &environment.config().clone(), &mut rng);
+                obs = environment.step(&action).observation;
+            }
+        }
+        let snapshot = environment.snapshot();
+        let expect_obs = environment.current_observation();
+        let expect_scheduled = environment.scheduled().cloned();
+        let expect_peek = environment.peek_time_s();
+        // A full search on a different module tramples the episode state…
+        let _ = e.searcher.search(&mut environment, &mut p, &other, 31);
+        // …but restoring the snapshot brings back the exact branch point.
+        environment.restore(&snapshot);
+        assert_eq!(
+            environment.current_observation(),
+            expect_obs,
+            "{} must not corrupt restored observations",
+            e.searcher.name()
+        );
+        assert_eq!(
+            environment.scheduled().cloned(),
+            expect_scheduled,
+            "{} must not corrupt restored schedule state",
+            e.searcher.name()
+        );
+        assert_eq!(
+            environment.peek_time_s().to_bits(),
+            expect_peek.to_bits(),
+            "{} must not corrupt restored cost estimates",
+            e.searcher.name()
+        );
+    }
+}
+
+#[test]
+fn single_member_round_robin_portfolio_is_bitwise_the_member() {
+    // Satellite invariant: wrapping one searcher in a portfolio changes
+    // nothing but the outcome's searcher label and attribution rows.
+    let module = chain(96, 64, 48);
+    let members: Vec<(&str, Box<dyn Searcher<PolicyNetwork>>)> = vec![
+        ("greedy", Box::new(GreedyPolicy)),
+        ("beam", Box::new(BeamSearch::new(3))),
+        ("mcts", Box::new(Mcts::new(6).with_branch(2))),
+        ("random", Box::new(RandomSearch::new(2))),
+    ];
+    for (label, member) in members {
+        let mut p = policy(11);
+        let alone = member.search(&mut env(), &mut p, &module, 13);
+        let wrapped = Portfolio::round_robin().with_boxed_member(member).search(
+            &mut env(),
+            &mut p,
+            &module,
+            13,
+        );
+        assert_eq!(alone.module, wrapped.module, "{label}");
+        assert_eq!(alone.baseline_s.to_bits(), wrapped.baseline_s.to_bits());
+        assert_eq!(alone.best_s.to_bits(), wrapped.best_s.to_bits(), "{label}");
+        assert_eq!(alone.speedup.to_bits(), wrapped.speedup.to_bits());
+        assert_eq!(alone.best_actions, wrapped.best_actions, "{label}");
+        assert_eq!(alone.best_schedule, wrapped.best_schedule, "{label}");
+        assert_eq!(alone.nodes_expanded, wrapped.nodes_expanded, "{label}");
+        assert_eq!(alone.evaluations, wrapped.evaluations, "{label}");
+        assert_eq!(alone.cache_hits, wrapped.cache_hits, "{label}");
+        assert_eq!(wrapped.members.len(), 1);
+        assert!(wrapped.members[0].winner);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Battery clause 1 as a property: reproducibility holds for every
+    /// roster searcher over arbitrary module shapes, seeds and budgets
+    /// (the budget scales the searchers' iteration/width/episode knobs and
+    /// the portfolio's lookup ledger).
+    #[test]
+    fn prop_reproducibility_over_module_seed_and_budget(
+        m in 8u64..192, n in 8u64..192, k in 8u64..192,
+        seed in 0u64..1000, budget in 1usize..6,
+    ) {
+        let module = chain(m, n, k);
+        let searchers: Vec<Box<dyn Searcher<PolicyNetwork>>> = vec![
+            Box::new(BeamSearch::new(budget)),
+            Box::new(Mcts::new(budget * 3).with_branch(2).with_progressive_widening(1.0, 0.5)),
+            Box::new(RandomSearch::new(budget)),
+            Box::new(
+                Portfolio::round_robin()
+                    .with_member(GreedyPolicy)
+                    .with_member(BeamSearch::new(2))
+                    .with_budget(40 * budget as u64),
+            ),
+        ];
+        for searcher in searchers {
+            let mut p = policy(seed ^ 0xabcd);
+            let (mut e1, mut e2) = (env(), env());
+            let a = searcher.search(&mut e1, &mut p, &module, seed);
+            let b = searcher.search(&mut e2, &mut p, &module, seed);
+            prop_assert_eq!(
+                deterministic_fields(&a),
+                deterministic_fields(&b),
+                "{} diverged",
+                searcher.name()
+            );
+        }
+    }
+
+    /// Battery clause 4 as a property: snapshot/restore round-trips are
+    /// bitwise lossless at every depth of a random episode.
+    #[test]
+    fn prop_snapshot_restore_is_bitwise_lossless(
+        m in 8u64..192, n in 8u64..192, k in 8u64..192,
+        seed in 0u64..1000, steps in 0usize..5,
+    ) {
+        let module = chain(m, n, k);
+        let mut environment = env();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let config = environment.config().clone();
+        let mut obs = environment.reset(module);
+        for _ in 0..steps {
+            if let Some(current) = obs.clone() {
+                let action = random_action(&current, &config, &mut rng);
+                obs = environment.step(&action).observation;
+            }
+        }
+        let snapshot = environment.snapshot();
+        let expect_obs = environment.current_observation();
+        let expect_scheduled = environment.scheduled().cloned();
+        let expect_peek = environment.peek_time_s();
+        // Wander off the branch point, then come back.
+        if let Some(current) = environment.current_observation() {
+            let action = random_action(&current, &config, &mut rng);
+            environment.step(&action);
+        }
+        environment.restore(&snapshot);
+        prop_assert_eq!(environment.current_observation(), expect_obs);
+        prop_assert_eq!(environment.scheduled().cloned(), expect_scheduled);
+        prop_assert_eq!(environment.peek_time_s().to_bits(), expect_peek.to_bits());
+    }
+
+    /// Satellite invariant: a single-member round-robin portfolio is
+    /// outcome-bitwise-identical to the member alone, for any seed.
+    #[test]
+    fn prop_single_member_portfolio_identity(
+        policy_seed in 0u64..1000, seed in 0u64..1000, width in 1usize..4,
+    ) {
+        let module = chain(64, 96, 32);
+        let mut p = policy(policy_seed);
+        let alone = BeamSearch::new(width).search(&mut env(), &mut p, &module, seed);
+        let wrapped = Portfolio::round_robin()
+            .with_member(BeamSearch::new(width))
+            .search(&mut env(), &mut p, &module, seed);
+        prop_assert_eq!(alone.best_s.to_bits(), wrapped.best_s.to_bits());
+        prop_assert_eq!(alone.speedup.to_bits(), wrapped.speedup.to_bits());
+        prop_assert_eq!(&alone.best_actions, &wrapped.best_actions);
+        prop_assert_eq!(&alone.best_schedule, &wrapped.best_schedule);
+        prop_assert_eq!(alone.nodes_expanded, wrapped.nodes_expanded);
+        prop_assert_eq!(alone.evaluations, wrapped.evaluations);
+        prop_assert_eq!(alone.cache_hits, wrapped.cache_hits);
+    }
+
+    /// Satellite invariant: racing-mode results are worker-count invariant
+    /// under a fixed seed — through the batch driver, for 1/2/4 workers.
+    #[test]
+    fn prop_racing_portfolio_is_worker_count_invariant(
+        policy_seed in 0u64..1000, base_seed in 0u64..1000, target in 1.0f64..8.0,
+    ) {
+        let batch = vec![
+            chain(64, 64, 64),
+            chain(96, 48, 32),
+            chain(32, 128, 64),
+            chain(64, 64, 64),
+        ];
+        let template = env();
+        let p = policy(policy_seed);
+        let race = Portfolio::racing(target)
+            .with_member(GreedyPolicy)
+            .with_member(BeamSearch::new(2))
+            .with_member(Mcts::new(6).with_branch(2));
+        let mut reference: Option<Vec<_>> = None;
+        for workers in [1usize, 2, 4] {
+            let report = SearchDriver::new(workers)
+                .with_seed(base_seed)
+                .run_portfolio(&template, &p, &race, &batch);
+            let fields: Vec<_> = report.outcomes.iter().map(deterministic_fields).collect();
+            match &reference {
+                None => reference = Some(fields),
+                Some(expected) => prop_assert_eq!(
+                    expected,
+                    &fields,
+                    "racing portfolio with {} workers diverged",
+                    workers
+                ),
+            }
+        }
+    }
+}
