@@ -7,12 +7,13 @@
 //!
 //! Scale with `MLIR_RL_SCALE` (`smoke` / `standard` / `full`) or pass
 //! `--smoke`; worker count with `MLIR_RL_WORKERS` (default: available
-//! parallelism).
+//! parallelism). Pass `--json` for a machine-readable record.
 
 use mlir_rl_bench::{portfolio_speedups, ExperimentScale};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--smoke") {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
         ExperimentScale::smoke()
     } else {
         ExperimentScale::from_env()
@@ -23,5 +24,9 @@ fn main() {
         .unwrap_or_else(mlir_rl_agent::default_rollout_workers)
         .max(1);
     let report = portfolio_speedups(&scale, workers);
-    println!("{report}");
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
 }

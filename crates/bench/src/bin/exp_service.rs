@@ -1,0 +1,38 @@
+//! Prints the request-stream serving experiment: a sustained stream of
+//! `OptimizationRequest`s (greedy / beam / widened-MCTS / random specs over
+//! the DL-operator evaluation workloads) served by one **warm persistent**
+//! `OptimizationService` vs **cold per-request** services, with the
+//! cross-request shared-cache hit-rate gap, request throughput, queue and
+//! service timings, and the request-level determinism check (response
+//! fingerprints bit-identical across 1/2/4 workers and shuffled submission
+//! orders).
+//!
+//! Scale with `MLIR_RL_SCALE` (`smoke` / `standard` / `full`) or pass
+//! `--smoke`; worker count with `MLIR_RL_WORKERS` (default: available
+//! parallelism). Pass `--json` for a machine-readable record.
+
+use mlir_rl_bench::{service_throughput, ExperimentScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        ExperimentScale::smoke()
+    } else {
+        ExperimentScale::from_env()
+    };
+    let workers = std::env::var("MLIR_RL_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(mlir_rl_agent::default_rollout_workers)
+        .max(1);
+    let report = service_throughput(&scale, workers);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+    assert!(
+        report.determinism_invariant,
+        "service responses diverged across worker counts / submission orders"
+    );
+}

@@ -20,13 +20,17 @@ use mlir_rl_agent::{
 use mlir_rl_baselines::{
     speedup_over_mlir, Baseline, HalideRl, MullapudiAutoscheduler, VendorLibrary, VendorMode,
 };
-use mlir_rl_core::{Figure, MlirRlOptimizer, OptimizerConfig, Series, SpeedupTable};
+use mlir_rl_core::report::json;
+use mlir_rl_core::{
+    wait_all, Figure, MlirRlOptimizer, OptimizationRequest, OptimizationResponse,
+    OptimizationService, OptimizerConfig, ResponseStatus, Series, ServiceConfig, SpeedupTable,
+};
 use mlir_rl_costmodel::{median, CostModel, MachineModel};
 use mlir_rl_env::{ActionSpaceMode, EnvConfig, InterchangeMode, OptimizationEnv, RewardMode};
 use mlir_rl_ir::Module;
 use mlir_rl_search::{
     BaselineSearcher, BatchSearchReport, BeamSearch, GreedyPolicy, Mcts, MemberAggregate,
-    Portfolio, RandomSearch, SearchDriver, Searcher,
+    Portfolio, RandomSearch, SearchDriver, SearchSpec, Searcher,
 };
 use mlir_rl_transforms::{flat_action_space_size, multi_discrete_decision_count};
 use mlir_rl_workloads::{
@@ -820,6 +824,108 @@ impl fmt::Display for PortfolioReport {
     }
 }
 
+impl PortfolioReport {
+    /// Machine-readable record of the run (one JSON object) for
+    /// `BENCH_*.json` trajectories, emitted by `exp_portfolio --json`.
+    pub fn to_json(&self) -> String {
+        let summary_json = |s: &SearcherBudgetSummary| {
+            let mut out = String::from("{");
+            json::field(&mut out, 0, "name", json::string(&s.name));
+            for (key, value) in [
+                ("geomean_speedup", s.geomean_speedup),
+                ("evaluations", s.evaluations as f64),
+                ("total_lookups", s.total_lookups as f64),
+                ("shared_cache_hit_rate", s.shared_cache_hit_rate),
+                ("nodes_expanded", s.nodes_expanded as f64),
+                ("wall_s", s.wall_s),
+            ] {
+                out.push_str(", ");
+                json::field(&mut out, 0, key, json::number(value));
+            }
+            out.push('}');
+            out
+        };
+        let member_json = |m: &MemberAggregate| {
+            let mut out = String::from("{");
+            json::field(&mut out, 0, "member", json::string(&m.member));
+            for (key, value) in [
+                ("rank", m.rank as f64),
+                ("wins", m.wins as f64),
+                ("reached_target", m.reached_target as f64),
+                ("stopped", m.stopped as f64),
+                ("skipped", m.skipped as f64),
+                ("evaluations", m.evaluations as f64),
+                ("cache_hits", m.cache_hits as f64),
+            ] {
+                out.push_str(", ");
+                json::field(&mut out, 0, key, json::number(value));
+            }
+            out.push('}');
+            out
+        };
+
+        let mut out = String::from("{\n");
+        json::field(&mut out, 1, "experiment", json::string("exp_portfolio"));
+        out.push_str(",\n");
+        json::field(&mut out, 1, "workers", json::number(self.workers as f64));
+        out.push_str(",\n");
+        json::field(&mut out, 1, "table", self.table.to_json());
+        out.push_str(",\n");
+        json::field(
+            &mut out,
+            1,
+            "singles",
+            json::array(self.singles.iter().map(summary_json)),
+        );
+        out.push_str(",\n");
+        json::field(&mut out, 1, "round_robin", summary_json(&self.round_robin));
+        out.push_str(",\n");
+        json::field(&mut out, 1, "racing", summary_json(&self.racing));
+        out.push_str(",\n");
+        json::field(
+            &mut out,
+            1,
+            "members",
+            json::array(self.members.iter().map(member_json)),
+        );
+        out.push_str(",\n");
+        json::field(
+            &mut out,
+            1,
+            "racing_members",
+            json::array(self.racing_members.iter().map(member_json)),
+        );
+        out.push_str(",\n");
+        for (key, value) in [
+            ("singles_evaluations", self.singles_evaluations as f64),
+            ("singles_hit_rate", self.singles_hit_rate),
+            ("best_single_hit_rate", self.best_single_hit_rate),
+            (
+                "best_of_members_matches",
+                self.best_of_members_matches as f64,
+            ),
+            ("modules", self.modules as f64),
+            ("racing_target", self.racing_target),
+            ("racing_reached_target", self.racing_reached_target as f64),
+            (
+                "racing_mean_winner_lookups",
+                self.racing_mean_winner_lookups,
+            ),
+        ] {
+            json::field(&mut out, 1, key, json::number(value));
+            out.push_str(",\n");
+        }
+        json::field(
+            &mut out,
+            1,
+            "racing_worker_invariant",
+            self.racing_worker_invariant.to_string(),
+        );
+        out.push_str("\n}");
+        out
+    }
+}
+
 /// Runs the portfolio experiment: each roster member (greedy, beam-4,
 /// progressively-widened MCTS, random) independently through the
 /// [`SearchDriver`] on a fresh shared cache, then the same roster as a
@@ -984,6 +1090,356 @@ pub fn portfolio_speedups(scale: &ExperimentScale, workers: usize) -> PortfolioR
         racing_mean_winner_lookups,
         racing_worker_invariant,
         workers: workers.max(1),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E14 — exp_service: sustained request-stream serving through the
+// OptimizationService: a warm persistent service (one cache amortized
+// across every request) vs per-request cold services, plus the
+// request-level determinism check (worker counts x submission orders).
+// ---------------------------------------------------------------------------
+
+/// Aggregates of one request stream run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStreamSummary {
+    /// Stream label (`warm-service` / `cold-per-request`).
+    pub name: String,
+    /// Requests served.
+    pub requests: usize,
+    /// Requests served per wall-clock second (including, for the cold
+    /// stream, the per-request service construction that a persistent
+    /// service amortizes away).
+    pub requests_per_sec: f64,
+    /// Wall-clock seconds for the whole stream.
+    pub wall_s: f64,
+    /// Geometric mean of the per-request speedups.
+    pub geomean_speedup: f64,
+    /// Estimator runs across the stream (cache misses).
+    pub evaluations: usize,
+    /// Total cost-model lookups across the stream.
+    pub total_lookups: usize,
+    /// Fraction of lookups served by cache.
+    pub hit_rate: f64,
+    /// Mean seconds a request waited in the queue.
+    pub mean_queue_s: f64,
+    /// Mean seconds a request's search ran.
+    pub mean_service_s: f64,
+}
+
+impl ServiceStreamSummary {
+    fn from_responses(name: &str, responses: &[OptimizationResponse], wall_s: f64) -> Self {
+        let requests = responses.len();
+        let evaluations: usize = responses.iter().map(|r| r.evaluations).sum();
+        let total_lookups: usize = responses.iter().map(|r| r.total_lookups()).sum();
+        let geomean_speedup = if requests == 0 {
+            1.0
+        } else {
+            (responses
+                .iter()
+                .map(|r| r.speedup().max(1e-12).ln())
+                .sum::<f64>()
+                / requests as f64)
+                .exp()
+        };
+        Self {
+            name: name.to_string(),
+            requests,
+            requests_per_sec: requests as f64 / wall_s.max(1e-9),
+            wall_s,
+            geomean_speedup,
+            evaluations,
+            total_lookups,
+            hit_rate: (total_lookups - evaluations) as f64 / total_lookups.max(1) as f64,
+            mean_queue_s: responses.iter().map(|r| r.queue_s).sum::<f64>() / requests.max(1) as f64,
+            mean_service_s: responses.iter().map(|r| r.service_s).sum::<f64>()
+                / requests.max(1) as f64,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        json::field(&mut out, 0, "name", json::string(&self.name));
+        for (key, value) in [
+            ("requests", self.requests as f64),
+            ("requests_per_sec", self.requests_per_sec),
+            ("wall_s", self.wall_s),
+            ("geomean_speedup", self.geomean_speedup),
+            ("evaluations", self.evaluations as f64),
+            ("total_lookups", self.total_lookups as f64),
+            ("hit_rate", self.hit_rate),
+            ("mean_queue_s", self.mean_queue_s),
+            ("mean_service_s", self.mean_service_s),
+        ] {
+            out.push_str(", ");
+            json::field(&mut out, 0, key, json::number(value));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The `exp_service` report: the sustained request stream served by one
+/// warm persistent service vs per-request cold services, and the
+/// request-level determinism check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Distinct workload modules in the stream.
+    pub modules: usize,
+    /// Passes over the workloads (each pass cycles the searcher specs).
+    pub rounds: usize,
+    /// Worker threads of the warm service.
+    pub workers: usize,
+    /// The warm persistent-service stream.
+    pub warm: ServiceStreamSummary,
+    /// The cold per-request-service stream (fresh cache every request).
+    pub cold: ServiceStreamSummary,
+    /// Request statuses of the warm stream, as
+    /// `(completed, stopped, skipped, rejected)`.
+    pub statuses: (usize, usize, usize, usize),
+    /// Whether response fingerprints were bit-identical across 1/2/4
+    /// workers and two shuffled submission orders.
+    pub determinism_invariant: bool,
+}
+
+impl fmt::Display for ServiceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== exp_service: request-stream serving ({} modules x {} rounds, {} workers) ==",
+            self.modules, self.rounds, self.workers
+        )?;
+        for s in [&self.warm, &self.cold] {
+            writeln!(
+                f,
+                "{:<18} {:>7.2} req/s  geomean {:>6.2}x  evals {:>8}  lookups {:>8}  hit-rate {:>5.1}%  queue {:>8.4}s  service {:>8.4}s",
+                s.name,
+                s.requests_per_sec,
+                s.geomean_speedup,
+                s.evaluations,
+                s.total_lookups,
+                s.hit_rate * 100.0,
+                s.mean_queue_s,
+                s.mean_service_s,
+            )?;
+        }
+        let (completed, stopped, skipped, rejected) = self.statuses;
+        writeln!(
+            f,
+            "statuses           completed {completed}  stopped {stopped}  skipped {skipped}  rejected {rejected}",
+        )?;
+        writeln!(
+            f,
+            "warm vs cold       hit-rate {:+.1} pts, evals {:+.1}%",
+            (self.warm.hit_rate - self.cold.hit_rate) * 100.0,
+            100.0 * (self.warm.evaluations as f64 / self.cold.evaluations.max(1) as f64 - 1.0),
+        )?;
+        writeln!(
+            f,
+            "determinism        {}",
+            if self.determinism_invariant {
+                "responses bit-identical across 1/2/4 workers and shuffled submission orders"
+            } else {
+                "DIVERGED"
+            }
+        )
+    }
+}
+
+impl ServiceReport {
+    /// Machine-readable record of the run (one JSON object) for
+    /// `BENCH_*.json` trajectories.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        json::field(&mut out, 1, "experiment", json::string("exp_service"));
+        out.push_str(",\n");
+        json::field(&mut out, 1, "modules", json::number(self.modules as f64));
+        out.push_str(",\n");
+        json::field(&mut out, 1, "rounds", json::number(self.rounds as f64));
+        out.push_str(",\n");
+        json::field(&mut out, 1, "workers", json::number(self.workers as f64));
+        out.push_str(",\n");
+        json::field(
+            &mut out,
+            1,
+            "streams",
+            json::array([self.warm.to_json(), self.cold.to_json()].into_iter()),
+        );
+        out.push_str(",\n");
+        let (completed, stopped, skipped, rejected) = self.statuses;
+        json::field(
+            &mut out,
+            1,
+            "statuses",
+            format!(
+                "{{\"completed\": {completed}, \"stopped\": {stopped}, \"skipped\": {skipped}, \"rejected\": {rejected}}}"
+            ),
+        );
+        out.push_str(",\n");
+        json::field(
+            &mut out,
+            1,
+            "determinism_invariant",
+            self.determinism_invariant.to_string(),
+        );
+        out.push_str("\n}");
+        out
+    }
+}
+
+/// Deterministic Fisher-Yates shuffle (the vendored `rand` stub has no
+/// `SliceRandom`).
+fn shuffle<T>(items: &mut [T], rng: &mut ChaCha8Rng) {
+    use rand::Rng;
+    for i in (1..items.len()).rev() {
+        let j = (rng.gen::<u64>() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// The request stream: `rounds` passes over the workloads, cycling the
+/// searcher spec per (module, round) and seeding each request from its
+/// stream position — so the same stream can be re-submitted in any order
+/// on any worker count and must produce fingerprint-identical responses.
+fn service_request_stream(
+    workloads: &[Module],
+    rounds: usize,
+    specs: &[SearchSpec],
+) -> Vec<OptimizationRequest> {
+    let mut requests = Vec::with_capacity(workloads.len() * rounds);
+    for round in 0..rounds {
+        for (index, module) in workloads.iter().enumerate() {
+            let spec = specs[(round + index) % specs.len()].clone();
+            let seed = mlir_rl_agent::episode_seed(2027, (round * workloads.len() + index) as u64);
+            requests.push(OptimizationRequest::new(module.clone(), spec).with_seed(seed));
+        }
+    }
+    requests
+}
+
+/// Runs the request-stream serving experiment: trains a quick policy, then
+/// serves `rounds` passes over the DL-operator evaluation workloads
+/// (specs cycling over greedy / beam / widened MCTS / random) through
+///
+/// 1. one **warm persistent** [`OptimizationService`] — every request warms
+///    the one shared evaluation cache for every later request, and
+/// 2. **cold per-request** services — a fresh service (fresh cache) per
+///    request, the deployment the paper's one-shot evaluate script implies,
+///
+/// and verifies the request-level determinism contract by re-serving the
+/// same stream with 1/2/4 workers and two shuffled submission orders,
+/// comparing response fingerprints. The acceptance invariant: the warm
+/// service's shared-cache hit-rate strictly beats the cold baseline's.
+pub fn service_throughput(scale: &ExperimentScale, workers: usize) -> ServiceReport {
+    use rand::SeedableRng;
+
+    let dataset = dl_ops::training_dataset(scale.dataset_scale, 101);
+    let mut rl = train_mlir_rl(EnvConfig::small(), &dataset, scale, 17);
+    let workloads: Vec<Module> = dl_ops::evaluation_benchmark()
+        .into_iter()
+        .map(|(_, m)| m)
+        .collect();
+
+    let budget = scale.trajectories_per_iteration;
+    let specs = vec![
+        SearchSpec::Greedy,
+        SearchSpec::beam(4),
+        SearchSpec::Mcts {
+            iterations: (budget * 2).max(8),
+            branch: 4,
+            widening: Some((1.0, 0.6)),
+        },
+        SearchSpec::random((budget * 2).max(4)),
+    ];
+    let rounds = if scale.hidden_size <= 16 { 2 } else { 3 };
+    let stream = service_request_stream(&workloads, rounds, &specs);
+
+    // --- warm: one persistent service, one cache across the stream ----
+    let warm_service = rl.spawn_service(workers);
+    // `spawn_service` shares the optimizer's cache, which training warmed;
+    // start the comparison from a clean slate so warm-vs-cold measures
+    // exactly the cross-request amortization.
+    warm_service.cache().clear();
+    let start = Instant::now();
+    let pending = warm_service.submit_batch(stream.clone());
+    let warm_responses = wait_all(&pending);
+    let warm = ServiceStreamSummary::from_responses(
+        "warm-service",
+        &warm_responses,
+        start.elapsed().as_secs_f64(),
+    );
+    let statuses = (
+        warm_responses
+            .iter()
+            .filter(|r| r.status == ResponseStatus::Completed)
+            .count(),
+        warm_responses
+            .iter()
+            .filter(|r| r.status == ResponseStatus::Stopped)
+            .count(),
+        warm_responses
+            .iter()
+            .filter(|r| r.status == ResponseStatus::Skipped)
+            .count(),
+        warm_responses
+            .iter()
+            .filter(|r| r.status == ResponseStatus::Rejected)
+            .count(),
+    );
+
+    // --- cold: a fresh service (fresh cache) per request ---------------
+    let service_config = ServiceConfig {
+        env: EnvConfig::small(),
+        machine: MachineModel::xeon_e5_2680_v4(),
+        workers: 1,
+        eval_budget: None,
+        start_paused: false,
+    };
+    let start = Instant::now();
+    let cold_responses: Vec<OptimizationResponse> = stream
+        .iter()
+        .map(|request| {
+            let service = OptimizationService::new(service_config.clone(), rl.policy().clone());
+            service.submit(request.clone()).wait()
+        })
+        .collect();
+    let cold = ServiceStreamSummary::from_responses(
+        "cold-per-request",
+        &cold_responses,
+        start.elapsed().as_secs_f64(),
+    );
+
+    // --- determinism: worker counts x shuffled submission orders -------
+    let reference: Vec<u64> = warm_responses.iter().map(|r| r.fingerprint()).collect();
+    let mut shuffle_rng = ChaCha8Rng::seed_from_u64(4242);
+    let determinism_invariant = [1usize, 2, 4].iter().all(|&check_workers| {
+        let service = OptimizationService::new(
+            service_config.clone().with_workers(check_workers),
+            rl.policy().clone(),
+        );
+        // Shuffle the submission order; responses map back to stream
+        // positions through the submitted index.
+        let mut order: Vec<usize> = (0..stream.len()).collect();
+        shuffle(&mut order, &mut shuffle_rng);
+        let pending: Vec<_> = order
+            .iter()
+            .map(|&i| service.submit(stream[i].clone()))
+            .collect();
+        let mut fingerprints = vec![0u64; stream.len()];
+        for (&i, p) in order.iter().zip(&pending) {
+            fingerprints[i] = p.wait().fingerprint();
+        }
+        fingerprints == reference
+    });
+
+    ServiceReport {
+        modules: workloads.len(),
+        rounds,
+        workers: workers.max(1),
+        warm,
+        cold,
+        statuses,
+        determinism_invariant,
     }
 }
 
@@ -1459,6 +1915,46 @@ mod tests {
         assert!(printed.contains("member attribution"));
         assert!(printed.contains("racing worker-invariance"));
         assert!(printed.contains("bit-identical across 1/2/4 workers"));
+        // The machine-readable record behind `exp_portfolio --json`.
+        let json = report.to_json();
+        assert!(json.contains("\"exp_portfolio\""));
+        assert!(json.contains("\"racing_worker_invariant\": true"));
+        assert!(json.contains("\"members\""));
+    }
+
+    #[test]
+    fn smoke_service_warm_beats_cold_and_stays_deterministic() {
+        let report = service_throughput(&ExperimentScale::smoke(), 2);
+        assert_eq!(report.warm.requests, report.modules * report.rounds);
+        assert_eq!(report.cold.requests, report.warm.requests);
+        // The acceptance invariants: a warm persistent service amortizes
+        // its cache across requests — strictly higher hit-rate and fewer
+        // estimator runs than cold per-request services — and responses
+        // stay bit-identical across worker counts and submission orders.
+        assert!(
+            report.warm.hit_rate > report.cold.hit_rate,
+            "warm hit-rate {} must beat cold {}",
+            report.warm.hit_rate,
+            report.cold.hit_rate
+        );
+        assert!(
+            report.warm.evaluations < report.cold.evaluations,
+            "cross-request warmth must save estimator runs: {} vs {}",
+            report.warm.evaluations,
+            report.cold.evaluations
+        );
+        assert!(report.determinism_invariant);
+        let (completed, stopped, skipped, rejected) = report.statuses;
+        assert_eq!(completed, report.warm.requests);
+        assert_eq!(stopped + skipped + rejected, 0);
+        assert!(report.warm.geomean_speedup > 0.0);
+        assert_eq!(report.warm.geomean_speedup, report.cold.geomean_speedup);
+        let printed = report.to_string();
+        assert!(printed.contains("warm-service"));
+        assert!(printed.contains("bit-identical"));
+        let json = report.to_json();
+        assert!(json.contains("\"exp_service\""));
+        assert!(json.contains("\"hit_rate\""));
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! # mlir-rl-core
 //!
 //! High-level facade over the MLIR RL reproduction: the end-to-end
-//! [`MlirRlOptimizer`] (environment + PPO agent + cost model) and the report
-//! structures the experiment harness uses to regenerate the paper's tables
-//! and figures. Re-exports the main types of every underlying crate so that
-//! downstream users can depend on `mlir-rl-core` alone.
+//! [`MlirRlOptimizer`] (environment + PPO agent + cost model), the
+//! request/response serving layer ([`service`] — a long-lived
+//! [`OptimizationService`] in front of the trained policy, with one
+//! persistent shared evaluation cache, a worker pool, budget admission and
+//! cancellation), and the report structures the experiment harness uses to
+//! regenerate the paper's tables and figures. Re-exports the main types of
+//! every underlying crate so that downstream users can depend on
+//! `mlir-rl-core` alone.
 //!
 //! ## Example
 //!
@@ -26,9 +30,14 @@
 
 pub mod optimizer;
 pub mod report;
+pub mod service;
 
 pub use optimizer::{MlirRlOptimizer, OptimizationOutcome, OptimizerConfig};
 pub use report::{Figure, Series, SpeedupTable};
+pub use service::{
+    wait_all, OptimizationRequest, OptimizationResponse, OptimizationService, PendingResponse,
+    ResponseStatus, ServiceConfig, ServiceStats,
+};
 
 /// Re-export of the agent crate.
 pub use mlir_rl_agent as agent;

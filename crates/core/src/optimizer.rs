@@ -2,12 +2,26 @@
 //! optimize modules, mirroring how the released artifact wraps the trained
 //! policy behind `scripts/evaluate.sh`.
 //!
-//! Deployment is built on the schedule-search subsystem: plain
-//! [`MlirRlOptimizer::optimize`] is greedy policy decoding (the paper's
-//! behavior, [`GreedyPolicy`] under the hood), and any other
-//! [`Searcher`] — beam, MCTS, random — can be plugged in via
-//! [`MlirRlOptimizer::search`] or batched over worker threads with
-//! [`MlirRlOptimizer::optimize_batch`].
+//! Deployment goes through the request/response serving layer
+//! ([`crate::service`]): the facade lazily builds an internal
+//! [`OptimizationService`] (one worker, sharing the facade's evaluation
+//! cache and current policy snapshot), submits
+//! [`OptimizationRequest`]s to it, and unwraps the responses. The original
+//! per-method entry points — [`MlirRlOptimizer::optimize`],
+//! [`MlirRlOptimizer::search`], [`MlirRlOptimizer::optimize_all`],
+//! [`MlirRlOptimizer::optimize_batch`], [`MlirRlOptimizer::portfolio`],
+//! [`MlirRlOptimizer::optimize_portfolio_batch`] — are **kept as thin
+//! deprecated wrappers** for compatibility; new code should submit
+//! requests with a [`mlir_rl_search::SearchSpec`] instead:
+//!
+//! | deprecated facade method          | service equivalent                                   |
+//! |-----------------------------------|------------------------------------------------------|
+//! | `optimize(m)`                     | `submit(Request::new(m, SearchSpec::Greedy))`        |
+//! | `optimize_all(ms)`                | `submit_batch` of greedy requests                    |
+//! | `search(m, &searcher)`            | `SearchSpec` request, or `run_searcher` for custom objects |
+//! | `optimize_batch(ms, &s, w)`       | `submit_batch`, or `run_searcher_batch` for custom objects |
+//! | `portfolio(m, &p)`                | `submit` with `SearchSpec::Portfolio { .. }`         |
+//! | `optimize_portfolio_batch(..)`    | `submit_batch` with `SearchSpec::Portfolio { .. }`   |
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -18,9 +32,9 @@ use mlir_rl_agent::{IterationStats, PolicyHyperparams, PpoConfig, PpoTrainer};
 use mlir_rl_costmodel::{CostModel, MachineModel};
 use mlir_rl_env::{EnvConfig, EpisodeStats, OptimizationEnv};
 use mlir_rl_ir::Module;
-use mlir_rl_search::{
-    BatchSearchReport, GreedyPolicy, Portfolio, SearchDriver, SearchOutcome, Searcher,
-};
+use mlir_rl_search::{BatchSearchReport, Portfolio, SearchOutcome, SearchSpec, Searcher};
+
+use crate::service::{wait_all, OptimizationRequest, OptimizationService, PendingResponse};
 
 /// The outcome of optimizing one module.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -107,12 +121,20 @@ impl OptimizerConfig {
 }
 
 /// The end-to-end optimizer: an environment plus a PPO-trained agent.
+///
+/// Deployment entry points route through an internal
+/// [`OptimizationService`] that shares the optimizer's evaluation cache, so
+/// warmth persists across `optimize`/`search`/batch calls and across
+/// directly submitted requests alike. Training invalidates the service's
+/// policy snapshot; the next deployment call rebuilds it (the cache
+/// survives).
 #[derive(Debug)]
 pub struct MlirRlOptimizer {
     config: OptimizerConfig,
     env: OptimizationEnv,
     trainer: PpoTrainer<PolicyNetwork>,
     rng: ChaCha8Rng,
+    service: Option<OptimizationService>,
 }
 
 impl MlirRlOptimizer {
@@ -126,6 +148,7 @@ impl MlirRlOptimizer {
             env,
             trainer,
             rng,
+            service: None,
         }
     }
 
@@ -134,8 +157,9 @@ impl MlirRlOptimizer {
         &self.config
     }
 
-    /// The current policy network (e.g. to drive a [`SearchDriver`]
-    /// directly with custom environment templates).
+    /// The current policy network (e.g. to drive a
+    /// [`mlir_rl_search::SearchDriver`] directly with custom environment
+    /// templates).
     pub fn policy(&self) -> &PolicyNetwork {
         &self.trainer.policy
     }
@@ -146,70 +170,144 @@ impl MlirRlOptimizer {
     }
 
     /// Trains the agent for the given number of PPO iterations on a dataset
-    /// of modules.
+    /// of modules. Invalidates the internal service's policy snapshot (the
+    /// evaluation cache survives — it is keyed by module/schedule
+    /// fingerprints, not by the policy).
     pub fn train(&mut self, dataset: &[Module], iterations: usize) -> Vec<IterationStats> {
+        self.service = None;
         self.trainer.train(&mut self.env, dataset, iterations)
     }
 
+    /// The internal single-worker [`OptimizationService`] the deployment
+    /// wrappers submit to, built on first use from the current policy and
+    /// the optimizer's (shared) evaluation cache.
+    pub fn service(&mut self) -> &OptimizationService {
+        if self.service.is_none() {
+            // Shared mode first, so the service's workers join the
+            // optimizer's own table and warmth flows both ways.
+            self.env.enable_shared_cache();
+            self.service = Some(OptimizationService::from_env_template(
+                &self.env,
+                self.trainer.policy.clone(),
+                1,
+            ));
+        }
+        self.service.as_ref().expect("just built")
+    }
+
+    /// Builds a standalone [`OptimizationService`] with `workers` worker
+    /// threads, serving the current policy snapshot on the optimizer's
+    /// shared evaluation cache — the deployment hand-off: train here, then
+    /// serve requests from the returned service while the optimizer keeps
+    /// training or goes away entirely.
+    pub fn spawn_service(&mut self, workers: usize) -> OptimizationService {
+        self.env.enable_shared_cache();
+        OptimizationService::from_env_template(&self.env, self.trainer.policy.clone(), workers)
+    }
+
+    /// Submits one [`OptimizationRequest`] to the internal service.
+    pub fn submit(&mut self, request: OptimizationRequest) -> PendingResponse {
+        self.service().submit(request)
+    }
+
+    /// Submits a batch of requests to the internal service.
+    pub fn submit_batch(&mut self, requests: Vec<OptimizationRequest>) -> Vec<PendingResponse> {
+        self.service().submit_batch(requests)
+    }
+
+    /// Draws the next deployment seed (each wrapper call consumes exactly
+    /// one, preserving the pre-service seed sequence).
+    fn next_seed(&mut self) -> u64 {
+        use rand::Rng;
+        self.rng.gen()
+    }
+
     /// Optimizes one module by greedy policy decoding (the paper's
-    /// deployment behavior; equivalent to [`Self::search`] with
-    /// [`GreedyPolicy`]).
+    /// deployment behavior).
+    ///
+    /// **Deprecated in favor of the service API**: submit
+    /// `OptimizationRequest::new(module, SearchSpec::Greedy)` via
+    /// [`MlirRlOptimizer::submit`] (this wrapper does exactly that).
     pub fn optimize(&mut self, module: &Module) -> OptimizationOutcome {
-        (&self.search(module, &GreedyPolicy)).into()
+        let seed = self.next_seed();
+        let response = self
+            .submit(OptimizationRequest::new(module.clone(), SearchSpec::Greedy).with_seed(seed))
+            .wait();
+        (&response
+            .outcome
+            .expect("a valid greedy request always completes"))
+            .into()
     }
 
     /// Searches the schedule space of one module with any [`Searcher`]
-    /// (beam, MCTS, random, a baseline adapter, ...) guided by the current
-    /// policy. The environment's evaluation cache stays warm across calls.
+    /// object (beam, MCTS, random, a baseline adapter, ...) guided by the
+    /// current policy. The service's evaluation cache stays warm across
+    /// calls.
+    ///
+    /// **Deprecated in favor of the service API**: submit a
+    /// [`SearchSpec`] request, or use
+    /// [`OptimizationService::run_searcher`] for custom searcher objects
+    /// that have no spec (this wrapper routes there).
     pub fn search(
         &mut self,
         module: &Module,
         searcher: &dyn Searcher<PolicyNetwork>,
     ) -> SearchOutcome {
-        use rand::Rng;
-        let seed = self.rng.gen();
-        searcher.search(&mut self.env, &mut self.trainer.policy, module, seed)
+        let seed = self.next_seed();
+        self.service().run_searcher(searcher, module, seed)
     }
 
     /// Optimizes a batch of modules, returning `(module name, outcome)`
     /// pairs.
+    ///
+    /// **Deprecated in favor of the service API**: this is
+    /// [`MlirRlOptimizer::submit_batch`] of greedy requests (one seed per
+    /// module, in order) plus a blocking [`wait_all`].
     pub fn optimize_all(&mut self, modules: &[Module]) -> Vec<(String, OptimizationOutcome)> {
-        modules
+        let requests: Vec<OptimizationRequest> = modules
             .iter()
-            .map(|m| (m.name().to_string(), self.optimize(m)))
+            .map(|m| {
+                let seed = self.next_seed();
+                OptimizationRequest::new(m.clone(), SearchSpec::Greedy).with_seed(seed)
+            })
+            .collect();
+        let pending = self.submit_batch(requests);
+        wait_all(&pending)
+            .into_iter()
+            .map(|response| {
+                let outcome = response
+                    .outcome
+                    .expect("a valid greedy request always completes");
+                (response.module, (&outcome).into())
+            })
             .collect()
     }
 
-    /// Optimizes a batch of modules with a [`Searcher`], fanned out over
-    /// `workers` threads via [`SearchDriver`]; all searches share one
-    /// sharded evaluation cache. Outcomes are identical for any worker
-    /// count.
+    /// Optimizes a batch of modules with a [`Searcher`] object, fanned out
+    /// over `workers` threads; all searches share the service's persistent
+    /// evaluation cache. Outcomes are identical for any worker count.
+    ///
+    /// **Deprecated in favor of the service API**: submit a batch of
+    /// [`SearchSpec`] requests, or use
+    /// [`OptimizationService::run_searcher_batch`] for custom searcher
+    /// objects (this wrapper routes there).
     pub fn optimize_batch(
         &mut self,
         modules: &[Module],
         searcher: &dyn Searcher<PolicyNetwork>,
         workers: usize,
     ) -> BatchSearchReport {
-        use rand::Rng;
-        let base_seed = self.rng.gen();
-        // Put the optimizer's own cache in shared mode first: the driver's
-        // clone then shares the same table, so warmth gained by this batch
-        // serves every later optimize/search/optimize_batch call.
-        self.env.enable_shared_cache();
-        SearchDriver::new(workers).with_seed(base_seed).run(
-            &self.env,
-            &self.trainer.policy,
-            searcher,
-            modules,
-        )
+        let base_seed = self.next_seed();
+        self.service()
+            .run_searcher_batch(searcher, modules, base_seed, workers)
     }
 
     /// Optimizes one module with a [`Portfolio`] of searchers, returning
     /// the best schedule any member found with per-member attribution in
-    /// [`SearchOutcome::members`]. Round-robin portfolios run on the
-    /// optimizer's cache as-is (serial stays lock-free); racing portfolios
-    /// switch it to shared mode themselves, so their members' warmth lands
-    /// back in the optimizer.
+    /// [`SearchOutcome::members`].
+    ///
+    /// **Deprecated in favor of the service API**: submit an
+    /// `OptimizationRequest` with `SearchSpec::Portfolio { .. }`.
     pub fn portfolio(
         &mut self,
         module: &Module,
@@ -219,22 +317,21 @@ impl MlirRlOptimizer {
     }
 
     /// Optimizes a batch of modules with a [`Portfolio`] fanned out over
-    /// `workers` threads via [`SearchDriver::run_portfolio`]; every module
-    /// and every roster member shares one evaluation cache (which stays
-    /// with the optimizer, warming later calls). Outcomes are identical
-    /// for any worker count.
+    /// `workers` threads; every module and every roster member shares the
+    /// service's persistent evaluation cache. Outcomes are identical for
+    /// any worker count.
+    ///
+    /// **Deprecated in favor of the service API**: submit a batch of
+    /// `SearchSpec::Portfolio { .. }` requests.
     pub fn optimize_portfolio_batch(
         &mut self,
         modules: &[Module],
         portfolio: &Portfolio<PolicyNetwork>,
         workers: usize,
     ) -> BatchSearchReport {
-        use rand::Rng;
-        let base_seed = self.rng.gen();
-        self.env.enable_shared_cache();
-        SearchDriver::new(workers)
-            .with_seed(base_seed)
-            .run_portfolio(&self.env, &self.trainer.policy, portfolio, modules)
+        let base_seed = self.next_seed();
+        self.service()
+            .run_searcher_batch(portfolio, modules, base_seed, workers)
     }
 
     /// Average policy-inference plus transformation-application time per
@@ -256,6 +353,7 @@ impl MlirRlOptimizer {
 mod tests {
     use super::*;
     use mlir_rl_ir::ModuleBuilder;
+    use mlir_rl_search::GreedyPolicy;
 
     fn tiny_dataset() -> Vec<Module> {
         (0..3)

@@ -87,10 +87,12 @@ impl SpeedupTable {
 }
 
 /// Hand-rolled JSON emission (the offline `serde` stand-in performs no real
-/// serialization, so the two report types build their JSON directly).
-mod json {
+/// serialization, so report types build their JSON directly). Public so the
+/// benchmark harness's `--json` output modes emit records the same way.
+pub mod json {
     use std::fmt::Write;
 
+    /// Escapes and quotes a JSON string.
     pub fn string(s: &str) -> String {
         let mut out = String::with_capacity(s.len() + 2);
         out.push('"');
@@ -121,11 +123,13 @@ mod json {
         }
     }
 
+    /// Joins pre-rendered JSON values into an array.
     pub fn array(items: impl Iterator<Item = String>) -> String {
         let body: Vec<String> = items.collect();
         format!("[{}]", body.join(", "))
     }
 
+    /// Appends an indented `"name": value` field (no trailing comma).
     pub fn field(out: &mut String, indent: usize, name: &str, value: String) {
         let _ = write!(out, "{}{}: {}", "  ".repeat(indent), string(name), value);
     }

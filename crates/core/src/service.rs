@@ -1,0 +1,1163 @@
+//! The request/response serving layer: a long-lived [`OptimizationService`]
+//! in front of the trained policy.
+//!
+//! The paper deploys the policy as a one-shot "optimize this module" call;
+//! a production deployment is a *service*: requests arrive continuously,
+//! and the wins come from amortizing state across them — one persistent
+//! shared evaluation cache (every request warms every later request), one
+//! policy snapshot per worker, one global evaluation budget. This module
+//! composes the primitives the lower layers already provide
+//! ([`SharedEvalCache`] via the environment, [`EvalBudget`],
+//! [`StopToken`], [`SearchDriver`]) into that serving surface:
+//!
+//! * [`OptimizationRequest`] — a module plus a declarative [`SearchSpec`]
+//!   (greedy / beam / MCTS / random / portfolio), a seed, a priority, an
+//!   optional queue deadline and an optional per-request environment
+//!   override.
+//! * [`OptimizationService::submit`] / [`OptimizationService::submit_batch`]
+//!   — enqueue requests; a pool of long-lived worker threads admits and
+//!   executes them. Every submit returns a [`PendingResponse`] handle that
+//!   can wait for — or cancel — its request.
+//! * [`OptimizationResponse`] — the request's [`SearchOutcome`] plus
+//!   per-request accounting (evaluations / cache hits, queue and service
+//!   time) and a [`ResponseStatus`].
+//!
+//! ## Request lifecycle
+//!
+//! `submit` → **queued** (priority order, FIFO within a priority) →
+//! **admission** (cancellation, queue deadline, [`SearchSpec::try_validate`]
+//! and [`EnvConfig::try_validate`] checks, global [`EvalBudget`] gate) →
+//! **running** (the worker builds the spec's searcher and runs it with the
+//! request's seed on the service's shared cache) → **responded**. A
+//! malformed request is [`ResponseStatus::Rejected`]; a request that never
+//! ran (cancelled in the queue, deadline expired, budget exhausted) is
+//! [`ResponseStatus::Skipped`]; a request cancelled mid-run winds down at
+//! its searcher's next stop boundary and reports
+//! [`ResponseStatus::Stopped`] with its best-so-far — the same semantics as
+//! portfolio [`mlir_rl_search::MemberStatus`] rows.
+//!
+//! ## Determinism
+//!
+//! Responses extend the search subsystem's determinism contract to the
+//! request level: a request's outcome depends only on `(module, spec, seed,
+//! policy, environment config)` — never on the worker count, the submission
+//! order, queue priorities or what else is in flight — because cost-model
+//! values are deterministic whether they hit or miss the shared cache, and
+//! every searcher reseeds its noise stream from the request seed.
+//! [`OptimizationResponse::fingerprint`] hashes exactly the deterministic
+//! fields (accounting *counts* and timings legitimately vary with cache
+//! warmth and load); the `service_api` integration test battery locks the
+//! guarantee across worker counts and shuffled submission orders.
+//!
+//! The two *liveness* knobs are deliberately outside the guarantee, like
+//! the racing portfolio's preempted-loser rows: **which** requests a queue
+//! deadline expires or an exhausted [`EvalBudget`] skips depends on load
+//! and worker count (concurrent workers admit requests before earlier
+//! ones have charged their spend). Every request that *runs* keeps the
+//! full contract; services configured without deadlines and without a
+//! budget cap answer every request deterministically.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use mlir_rl_agent::PolicyNetwork;
+use mlir_rl_costmodel::{CostModel, EvalBudget, EvalCache, MachineModel, SharedEvalCache};
+use mlir_rl_env::{EnvConfig, OptimizationEnv};
+use mlir_rl_ir::Module;
+use mlir_rl_search::{
+    BatchSearchReport, SearchDriver, SearchJob, SearchOutcome, SearchSpec, Searcher, StopToken,
+};
+
+/// The rank a request's search runs at against its [`StopToken`]:
+/// [`PendingResponse::cancel`] claims rank 0, which outranks the running
+/// search, so stop-aware searchers wind down at their next boundary.
+const RUN_RANK: usize = 1;
+const CANCEL_RANK: usize = 0;
+
+/// Static configuration of an [`OptimizationService`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Environment configuration requests run under by default (individual
+    /// requests may override it with [`OptimizationRequest::with_env`]).
+    pub env: EnvConfig,
+    /// Machine the cost model targets.
+    pub machine: MachineModel,
+    /// Worker threads executing requests (at least 1).
+    pub workers: usize,
+    /// Global admission cap on cost-model lookups across every request the
+    /// service executes (`None` = unlimited). Once the ledger is exhausted,
+    /// later requests are answered [`ResponseStatus::Skipped`]. A liveness
+    /// knob: spend is charged as searches *finish*, so with concurrent
+    /// workers **which** request first observes exhaustion depends on
+    /// timing — skip decisions are deterministic only for single-worker
+    /// services (admitted requests' outcomes stay deterministic always).
+    pub eval_budget: Option<u64>,
+    /// Start with the workers paused: requests queue up but none executes
+    /// until [`OptimizationService::resume`]. Useful for deterministic
+    /// admission tests and for pre-loading a batch before serving begins.
+    pub start_paused: bool,
+}
+
+impl ServiceConfig {
+    /// A laptop-scale configuration (small environment, one worker).
+    pub fn quick() -> Self {
+        Self {
+            env: EnvConfig::small(),
+            machine: MachineModel::xeon_e5_2680_v4(),
+            workers: 1,
+            eval_budget: None,
+            start_paused: false,
+        }
+    }
+
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the global eval-budget cap.
+    pub fn with_eval_budget(mut self, cap: u64) -> Self {
+        self.eval_budget = Some(cap);
+        self
+    }
+
+    /// Starts the service paused (see [`ServiceConfig::start_paused`]).
+    pub fn paused(mut self) -> Self {
+        self.start_paused = true;
+        self
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// One optimization request: a module plus everything needed to search its
+/// schedule space deterministically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationRequest {
+    /// Module to optimize.
+    pub module: Module,
+    /// Declarative description of the search to run.
+    pub spec: SearchSpec,
+    /// Search seed — with the module, spec and policy, this fully
+    /// determines the response's outcome.
+    pub seed: u64,
+    /// Scheduling priority: higher-priority requests leave the queue first
+    /// (FIFO within a priority). Priorities affect *when* a request runs,
+    /// never *what* it computes.
+    pub priority: i32,
+    /// Maximum time the request may wait in the queue; a request admitted
+    /// later than this is answered [`ResponseStatus::Skipped`] instead of
+    /// running stale. `None` waits indefinitely. A liveness knob —
+    /// responses produced under deadline pressure are still deterministic,
+    /// but *which* requests expire depends on load.
+    pub deadline: Option<Duration>,
+    /// Per-request environment override. Validated at admission with
+    /// [`EnvConfig::try_validate`], and additionally required to preserve
+    /// the observation/action *shape* the service policy was built for
+    /// (fields like `reward_mode` and `noise_seed` may differ; `max_loops`,
+    /// tile candidates, feature sizes may not) — a malformed or
+    /// shape-changing config yields [`ResponseStatus::Rejected`] instead of
+    /// a panic. The override environment still shares the service's
+    /// evaluation cache.
+    pub env: Option<EnvConfig>,
+}
+
+impl OptimizationRequest {
+    /// A request with seed 0, default priority, no deadline and the
+    /// service's environment.
+    pub fn new(module: Module, spec: SearchSpec) -> Self {
+        Self {
+            module,
+            spec,
+            seed: 0,
+            priority: 0,
+            deadline: None,
+            env: None,
+        }
+    }
+
+    /// Sets the search seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the scheduling priority.
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the queue deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Overrides the environment configuration for this request.
+    pub fn with_env(mut self, env: EnvConfig) -> Self {
+        self.env = Some(env);
+        self
+    }
+}
+
+/// How a request left the service — the request-level analogue of
+/// [`mlir_rl_search::MemberStatus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResponseStatus {
+    /// The search ran to completion.
+    Completed,
+    /// The request was cancelled mid-run; the outcome is the search's
+    /// best-so-far at the stop boundary (stop-unaware searchers such as
+    /// greedy decoding finish their run regardless).
+    Stopped,
+    /// The request never ran: cancelled while queued, queue deadline
+    /// expired, or the service's eval budget was exhausted. All accounting
+    /// is zero; `error` says why.
+    Skipped,
+    /// The request was malformed (spec or environment override failed
+    /// validation); `error` carries the problem. Nothing ran.
+    Rejected,
+}
+
+/// The answer to one [`OptimizationRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationResponse {
+    /// Service-assigned request id (submission order).
+    pub id: u64,
+    /// Name of the requested module.
+    pub module: String,
+    /// Display name of the requested searcher.
+    pub searcher: String,
+    /// How the request finished.
+    pub status: ResponseStatus,
+    /// The search outcome ([`ResponseStatus::Completed`] and
+    /// [`ResponseStatus::Stopped`] only).
+    pub outcome: Option<SearchOutcome>,
+    /// Why the request was skipped or rejected.
+    pub error: Option<String>,
+    /// Estimator runs this request caused (cache misses).
+    pub evaluations: usize,
+    /// Lookups the shared cache served for this request.
+    pub cache_hits: usize,
+    /// Seconds the request waited in the queue before a worker picked it
+    /// up.
+    pub queue_s: f64,
+    /// Seconds the search itself ran.
+    pub service_s: f64,
+}
+
+impl OptimizationResponse {
+    /// Speedup of the best schedule found (1.0 when nothing ran).
+    pub fn speedup(&self) -> f64 {
+        self.outcome.as_ref().map_or(1.0, |o| o.speedup)
+    }
+
+    /// Total cost-model lookups of the request
+    /// (`evaluations + cache_hits`).
+    pub fn total_lookups(&self) -> usize {
+        self.evaluations + self.cache_hits
+    }
+
+    /// FNV-1a hash of exactly the fields the service's determinism
+    /// guarantee covers: module, searcher, status, the rejection reason
+    /// (validation messages are a deterministic function of the request),
+    /// and the outcome's baseline/best estimates, speedup, action
+    /// sequence, schedule and nodes expanded. Excludes the request id,
+    /// timings, cache accounting *counts*, portfolio member attribution
+    /// rows, and the error text of [`ResponseStatus::Skipped`] responses
+    /// (skip reasons embed load-dependent measurements such as queue wait
+    /// and budget spend) — those legitimately vary with submission order,
+    /// load and table warmth. Two runs of the same request set produce
+    /// equal fingerprints for matching requests, regardless of worker
+    /// count or arrival order.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write(self.module.as_bytes());
+        h.write(self.searcher.as_bytes());
+        h.write(format!("{:?}", self.status).as_bytes());
+        if self.status == ResponseStatus::Rejected {
+            h.write(format!("{:?}", self.error).as_bytes());
+        }
+        if let Some(outcome) = &self.outcome {
+            for bits in [
+                outcome.baseline_s.to_bits(),
+                outcome.best_s.to_bits(),
+                outcome.speedup.to_bits(),
+                outcome.nodes_expanded as u64,
+            ] {
+                h.write(&bits.to_le_bytes());
+            }
+            h.write(format!("{:?}", outcome.best_actions).as_bytes());
+            h.write(format!("{:?}", outcome.best_schedule).as_bytes());
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a, stable across Rust releases (unlike `DefaultHasher`), so
+/// fingerprints can be compared across builds and recorded in fixtures.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= *b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Handle to a submitted request: wait for the response, poll it, or
+/// cancel the request.
+#[derive(Debug, Clone)]
+pub struct PendingResponse {
+    id: u64,
+    stop: StopToken,
+    slot: Arc<ResponseSlot>,
+}
+
+impl PendingResponse {
+    /// The service-assigned request id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the response is available.
+    pub fn wait(&self) -> OptimizationResponse {
+        let mut ready = self.slot.ready.lock().expect("response slot poisoned");
+        while ready.is_none() {
+            ready = self.slot.cond.wait(ready).expect("response slot poisoned");
+        }
+        ready.clone().expect("checked above")
+    }
+
+    /// The response, if it is already available.
+    pub fn try_response(&self) -> Option<OptimizationResponse> {
+        self.slot
+            .ready
+            .lock()
+            .expect("response slot poisoned")
+            .clone()
+    }
+
+    /// Cancels the request: if it has not started it is answered
+    /// [`ResponseStatus::Skipped`]; if it is running, stop-aware searchers
+    /// wind down at their next boundary and the response is
+    /// [`ResponseStatus::Stopped`] with the best-so-far; if it already
+    /// finished, this is a no-op.
+    pub fn cancel(&self) {
+        self.stop.claim(CANCEL_RANK);
+    }
+}
+
+/// Waits for every pending response, in handle order.
+pub fn wait_all(pending: &[PendingResponse]) -> Vec<OptimizationResponse> {
+    pending.iter().map(PendingResponse::wait).collect()
+}
+
+#[derive(Debug)]
+struct ResponseSlot {
+    ready: Mutex<Option<OptimizationResponse>>,
+    cond: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            ready: Mutex::new(None),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, response: OptimizationResponse) {
+        let mut ready = self.ready.lock().expect("response slot poisoned");
+        *ready = Some(response);
+        self.cond.notify_all();
+    }
+}
+
+/// A queued request plus its routing state. Ordered by (priority, FIFO):
+/// the queue is a max-heap, so higher priorities pop first and equal
+/// priorities pop in submission order.
+struct QueuedJob {
+    id: u64,
+    submitted: Instant,
+    request: OptimizationRequest,
+    stop: StopToken,
+    slot: Arc<ResponseSlot>,
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.request.priority == other.request.priority && self.id == other.id
+    }
+}
+
+impl Eq for QueuedJob {}
+
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.request
+            .priority
+            .cmp(&other.request.priority)
+            .then(other.id.cmp(&self.id))
+    }
+}
+
+struct ServiceState {
+    queue: BinaryHeap<QueuedJob>,
+    paused: bool,
+    shutdown: bool,
+}
+
+struct ServiceShared {
+    state: Mutex<ServiceState>,
+    work: Condvar,
+    budget: EvalBudget,
+    cache: SharedEvalCache,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    stopped: AtomicU64,
+    skipped: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// Aggregate serving statistics, snapshot by
+/// [`OptimizationService::stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceStats {
+    /// Requests submitted so far.
+    pub submitted: u64,
+    /// Requests answered [`ResponseStatus::Completed`].
+    pub completed: u64,
+    /// Requests answered [`ResponseStatus::Stopped`].
+    pub stopped: u64,
+    /// Requests answered [`ResponseStatus::Skipped`].
+    pub skipped: u64,
+    /// Requests answered [`ResponseStatus::Rejected`].
+    pub rejected: u64,
+    /// Requests currently waiting in the queue.
+    pub pending: u64,
+    /// Lifetime hits of the service's persistent shared cache.
+    pub cache_hits: u64,
+    /// Lifetime misses (estimator runs) of the persistent shared cache.
+    pub cache_misses: u64,
+    /// Cost-model lookups charged against the global eval budget.
+    pub budget_spent: u64,
+    /// The global eval-budget cap (`None` = unlimited).
+    pub budget_cap: Option<u64>,
+}
+
+impl ServiceStats {
+    /// Lifetime fraction of lookups served by the persistent cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A long-lived optimization service: worker threads serving
+/// [`OptimizationRequest`]s against one policy snapshot, one persistent
+/// shared evaluation cache and one global [`EvalBudget`]. See the module
+/// docs for the request lifecycle and the determinism guarantee.
+pub struct OptimizationService {
+    shared: Arc<ServiceShared>,
+    template: OptimizationEnv,
+    policy: PolicyNetwork,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl OptimizationService {
+    /// Creates a service from a configuration and a policy snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.env` fails validation; use
+    /// [`OptimizationService::try_new`] for a non-panicking constructor.
+    pub fn new(config: ServiceConfig, policy: PolicyNetwork) -> Self {
+        Self::try_new(config, policy).expect("invalid service configuration")
+    }
+
+    /// Like [`OptimizationService::new`], but a malformed configuration
+    /// becomes an error instead of a panic.
+    pub fn try_new(config: ServiceConfig, policy: PolicyNetwork) -> Result<Self, String> {
+        config.env.try_validate()?;
+        let mut env =
+            OptimizationEnv::new(config.env.clone(), CostModel::new(config.machine.clone()));
+        env.enable_shared_cache();
+        Ok(Self::from_env_template_with(
+            &env,
+            policy,
+            config.workers,
+            config.eval_budget,
+            config.start_paused,
+        ))
+    }
+
+    /// Creates a service whose requests run against (a clone of) the given
+    /// environment. If `env` is already in shared-cache mode the service
+    /// **joins that table** — this is how the deprecated
+    /// [`crate::MlirRlOptimizer`] facade keeps one warm cache across its
+    /// own calls and the service's; otherwise the service starts its own
+    /// table seeded with the environment's memoized entries.
+    pub fn from_env_template(env: &OptimizationEnv, policy: PolicyNetwork, workers: usize) -> Self {
+        Self::from_env_template_with(env, policy, workers, None, false)
+    }
+
+    fn from_env_template_with(
+        env: &OptimizationEnv,
+        policy: PolicyNetwork,
+        workers: usize,
+        eval_budget: Option<u64>,
+        start_paused: bool,
+    ) -> Self {
+        let mut template = env.clone();
+        let cache = template.enable_shared_cache();
+        let budget = match eval_budget {
+            Some(cap) => EvalBudget::limited(cap),
+            None => EvalBudget::unlimited(),
+        };
+        let shared = Arc::new(ServiceShared {
+            state: Mutex::new(ServiceState {
+                queue: BinaryHeap::new(),
+                paused: start_paused,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            budget,
+            cache,
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            stopped: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let env = template.clone();
+                let policy = policy.clone();
+                std::thread::spawn(move || worker_loop(shared, env, policy))
+            })
+            .collect();
+        Self {
+            shared,
+            template,
+            policy,
+            workers,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Submits one request, returning a handle to wait on (or cancel).
+    pub fn submit(&self, request: OptimizationRequest) -> PendingResponse {
+        let pending = self.enqueue(request);
+        self.shared.work.notify_one();
+        pending
+    }
+
+    /// Submits a batch of requests — just N requests on the one shared
+    /// cache — returning their handles in submission order.
+    pub fn submit_batch(&self, requests: Vec<OptimizationRequest>) -> Vec<PendingResponse> {
+        let pending: Vec<PendingResponse> = requests.into_iter().map(|r| self.enqueue(r)).collect();
+        self.shared.work.notify_all();
+        pending
+    }
+
+    fn enqueue(&self, request: OptimizationRequest) -> PendingResponse {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        let stop = StopToken::new();
+        let slot = ResponseSlot::new();
+        let pending = PendingResponse {
+            id,
+            stop: stop.clone(),
+            slot: Arc::clone(&slot),
+        };
+        let job = QueuedJob {
+            id,
+            submitted: Instant::now(),
+            request,
+            stop,
+            slot,
+        };
+        self.shared
+            .state
+            .lock()
+            .expect("service state poisoned")
+            .queue
+            .push(job);
+        pending
+    }
+
+    /// Pauses the workers: queued requests stay queued until
+    /// [`OptimizationService::resume`]. Requests already running finish.
+    pub fn pause(&self) {
+        self.shared
+            .state
+            .lock()
+            .expect("service state poisoned")
+            .paused = true;
+    }
+
+    /// Resumes a paused service.
+    pub fn resume(&self) {
+        self.shared
+            .state
+            .lock()
+            .expect("service state poisoned")
+            .paused = false;
+        self.shared.work.notify_all();
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The policy snapshot requests are served with.
+    pub fn policy(&self) -> &PolicyNetwork {
+        &self.policy
+    }
+
+    /// The global admission ledger.
+    pub fn budget(&self) -> &EvalBudget {
+        &self.shared.budget
+    }
+
+    /// Handle to the service's persistent shared evaluation cache.
+    pub fn cache(&self) -> &SharedEvalCache {
+        &self.shared.cache
+    }
+
+    /// Snapshot of the serving statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let pending = self
+            .shared
+            .state
+            .lock()
+            .expect("service state poisoned")
+            .queue
+            .len() as u64;
+        ServiceStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            stopped: self.shared.stopped.load(Ordering::Relaxed),
+            skipped: self.shared.skipped.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            pending,
+            cache_hits: self.shared.cache.hits(),
+            cache_misses: self.shared.cache.misses(),
+            budget_spent: self.shared.budget.spent(),
+            budget_cap: self.shared.budget.cap(),
+        }
+    }
+
+    /// Runs a *borrowed* custom [`Searcher`] on one module, synchronously,
+    /// against the service's policy and persistent cache — the entry point
+    /// for searcher objects (baseline adapters, hand-built portfolios) that
+    /// have no [`SearchSpec`] and therefore cannot be queued. The seed is
+    /// passed to the searcher verbatim.
+    pub fn run_searcher(
+        &self,
+        searcher: &dyn Searcher<PolicyNetwork>,
+        module: &Module,
+        seed: u64,
+    ) -> SearchOutcome {
+        let jobs = [SearchJob::new(module, searcher, seed)];
+        let mut report = SearchDriver::new(1).run_jobs(&self.template, &self.policy, &jobs);
+        report.outcomes.remove(0)
+    }
+
+    /// Runs a borrowed custom [`Searcher`] over a module batch through
+    /// [`SearchDriver`] — the driver is the engine *underneath* the queued
+    /// path too, so this shares the same persistent cache and the same
+    /// worker-count-invariance contract. Seeds are derived per module index
+    /// from `base_seed` exactly like [`SearchDriver::run`].
+    pub fn run_searcher_batch(
+        &self,
+        searcher: &dyn Searcher<PolicyNetwork>,
+        modules: &[Module],
+        base_seed: u64,
+        workers: usize,
+    ) -> BatchSearchReport {
+        SearchDriver::new(workers).with_seed(base_seed).run(
+            &self.template,
+            &self.policy,
+            &searcher,
+            modules,
+        )
+    }
+
+    /// Initiates shutdown and blocks until every queued request has been
+    /// served and all workers have exited. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("service state poisoned");
+            if state.shutdown {
+                return;
+            }
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for OptimizationService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for OptimizationService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OptimizationService")
+            .field("workers", &self.workers.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn worker_loop(shared: Arc<ServiceShared>, mut env: OptimizationEnv, mut policy: PolicyNetwork) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("service state poisoned");
+            loop {
+                // Shutdown drains the queue even while paused, so dropping
+                // a paused service still answers every request.
+                if state.shutdown || !state.paused {
+                    if let Some(job) = state.queue.pop() {
+                        break Some(job);
+                    }
+                    if state.shutdown {
+                        break None;
+                    }
+                }
+                state = shared.work.wait(state).expect("service state poisoned");
+            }
+        };
+        match job {
+            Some(job) => execute(&shared, &mut env, &mut policy, job),
+            None => return,
+        }
+    }
+}
+
+/// Admission + execution of one dequeued request (see the module docs for
+/// the lifecycle). Always fills the job's response slot.
+fn execute(
+    shared: &ServiceShared,
+    env: &mut OptimizationEnv,
+    policy: &mut PolicyNetwork,
+    job: QueuedJob,
+) {
+    let queue_s = job.submitted.elapsed().as_secs_f64();
+    let skeleton = |status: ResponseStatus, error: Option<String>| OptimizationResponse {
+        id: job.id,
+        module: job.request.module.name().to_string(),
+        searcher: job.request.spec.name(),
+        status,
+        outcome: None,
+        error,
+        evaluations: 0,
+        cache_hits: 0,
+        queue_s,
+        service_s: 0.0,
+    };
+
+    // --- admission ---------------------------------------------------
+    if job.stop.stops(RUN_RANK) {
+        shared.skipped.fetch_add(1, Ordering::Relaxed);
+        job.slot.fill(skeleton(
+            ResponseStatus::Skipped,
+            Some("cancelled while queued".to_string()),
+        ));
+        return;
+    }
+    if let Some(deadline) = job.request.deadline {
+        if queue_s > deadline.as_secs_f64() {
+            shared.skipped.fetch_add(1, Ordering::Relaxed);
+            job.slot.fill(skeleton(
+                ResponseStatus::Skipped,
+                Some(format!(
+                    "queue deadline of {:.3}s expired after {queue_s:.3}s",
+                    deadline.as_secs_f64()
+                )),
+            ));
+            return;
+        }
+    }
+    if let Err(problem) = job.request.spec.try_validate() {
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        job.slot.fill(skeleton(
+            ResponseStatus::Rejected,
+            Some(format!("invalid search spec: {problem}")),
+        ));
+        return;
+    }
+    if let Some(config) = &job.request.env {
+        if let Err(problem) = config.try_validate() {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            job.slot.fill(skeleton(
+                ResponseStatus::Rejected,
+                Some(format!("invalid environment override: {problem}")),
+            ));
+            return;
+        }
+        // The service policy's layer and head sizes are fixed by the
+        // service environment; an override that changes the observation or
+        // action shape cannot run against it.
+        let base = env.config();
+        if config.feature_len() != base.feature_len()
+            || config.max_loops != base.max_loops
+            || config.num_tile_candidates() != base.num_tile_candidates()
+            || config.interchange_mode != base.interchange_mode
+            || config.action_space_mode != base.action_space_mode
+        {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            job.slot.fill(skeleton(
+                ResponseStatus::Rejected,
+                Some(
+                    "environment override changes the observation/action shape the \
+                     service policy was built for (only shape-preserving fields such \
+                     as reward_mode and noise_seed may differ)"
+                        .to_string(),
+                ),
+            ));
+            return;
+        }
+    }
+    if shared.budget.try_admit(0).is_err() {
+        shared.skipped.fetch_add(1, Ordering::Relaxed);
+        job.slot.fill(skeleton(
+            ResponseStatus::Skipped,
+            Some(format!(
+                "service eval budget exhausted ({} lookups spent)",
+                shared.budget.spent()
+            )),
+        ));
+        return;
+    }
+
+    // --- execution ---------------------------------------------------
+    // An override request runs on a fresh environment that joins the
+    // service's shared table (the cache is keyed by module/schedule
+    // fingerprints, so entries are config-independent).
+    let mut override_env;
+    let run_env: &mut OptimizationEnv = match &job.request.env {
+        Some(config) => {
+            override_env = OptimizationEnv::new(config.clone(), env.cost_model().clone());
+            override_env.replace_cache(EvalCache::with_shared_backend(shared.cache.clone()));
+            &mut override_env
+        }
+        None => env,
+    };
+    let start = Instant::now();
+    // Panic isolation: a search that panics (e.g. on a malformed module no
+    // validation anticipated) must become an error *response*, never a
+    // dead worker with a forever-blocked client. State safety: the
+    // environment is reset at the start of every search and the policy's
+    // scratch buffers are overwritten by every forward pass, so the worker
+    // keeps serving after a caught panic.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let searcher = job.request.spec.build::<PolicyNetwork>();
+        searcher.search_with_stop(
+            run_env,
+            policy,
+            &job.request.module,
+            job.request.seed,
+            RUN_RANK,
+            &job.stop,
+        )
+    }));
+    let outcome = match result {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            job.slot.fill(skeleton(
+                ResponseStatus::Rejected,
+                Some(format!("search panicked: {message}")),
+            ));
+            return;
+        }
+    };
+    let service_s = start.elapsed().as_secs_f64();
+    shared.budget.charge(outcome.total_lookups() as u64);
+
+    let status = if job.stop.stops(RUN_RANK) {
+        shared.stopped.fetch_add(1, Ordering::Relaxed);
+        ResponseStatus::Stopped
+    } else {
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        ResponseStatus::Completed
+    };
+    let mut response = skeleton(status, None);
+    response.evaluations = outcome.evaluations;
+    response.cache_hits = outcome.cache_hits;
+    response.service_s = service_s;
+    response.outcome = Some(outcome);
+    job.slot.fill(response);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlir_rl_agent::PolicyHyperparams;
+    use mlir_rl_ir::ModuleBuilder;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn policy() -> PolicyNetwork {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        PolicyNetwork::new(
+            EnvConfig::small(),
+            PolicyHyperparams {
+                hidden_size: 16,
+                backbone_layers: 1,
+            },
+            &mut rng,
+        )
+    }
+
+    fn module(size: u64) -> Module {
+        let mut b = ModuleBuilder::new(format!("mm{size}"));
+        let a = b.argument("A", vec![size, size]);
+        let w = b.argument("B", vec![size, size]);
+        let mm = b.matmul(a, w);
+        b.relu(mm);
+        b.finish()
+    }
+
+    #[test]
+    fn greedy_request_round_trips() {
+        let service = OptimizationService::new(ServiceConfig::quick(), policy());
+        let response = service
+            .submit(OptimizationRequest::new(module(64), SearchSpec::Greedy).with_seed(7))
+            .wait();
+        assert_eq!(response.status, ResponseStatus::Completed);
+        let outcome = response.outcome.as_ref().expect("completed");
+        assert!(outcome.speedup > 0.0);
+        assert_eq!(response.evaluations, outcome.evaluations);
+        assert!(response.queue_s >= 0.0 && response.service_s > 0.0);
+        assert!(response.error.is_none());
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.pending, 0);
+    }
+
+    #[test]
+    fn malformed_spec_and_env_are_rejected_not_fatal() {
+        let service = OptimizationService::new(ServiceConfig::quick(), policy());
+        let bad_spec = service
+            .submit(OptimizationRequest::new(module(64), SearchSpec::beam(0)))
+            .wait();
+        assert_eq!(bad_spec.status, ResponseStatus::Rejected);
+        assert!(bad_spec.error.as_ref().unwrap().contains("beam width"));
+        assert!(bad_spec.outcome.is_none());
+
+        let mut bad_env = EnvConfig::small();
+        bad_env.tile_candidates = vec![4, 8];
+        let rejected = service
+            .submit(OptimizationRequest::new(module(64), SearchSpec::Greedy).with_env(bad_env))
+            .wait();
+        assert_eq!(rejected.status, ResponseStatus::Rejected);
+        assert!(rejected.error.as_ref().unwrap().contains("no tiling"));
+
+        // The service survived both and still serves good requests.
+        let ok = service
+            .submit(OptimizationRequest::new(module(64), SearchSpec::Greedy))
+            .wait();
+        assert_eq!(ok.status, ResponseStatus::Completed);
+        assert_eq!(service.stats().rejected, 2);
+    }
+
+    #[test]
+    fn cancelled_while_paused_is_skipped() {
+        let service = OptimizationService::new(ServiceConfig::quick().paused(), policy());
+        let keep = service.submit(OptimizationRequest::new(module(64), SearchSpec::Greedy));
+        let cancel = service.submit(OptimizationRequest::new(module(96), SearchSpec::Greedy));
+        cancel.cancel();
+        assert!(keep.try_response().is_none(), "paused service must not run");
+        service.resume();
+        let kept = keep.wait();
+        let cancelled = cancel.wait();
+        assert_eq!(kept.status, ResponseStatus::Completed);
+        assert_eq!(cancelled.status, ResponseStatus::Skipped);
+        assert!(cancelled
+            .error
+            .as_ref()
+            .unwrap()
+            .contains("cancelled while queued"));
+        assert_eq!(cancelled.total_lookups(), 0);
+    }
+
+    #[test]
+    fn exhausted_budget_skips_consistently() {
+        // Measure one greedy request's spend, then cap the service budget
+        // at exactly that: request 1 completes (admitted below the cap),
+        // requests 2 and 3 are skipped.
+        let probe = OptimizationService::new(ServiceConfig::quick(), policy());
+        let spend = probe
+            .submit(OptimizationRequest::new(module(64), SearchSpec::Greedy).with_seed(3))
+            .wait()
+            .total_lookups() as u64;
+        drop(probe);
+
+        let service = OptimizationService::new(
+            ServiceConfig::quick().with_eval_budget(spend).paused(),
+            policy(),
+        );
+        let pending = service.submit_batch(vec![
+            OptimizationRequest::new(module(64), SearchSpec::Greedy).with_seed(3),
+            OptimizationRequest::new(module(96), SearchSpec::Greedy).with_seed(4),
+            OptimizationRequest::new(module(128), SearchSpec::Greedy).with_seed(5),
+        ]);
+        service.resume();
+        let responses = wait_all(&pending);
+        assert_eq!(responses[0].status, ResponseStatus::Completed);
+        for late in &responses[1..] {
+            assert_eq!(late.status, ResponseStatus::Skipped);
+            assert!(late.error.as_ref().unwrap().contains("budget exhausted"));
+            assert_eq!(late.total_lookups(), 0);
+        }
+        assert!(service.budget().is_exhausted());
+    }
+
+    #[test]
+    fn priorities_order_the_queue_without_changing_outcomes() {
+        // A paused 1-worker service: the high-priority latecomer runs
+        // first. Outcomes are seed-deterministic either way.
+        let service = OptimizationService::new(ServiceConfig::quick().paused(), policy());
+        let low = service.submit(
+            OptimizationRequest::new(module(64), SearchSpec::Greedy)
+                .with_seed(9)
+                .with_priority(-1),
+        );
+        let high = service.submit(
+            OptimizationRequest::new(module(96), SearchSpec::Greedy)
+                .with_seed(9)
+                .with_priority(5),
+        );
+        service.resume();
+        let (low, high) = (low.wait(), high.wait());
+        assert_eq!(low.status, ResponseStatus::Completed);
+        assert_eq!(high.status, ResponseStatus::Completed);
+
+        // Same requests, opposite submission order: identical fingerprints.
+        let service2 = OptimizationService::new(ServiceConfig::quick().paused(), policy());
+        let high2 = service2.submit(
+            OptimizationRequest::new(module(96), SearchSpec::Greedy)
+                .with_seed(9)
+                .with_priority(5),
+        );
+        let low2 = service2.submit(
+            OptimizationRequest::new(module(64), SearchSpec::Greedy)
+                .with_seed(9)
+                .with_priority(-1),
+        );
+        service2.resume();
+        assert_eq!(low.fingerprint(), low2.wait().fingerprint());
+        assert_eq!(high.fingerprint(), high2.wait().fingerprint());
+    }
+
+    #[test]
+    fn env_override_shares_the_persistent_cache() {
+        let service = OptimizationService::new(ServiceConfig::quick(), policy());
+        // A shape-preserving override: a noise stream (searchers reseed it
+        // deterministically from the request seed).
+        let mut override_env = EnvConfig::small();
+        override_env.noise_seed = Some(5);
+        let first = service
+            .submit(
+                OptimizationRequest::new(module(64), SearchSpec::Greedy)
+                    .with_seed(2)
+                    .with_env(override_env.clone()),
+            )
+            .wait();
+        assert_eq!(first.status, ResponseStatus::Completed);
+        // The same override request again: the persistent table answers
+        // (almost) everything.
+        let again = service
+            .submit(
+                OptimizationRequest::new(module(64), SearchSpec::Greedy)
+                    .with_seed(2)
+                    .with_env(override_env),
+            )
+            .wait();
+        assert!(again.cache_hits > 0, "second run must hit the shared table");
+        assert_eq!(first.fingerprint(), again.fingerprint());
+    }
+
+    #[test]
+    fn shape_changing_override_is_rejected_not_fatal() {
+        // A schedule-length change resizes the feature vector the policy
+        // was built for: admission must reject it (previously this
+        // panicked a worker and hung the client).
+        let service = OptimizationService::new(ServiceConfig::quick(), policy());
+        let mut reshaped = EnvConfig::small();
+        reshaped.max_schedule_len = 3;
+        let response = service
+            .submit(OptimizationRequest::new(module(64), SearchSpec::Greedy).with_env(reshaped))
+            .wait();
+        assert_eq!(response.status, ResponseStatus::Rejected);
+        assert!(response.error.as_ref().unwrap().contains("shape"));
+        // The worker is alive and keeps serving.
+        let ok = service
+            .submit(OptimizationRequest::new(module(64), SearchSpec::Greedy))
+            .wait();
+        assert_eq!(ok.status, ResponseStatus::Completed);
+    }
+
+    #[test]
+    fn drop_drains_the_queue() {
+        let mut service = OptimizationService::new(ServiceConfig::quick().paused(), policy());
+        let pending = service.submit_batch(vec![
+            OptimizationRequest::new(module(64), SearchSpec::Greedy),
+            OptimizationRequest::new(module(96), SearchSpec::beam(2)),
+        ]);
+        // Shut down while paused: every queued request is still answered.
+        service.shutdown();
+        for p in &pending {
+            assert!(p.try_response().is_some(), "shutdown must drain the queue");
+        }
+    }
+}

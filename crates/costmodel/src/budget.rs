@@ -50,6 +50,26 @@ impl EvalBudget {
             .saturating_add(amount)
     }
 
+    /// The admission hook: atomically charges `amount` **only if** the
+    /// ledger has not yet reached its cap, returning the total spend after
+    /// the charge, or `Err` with the current spend when the ledger was
+    /// already exhausted. Unlike [`EvalBudget::charge`], two racing
+    /// admitters cannot both slip past an exhausted cap — at most the
+    /// admissions that observed spend below the cap go through (the last
+    /// admitted spender may still overshoot, matching `charge` semantics).
+    /// `try_admit(0)` is a pure gate: it charges nothing and reports
+    /// whether a new spender would currently be admitted.
+    pub fn try_admit(&self, amount: u64) -> Result<u64, u64> {
+        match self
+            .spent
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |spent| {
+                (spent < self.cap || self.cap == u64::MAX).then(|| spent.saturating_add(amount))
+            }) {
+            Ok(before) => Ok(before.saturating_add(amount)),
+            Err(spent) => Err(spent),
+        }
+    }
+
     /// Total units charged so far, across every clone of the ledger.
     pub fn spent(&self) -> u64 {
         self.spent.load(Ordering::Relaxed)
@@ -100,6 +120,23 @@ mod tests {
         assert_eq!(ledger.remaining(), Some(0));
         assert!(ledger.same_ledger(&clone));
         assert!(!ledger.same_ledger(&EvalBudget::limited(10)));
+    }
+
+    #[test]
+    fn try_admit_gates_at_the_cap() {
+        let ledger = EvalBudget::limited(10);
+        assert_eq!(ledger.try_admit(6), Ok(6));
+        // Spend is below the cap, so the next admitter may still overshoot
+        // (charge semantics) ...
+        assert_eq!(ledger.try_admit(8), Ok(14));
+        // ... but once at/over the cap nobody else is admitted, even for 0.
+        assert_eq!(ledger.try_admit(1), Err(14));
+        assert_eq!(ledger.try_admit(0), Err(14));
+        assert_eq!(ledger.spent(), 14);
+        // The unlimited ledger admits forever.
+        let open = EvalBudget::unlimited();
+        assert_eq!(open.try_admit(u64::MAX / 2), Ok(u64::MAX / 2));
+        assert!(open.try_admit(0).is_ok());
     }
 
     #[test]

@@ -297,6 +297,18 @@ impl EvalCache {
         }
     }
 
+    /// A cache whose lookups go through an existing thread-shared table —
+    /// how a *freshly constructed* environment joins a table other
+    /// environments already share (e.g. a service worker building a
+    /// per-request environment override while keeping the service's one
+    /// persistent cache). Equivalent to cloning an environment that was put
+    /// in shared mode, but usable when the configurations differ.
+    pub fn with_shared_backend(backend: SharedEvalCache) -> Self {
+        let mut cache = Self::new(DEFAULT_EVAL_CACHE_CAPACITY);
+        cache.backend = Some(backend);
+        cache
+    }
+
     /// Converts this cache to the thread-shared sharded backend, migrating
     /// every memoized entry, and returns a handle to the shared table.
     /// Idempotent: a cache already in shared mode just returns its handle.

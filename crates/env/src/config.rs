@@ -126,22 +126,42 @@ impl EnvConfig {
         + self.max_schedule_len * self.max_loops * self.max_loops
     }
 
+    /// Validates internal consistency without panicking, returning a
+    /// human-readable description of the first problem found. Request
+    /// admission uses this so a malformed per-request configuration is
+    /// rejected as a response error instead of killing the serving process;
+    /// [`EnvConfig::validate`] is the panicking wrapper construction paths
+    /// keep using.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.tile_candidates.is_empty() {
+            return Err("tile candidate list must not be empty".to_string());
+        }
+        if self.tile_candidates[0] != 0 {
+            return Err(format!(
+                "tile candidate 0 must be `no tiling` (got {})",
+                self.tile_candidates[0]
+            ));
+        }
+        if self.max_loops < 1 {
+            return Err("at least one loop level is required".to_string());
+        }
+        if self.max_schedule_len < 1 {
+            return Err("schedule length must be >= 1".to_string());
+        }
+        Ok(())
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
     ///
-    /// Panics if the tile candidate list is empty or does not start with 0.
+    /// Panics if [`EnvConfig::try_validate`] finds a problem (empty tile
+    /// candidate list, missing leading 0 tile, zero loops or schedule
+    /// length).
     pub fn validate(&self) {
-        assert!(
-            !self.tile_candidates.is_empty(),
-            "tile candidate list must not be empty"
-        );
-        assert_eq!(
-            self.tile_candidates[0], 0,
-            "tile candidate 0 must be `no tiling`"
-        );
-        assert!(self.max_loops >= 1, "at least one loop level is required");
-        assert!(self.max_schedule_len >= 1, "schedule length must be >= 1");
+        if let Err(problem) = self.try_validate() {
+            panic!("invalid EnvConfig: {problem}");
+        }
     }
 }
 
@@ -185,6 +205,22 @@ mod tests {
         let mut c = EnvConfig::small();
         c.tile_candidates = vec![4, 8];
         c.validate();
+    }
+
+    #[test]
+    fn try_validate_reports_instead_of_panicking() {
+        assert_eq!(EnvConfig::small().try_validate(), Ok(()));
+        let mut c = EnvConfig::small();
+        c.tile_candidates = vec![4, 8];
+        assert!(c.try_validate().unwrap_err().contains("no tiling"));
+        c.tile_candidates = Vec::new();
+        assert!(c.try_validate().unwrap_err().contains("empty"));
+        let mut c = EnvConfig::small();
+        c.max_loops = 0;
+        assert!(c.try_validate().unwrap_err().contains("loop level"));
+        let mut c = EnvConfig::small();
+        c.max_schedule_len = 0;
+        assert!(c.try_validate().unwrap_err().contains("schedule length"));
     }
 
     #[test]

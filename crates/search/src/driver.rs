@@ -7,7 +7,49 @@ use mlir_rl_env::OptimizationEnv;
 use mlir_rl_ir::Module;
 
 use crate::portfolio::Portfolio;
-use crate::searcher::{MemberStatus, SearchOutcome, Searcher};
+use crate::searcher::{MemberStatus, SearchOutcome, Searcher, StopToken};
+
+/// One unit of work for [`SearchDriver::run_jobs`]: a module, the searcher
+/// to run on it, the search seed, and an optional racing/cancellation stop
+/// token with the rank the search runs at. This is the driver's most
+/// general interface — the serving layer maps each queued request to one
+/// job, so a batch run really is just N requests on one shared cache; the
+/// homogeneous [`SearchDriver::run`] entry point builds its jobs from a
+/// single searcher and per-index seeds.
+pub struct SearchJob<'a, P: PolicyModel> {
+    /// Module to optimize.
+    pub module: &'a Module,
+    /// Searcher to run.
+    pub searcher: &'a (dyn Searcher<P> + 'a),
+    /// Search seed (the determinism contract is per-job: same module,
+    /// searcher, policy and seed ⇒ same outcome, any worker count).
+    pub seed: u64,
+    /// Cooperative early-stop token and the rank this job checks it at
+    /// (`None` runs to completion unconditionally).
+    pub stop: Option<(&'a StopToken, usize)>,
+}
+
+impl<'a, P: PolicyModel> SearchJob<'a, P> {
+    /// A plain run-to-completion job.
+    pub fn new(module: &'a Module, searcher: &'a (dyn Searcher<P> + 'a), seed: u64) -> Self {
+        Self {
+            module,
+            searcher,
+            seed,
+            stop: None,
+        }
+    }
+
+    fn run(&self, env: &mut OptimizationEnv, policy: &mut P) -> SearchOutcome {
+        match self.stop {
+            Some((stop, rank)) => {
+                self.searcher
+                    .search_with_stop(env, policy, self.module, self.seed, rank, stop)
+            }
+            None => self.searcher.search(env, policy, self.module, self.seed),
+        }
+    }
+}
 
 /// Fans a batch of modules out over worker threads, each running the same
 /// [`Searcher`] with its own environment handle and policy snapshot —
@@ -58,25 +100,46 @@ impl SearchDriver {
         P: PolicyModel,
         S: Searcher<P> + ?Sized,
     {
+        let jobs: Vec<SearchJob<P>> = modules
+            .iter()
+            .enumerate()
+            .map(|(index, module)| {
+                SearchJob::new(
+                    module,
+                    &searcher,
+                    episode_seed(self.base_seed, index as u64),
+                )
+            })
+            .collect();
+        self.run_jobs(env_template, policy, &jobs)
+    }
+
+    /// Runs an arbitrary list of [`SearchJob`]s — possibly every one with a
+    /// different searcher, module and seed — over the worker threads,
+    /// returning outcomes in job order plus the batch-wide shared-cache
+    /// accounting. The determinism contract of [`SearchDriver::run`] holds
+    /// per job: outcomes are bit-for-bit identical for any worker count
+    /// (only cache hit/miss *counts* shift with table warmth).
+    pub fn run_jobs<P: PolicyModel>(
+        &self,
+        env_template: &OptimizationEnv,
+        policy: &P,
+        jobs: &[SearchJob<P>],
+    ) -> BatchSearchReport {
         let start = Instant::now();
         let mut master = env_template.clone();
         let shared = master.enable_shared_cache();
         let hits_before = shared.hits();
         let misses_before = shared.misses();
 
-        let n = modules.len();
+        let n = jobs.len();
         let workers = self.workers.min(n.max(1));
         let mut slots: Vec<Option<SearchOutcome>> = (0..n).map(|_| None).collect();
 
         if workers <= 1 {
             let mut policy = policy.clone();
-            for (index, slot) in slots.iter_mut().enumerate() {
-                *slot = Some(searcher.search(
-                    &mut master,
-                    &mut policy,
-                    &modules[index],
-                    episode_seed(self.base_seed, index as u64),
-                ));
+            for (job, slot) in jobs.iter().zip(slots.iter_mut()) {
+                *slot = Some(job.run(&mut master, &mut policy));
             }
         } else {
             std::thread::scope(|scope| {
@@ -84,19 +147,13 @@ impl SearchDriver {
                 for worker in 0..workers {
                     let mut worker_env = master.clone();
                     let mut worker_policy = policy.clone();
-                    let base_seed = self.base_seed;
                     handles.push(scope.spawn(move || {
                         let mut collected = Vec::new();
                         let mut index = worker;
                         while index < n {
                             collected.push((
                                 index,
-                                searcher.search(
-                                    &mut worker_env,
-                                    &mut worker_policy,
-                                    &modules[index],
-                                    episode_seed(base_seed, index as u64),
-                                ),
+                                jobs[index].run(&mut worker_env, &mut worker_policy),
                             ));
                             index += workers;
                         }
@@ -114,7 +171,7 @@ impl SearchDriver {
         BatchSearchReport {
             outcomes: slots
                 .into_iter()
-                .map(|o| o.expect("every module was assigned to a worker"))
+                .map(|o| o.expect("every job was assigned to a worker"))
                 .collect(),
             shared_cache_hits: shared.hits() - hits_before,
             shared_cache_misses: shared.misses() - misses_before,

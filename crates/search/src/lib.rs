@@ -37,7 +37,12 @@
 //!   over worker threads, all sharing one evaluation cache. Outcomes are
 //!   bit-for-bit identical for any worker count (per-module seeds; cached
 //!   values are deterministic), so the worker count is purely a throughput
-//!   knob.
+//!   knob. Its general form, [`SearchDriver::run_jobs`], runs a
+//!   heterogeneous [`SearchJob`] list — the engine the serving layer's
+//!   request batches sit on.
+//! * [`SearchSpec`] — the declarative, owned description of a searcher
+//!   (greedy / beam / MCTS / random / a portfolio roster) that serving
+//!   requests carry and workers [`SearchSpec::build`] on their own threads.
 //!
 //! ## Example
 //!
@@ -82,15 +87,17 @@ pub mod mcts;
 pub mod portfolio;
 pub mod random;
 pub mod searcher;
+pub mod spec;
 
 pub use baseline::BaselineSearcher;
 pub use beam::BeamSearch;
-pub use driver::{BatchSearchReport, MemberAggregate, SearchDriver};
+pub use driver::{BatchSearchReport, MemberAggregate, SearchDriver, SearchJob};
 pub use greedy::GreedyPolicy;
 pub use mcts::{Mcts, MctsConfig};
 pub use portfolio::{Portfolio, PortfolioMode};
 pub use random::{random_action, RandomSearch};
 pub use searcher::{MemberOutcome, MemberStatus, SearchOutcome, Searcher, StopToken};
+pub use spec::SearchSpec;
 
 #[cfg(test)]
 mod tests {

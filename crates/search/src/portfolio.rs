@@ -39,7 +39,7 @@ use mlir_rl_ir::Module;
 use crate::searcher::{MemberOutcome, MemberStatus, SearchOutcome, Searcher, StopToken};
 
 /// How a [`Portfolio`] executes its roster.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum PortfolioMode {
     /// Members run serially on one environment handle, sharing its cache
     /// and a common eval-budget ledger.

@@ -202,6 +202,37 @@ pub trait Searcher<P: PolicyModel>: Send + Sync {
     }
 }
 
+/// A reference to a searcher searches like the searcher itself — lets
+/// unsized searchers (`&dyn Searcher<P>`) be handed to APIs that need a
+/// sized implementor, e.g. [`crate::SearchJob`] construction.
+impl<P: PolicyModel, S: Searcher<P> + ?Sized> Searcher<P> for &S {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn search(
+        &self,
+        env: &mut OptimizationEnv,
+        policy: &mut P,
+        module: &Module,
+        seed: u64,
+    ) -> SearchOutcome {
+        (**self).search(env, policy, module, seed)
+    }
+
+    fn search_with_stop(
+        &self,
+        env: &mut OptimizationEnv,
+        policy: &mut P,
+        module: &Module,
+        seed: u64,
+        rank: usize,
+        stop: &StopToken,
+    ) -> SearchOutcome {
+        (**self).search_with_stop(env, policy, module, seed, rank, stop)
+    }
+}
+
 /// Upper bound on episode length (guards against malformed modules), the
 /// same bound the rollout engine uses.
 pub(crate) fn max_episode_steps(env: &OptimizationEnv, module: &Module) -> usize {

@@ -1,22 +1,32 @@
-//! Portfolio-optimize the DL-operator evaluation workloads: train a quick
-//! policy, then run a roster of searchers (greedy decode, beam,
-//! progressively-widened MCTS, random) as one `Portfolio` — round-robin on
-//! a shared evaluation cache, and racing with a target speedup where the
-//! first member past the target ends the race.
+//! Portfolio-optimize the DL-operator evaluation workloads through the
+//! request/response service API: train a quick policy, spawn an
+//! `OptimizationService`, and submit one `SearchSpec::Portfolio` request
+//! per workload — the whole roster (greedy decode, beam,
+//! progressively-widened MCTS, random) runs per request on the service's
+//! one persistent evaluation cache, round-robin first and then racing with
+//! a target speedup where the first member past the target ends the race.
 //!
 //! Run with `cargo run --release --example portfolio_search`.
 
-use mlir_rl_core::{MlirRlOptimizer, OptimizerConfig};
-use mlir_rl_search::{BeamSearch, GreedyPolicy, Mcts, Portfolio, RandomSearch};
+use mlir_rl_core::{MlirRlOptimizer, OptimizationRequest, OptimizerConfig};
+use mlir_rl_search::{PortfolioMode, SearchSpec};
 use mlir_rl_workloads::dl_ops;
 
-fn roster(
-    base: Portfolio<mlir_rl_agent::PolicyNetwork>,
-) -> Portfolio<mlir_rl_agent::PolicyNetwork> {
-    base.with_member(GreedyPolicy)
-        .with_member(BeamSearch::new(4))
-        .with_member(Mcts::new(48).with_progressive_widening(1.0, 0.6))
-        .with_member(RandomSearch::new(24))
+fn roster(mode: PortfolioMode) -> SearchSpec {
+    SearchSpec::Portfolio {
+        members: vec![
+            SearchSpec::Greedy,
+            SearchSpec::beam(4),
+            SearchSpec::Mcts {
+                iterations: 48,
+                branch: 4,
+                widening: Some((1.0, 0.6)),
+            },
+            SearchSpec::random(24),
+        ],
+        mode,
+        budget: None,
+    }
 }
 
 fn main() {
@@ -30,34 +40,71 @@ fn main() {
         .map(|(_, m)| m)
         .collect();
     let workers = mlir_rl_agent::default_rollout_workers();
+    let service = optimizer.spawn_service(workers);
     println!(
-        "\nportfolio-optimizing {} workloads over {workers} worker(s):\n",
+        "\nserving {} portfolio requests over {workers} worker(s):\n",
         workloads.len()
     );
 
-    for portfolio in [
-        roster(Portfolio::round_robin()),
-        roster(Portfolio::racing(8.0)),
+    for mode in [
+        PortfolioMode::RoundRobin,
+        PortfolioMode::Racing {
+            target_speedup: 8.0,
+        },
     ] {
-        let report = optimizer.optimize_portfolio_batch(&workloads, &portfolio, workers);
-        println!(
-            "  {:<18} geomean speedup {:>6.2}x | {:>6} cost-model evals | shared-cache hit-rate {:>5.1}% | {:.2}s",
-            format!("{:?}", portfolio.mode()),
-            report.geomean_speedup(),
-            report.total_evaluations(),
-            report.shared_cache_hit_rate() * 100.0,
-            report.wall_s,
+        let spec = roster(mode);
+        let pending = service.submit_batch(
+            workloads
+                .iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    OptimizationRequest::new(m.clone(), spec.clone()).with_seed(500 + i as u64)
+                })
+                .collect(),
         );
-        for member in report.member_attribution() {
+        let responses = mlir_rl_core::wait_all(&pending);
+
+        // Aggregate speedups and per-member attribution from the
+        // responses' portfolio outcomes.
+        let geomean = (responses
+            .iter()
+            .map(|r| r.speedup().max(1e-12).ln())
+            .sum::<f64>()
+            / responses.len() as f64)
+            .exp();
+        let evaluations: usize = responses.iter().map(|r| r.evaluations).sum();
+        let lookups: usize = responses.iter().map(|r| r.total_lookups()).sum();
+        println!(
+            "  {:<18} geomean speedup {:>6.2}x | {:>6} cost-model evals | request hit-rate {:>5.1}% | mean service {:>6.1}ms",
+            format!("{mode:?}"),
+            geomean,
+            evaluations,
+            100.0 * (lookups - evaluations) as f64 / lookups.max(1) as f64,
+            1e3 * responses.iter().map(|r| r.service_s).sum::<f64>() / responses.len() as f64,
+        );
+        for rank in 0..4 {
+            let rows: Vec<_> = responses
+                .iter()
+                .filter_map(|r| r.outcome.as_ref())
+                .filter_map(|o| o.members.iter().find(|m| m.rank == rank))
+                .collect();
             println!(
-                "    rank {} {:<14} wins {:>2}  reached-target {:>2}  evals {:>6}",
-                member.rank, member.member, member.wins, member.reached_target, member.evaluations,
+                "    rank {rank} {:<14} wins {:>2}  reached-target {:>2}  evals {:>6}",
+                rows.first().map(|m| m.member.as_str()).unwrap_or("-"),
+                rows.iter().filter(|m| m.winner).count(),
+                rows.iter().filter(|m| m.reached_target).count(),
+                rows.iter().map(|m| m.evaluations).sum::<usize>(),
             );
         }
     }
-    println!("\nevery member scores schedules through one shared cache, so the");
-    println!("portfolio reaches the best-of-members schedule for less estimator");
-    println!("spend than running the members independently; racing ends each");
-    println!("module's search as soon as the lowest-ranked member past the");
-    println!("target finishes (deterministically — see the crate docs).");
+    let stats = service.stats();
+    println!(
+        "\nservice lifetime: {} completed requests, shared-cache hit-rate {:.1}%;",
+        stats.completed,
+        stats.cache_hit_rate() * 100.0
+    );
+    println!("every member of every request scores schedules through the service's");
+    println!("one persistent cache, so requests warm each other up — and racing ends");
+    println!("each request's roster as soon as the lowest-ranked member past the");
+    println!("target finishes (deterministically — see the service docs).");
 }

@@ -1,0 +1,296 @@
+//! The service-API determinism battery: the same request set, submitted in
+//! shuffled orders to services with 1/2/4 workers, must produce
+//! bitwise-identical responses (the deterministic response fields — status,
+//! outcome estimates, action sequences, schedules — not the warmth- and
+//! load-dependent accounting counts); budget-exhausted and cancelled
+//! requests report `Skipped`/`Stopped` consistently with the portfolio
+//! `MemberStatus` semantics.
+
+use mlir_rl::agent::{PolicyHyperparams, PolicyNetwork};
+use mlir_rl::env::EnvConfig;
+use mlir_rl::ir::{Module, ModuleBuilder};
+use mlir_rl::search::SearchSpec;
+use mlir_rl::{
+    wait_all, MlirRlOptimizer, OptimizationRequest, OptimizationService, OptimizerConfig,
+    ResponseStatus, ServiceConfig,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn policy(seed: u64) -> PolicyNetwork {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    PolicyNetwork::new(
+        EnvConfig::small(),
+        PolicyHyperparams {
+            hidden_size: 16,
+            backbone_layers: 1,
+        },
+        &mut rng,
+    )
+}
+
+fn chain(m: u64, n: u64, k: u64) -> Module {
+    let mut b = ModuleBuilder::new(format!("chain_{m}x{n}x{k}"));
+    let a = b.argument("A", vec![m, k]);
+    let w = b.argument("B", vec![k, n]);
+    let mm = b.matmul(a, w);
+    b.relu(mm);
+    b.finish()
+}
+
+/// A mixed request set exercising every spec variant, with fixed seeds.
+fn request_set() -> Vec<OptimizationRequest> {
+    let modules = [chain(64, 64, 64), chain(128, 64, 32), chain(96, 48, 64)];
+    let specs = [
+        SearchSpec::Greedy,
+        SearchSpec::beam(3),
+        SearchSpec::Mcts {
+            iterations: 6,
+            branch: 2,
+            widening: Some((1.0, 0.6)),
+        },
+        SearchSpec::random(3),
+        SearchSpec::round_robin(vec![SearchSpec::Greedy, SearchSpec::beam(2)]),
+        SearchSpec::racing(vec![SearchSpec::Greedy, SearchSpec::beam(2)], 0.0),
+    ];
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            OptimizationRequest::new(modules[i % modules.len()].clone(), spec.clone())
+                .with_seed(1000 + i as u64)
+                .with_priority((i % 3) as i32)
+        })
+        .collect()
+}
+
+/// The deterministic outcome fields: baseline/best/speedup bits, the action
+/// sequence and the node count.
+type OutcomeBits = (u64, u64, u64, String, usize);
+
+/// Everything the determinism guarantee covers, extracted from a response.
+fn deterministic_fields(
+    response: &mlir_rl::OptimizationResponse,
+) -> (String, String, ResponseStatus, Option<OutcomeBits>, u64) {
+    (
+        response.module.clone(),
+        response.searcher.clone(),
+        response.status,
+        response.outcome.as_ref().map(|o| {
+            (
+                o.baseline_s.to_bits(),
+                o.best_s.to_bits(),
+                o.speedup.to_bits(),
+                format!("{:?}", o.best_actions),
+                o.nodes_expanded,
+            )
+        }),
+        response.fingerprint(),
+    )
+}
+
+#[test]
+fn responses_are_identical_across_worker_counts_and_submission_orders() {
+    let requests = request_set();
+    let n = requests.len();
+    // Three submission orders: as-built, reversed, and an interleave.
+    let orders: Vec<Vec<usize>> = vec![
+        (0..n).collect(),
+        (0..n).rev().collect(),
+        (0..n).map(|i| (i * 5 + 2) % n).collect(),
+    ];
+    assert!(orders.iter().all(|o| {
+        let mut sorted = o.clone();
+        sorted.sort_unstable();
+        sorted == (0..n).collect::<Vec<_>>()
+    }));
+
+    let mut reference: Option<Vec<_>> = None;
+    for workers in [1usize, 2, 4] {
+        for order in &orders {
+            let service =
+                OptimizationService::new(ServiceConfig::quick().with_workers(workers), policy(7));
+            let pending: Vec<_> = order
+                .iter()
+                .map(|&i| service.submit(requests[i].clone()))
+                .collect();
+            let mut fields = vec![None; n];
+            for (&i, p) in order.iter().zip(&pending) {
+                fields[i] = Some(deterministic_fields(&p.wait()));
+            }
+            let fields: Vec<_> = fields.into_iter().map(Option::unwrap).collect();
+            match &reference {
+                None => reference = Some(fields),
+                Some(reference) => assert_eq!(
+                    reference, &fields,
+                    "responses diverged at {workers} workers, order {order:?}"
+                ),
+            }
+        }
+    }
+    // Every request completed (valid specs, no budget, no cancellation).
+    for fields in reference.expect("at least one run") {
+        assert_eq!(fields.2, ResponseStatus::Completed);
+        assert!(fields.3.is_some());
+    }
+}
+
+#[test]
+fn budget_exhaustion_skips_like_member_status_semantics() {
+    // Measure the first request's spend, then cap a fresh service there:
+    // with one worker and a paused start, request order is deterministic,
+    // so exactly the later requests are skipped — the request-level
+    // analogue of the round-robin portfolio's budget-skipped members.
+    let requests: Vec<OptimizationRequest> = [64u64, 96, 128]
+        .iter()
+        .map(|&s| OptimizationRequest::new(chain(s, s, s), SearchSpec::Greedy).with_seed(5))
+        .collect();
+    let probe = OptimizationService::new(ServiceConfig::quick(), policy(9));
+    let first_spend = probe.submit(requests[0].clone()).wait().total_lookups() as u64;
+    drop(probe);
+
+    for _ in 0..2 {
+        // Twice: the skip pattern itself is reproducible.
+        let service = OptimizationService::new(
+            ServiceConfig::quick()
+                .with_eval_budget(first_spend)
+                .paused(),
+            policy(9),
+        );
+        let pending = service.submit_batch(requests.clone());
+        service.resume();
+        let responses = wait_all(&pending);
+        assert_eq!(responses[0].status, ResponseStatus::Completed);
+        for skipped in &responses[1..] {
+            // Skipped == never ran: no outcome, zero accounting, a reason.
+            assert_eq!(skipped.status, ResponseStatus::Skipped);
+            assert!(skipped.outcome.is_none());
+            assert_eq!(skipped.total_lookups(), 0);
+            assert!(skipped.error.as_ref().unwrap().contains("budget"));
+        }
+        assert_eq!(service.stats().skipped, 2);
+    }
+}
+
+#[test]
+fn cancellation_reports_skipped_or_stopped_never_a_lie() {
+    // Cancelled while queued (deterministic via the paused service):
+    // Skipped, zero accounting.
+    let service = OptimizationService::new(ServiceConfig::quick().paused(), policy(3));
+    let cancelled = service
+        .submit(OptimizationRequest::new(chain(64, 64, 64), SearchSpec::random(50)).with_seed(2));
+    cancelled.cancel();
+    service.resume();
+    let response = cancelled.wait();
+    assert_eq!(response.status, ResponseStatus::Skipped);
+    assert!(response.error.as_ref().unwrap().contains("cancelled"));
+    assert_eq!(response.total_lookups(), 0);
+    assert!(response.outcome.is_none());
+
+    // Cancelled mid-run (inherently racy, so accept each legal landing
+    // spot and assert its *semantics*): Stopped must carry a valid
+    // best-so-far with no more work than the uncancelled run; Completed
+    // must be bitwise the uncancelled outcome; Skipped must be empty.
+    let uncancelled = OptimizationService::new(ServiceConfig::quick(), policy(3))
+        .submit(OptimizationRequest::new(chain(64, 64, 64), SearchSpec::random(50)).with_seed(2))
+        .wait();
+    let full = uncancelled.outcome.as_ref().expect("uncancelled completes");
+    let service = OptimizationService::new(ServiceConfig::quick(), policy(3));
+    let pending = service
+        .submit(OptimizationRequest::new(chain(64, 64, 64), SearchSpec::random(50)).with_seed(2));
+    pending.cancel();
+    let raced = pending.wait();
+    match raced.status {
+        ResponseStatus::Skipped => {
+            assert!(raced.outcome.is_none());
+            assert_eq!(raced.total_lookups(), 0);
+        }
+        ResponseStatus::Stopped => {
+            let partial = raced.outcome.as_ref().expect("stopped keeps best-so-far");
+            assert!(partial.nodes_expanded <= full.nodes_expanded);
+            assert!(
+                partial.speedup >= 1.0 - 1e-12,
+                "baseline bounds best-so-far"
+            );
+        }
+        ResponseStatus::Completed => {
+            assert_eq!(raced.fingerprint(), uncancelled.fingerprint());
+        }
+        ResponseStatus::Rejected => panic!("a valid request is never rejected"),
+    }
+}
+
+#[test]
+fn rejected_requests_answer_with_errors_and_service_survives() {
+    let service = OptimizationService::new(ServiceConfig::quick(), policy(11));
+    let mut bad_env = EnvConfig::small();
+    bad_env.max_schedule_len = 0;
+    let responses = wait_all(&service.submit_batch(vec![
+        OptimizationRequest::new(chain(64, 64, 64), SearchSpec::round_robin(Vec::new())),
+        OptimizationRequest::new(chain(64, 64, 64), SearchSpec::Greedy).with_env(bad_env),
+        OptimizationRequest::new(chain(64, 64, 64), SearchSpec::Greedy).with_seed(1),
+    ]));
+    assert_eq!(responses[0].status, ResponseStatus::Rejected);
+    assert!(responses[0].error.as_ref().unwrap().contains("roster"));
+    assert_eq!(responses[1].status, ResponseStatus::Rejected);
+    assert!(responses[1]
+        .error
+        .as_ref()
+        .unwrap()
+        .contains("schedule length"));
+    assert_eq!(responses[2].status, ResponseStatus::Completed);
+    let stats = service.stats();
+    assert_eq!(stats.rejected, 2);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn portfolio_spec_requests_carry_member_attribution() {
+    let service = OptimizationService::new(ServiceConfig::quick(), policy(13));
+    let response = service
+        .submit(
+            OptimizationRequest::new(
+                chain(96, 48, 64),
+                SearchSpec::round_robin(vec![
+                    SearchSpec::Greedy,
+                    SearchSpec::beam(2),
+                    SearchSpec::random(2),
+                ]),
+            )
+            .with_seed(21),
+        )
+        .wait();
+    assert_eq!(response.status, ResponseStatus::Completed);
+    assert_eq!(response.searcher, "portfolio-rr-3");
+    let outcome = response.outcome.expect("completed");
+    assert_eq!(outcome.members.len(), 3);
+    assert_eq!(outcome.members.iter().filter(|m| m.winner).count(), 1);
+    // The greedy-seeded roster is never worse than its greedy member.
+    assert!(outcome.speedup >= outcome.members[0].speedup);
+}
+
+#[test]
+fn facade_wrappers_share_the_service_cache() {
+    let mut opt = MlirRlOptimizer::new(OptimizerConfig::quick());
+    let module = chain(64, 64, 64);
+    // Warm through a deprecated wrapper...
+    let wrapped = opt.optimize(&module);
+    assert!(wrapped.speedup > 0.0);
+    // ...then a direct request for the same module mostly hits the same
+    // persistent table.
+    let response = opt
+        .submit(OptimizationRequest::new(module.clone(), SearchSpec::Greedy).with_seed(77))
+        .wait();
+    assert_eq!(response.status, ResponseStatus::Completed);
+    assert!(
+        response.cache_hits > 0,
+        "facade warmth must serve direct requests"
+    );
+    // And a spawned standalone service joins the same table too.
+    let service = opt.spawn_service(2);
+    let standalone = service
+        .submit(OptimizationRequest::new(module, SearchSpec::Greedy).with_seed(77))
+        .wait();
+    assert!(standalone.cache_hits > 0, "spawned service joins the table");
+    assert_eq!(standalone.fingerprint(), response.fingerprint());
+}
