@@ -1,0 +1,43 @@
+//! Prints the open-loop traffic-hardening experiment: a deterministic
+//! arrival process (a back-to-back burst larger than the queue bound, then
+//! heavy-tailed pacing, mixing every `SearchSpec` variant across weighted
+//! client lanes) replayed against a hardened `OptimizationService`
+//! (bounded queue, per-client quotas, weighted fair scheduling) and, for
+//! the memory comparison, against an unbounded-queue service. Reports
+//! p50/p99 queue and service latency next to the geomean speedup, the
+//! overflow/quota counters, and the bounded-vs-unbounded queue high-water
+//! marks.
+//!
+//! Scale with `MLIR_RL_SCALE` (`smoke` / `standard` / `full`) or pass
+//! `--smoke`; worker count with `MLIR_RL_WORKERS` (default: available
+//! parallelism). Pass `--json` for a machine-readable record.
+
+use mlir_rl_bench::{load_test, ExperimentScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        ExperimentScale::smoke()
+    } else {
+        ExperimentScale::from_env()
+    };
+    let workers = std::env::var("MLIR_RL_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(mlir_rl_agent::default_rollout_workers)
+        .max(1);
+    let report = load_test(&scale, workers);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+    assert!(
+        report.metrics.queue_p99_s > 0.0 && report.metrics.service_p99_s > 0.0,
+        "latency histograms must be populated"
+    );
+    assert!(
+        report.metrics.queue_high_water <= report.queue_capacity as u64,
+        "bounded queue must stay flat under the burst"
+    );
+}

@@ -12,7 +12,7 @@
 #![warn(missing_docs)]
 
 use std::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mlir_rl_agent::{
     collect_rollouts, FlatPolicyNetwork, PolicyHyperparams, PpoConfig, PpoTrainer, ValueNetwork,
@@ -23,7 +23,8 @@ use mlir_rl_baselines::{
 use mlir_rl_core::report::json;
 use mlir_rl_core::{
     wait_all, Figure, MlirRlOptimizer, OptimizationRequest, OptimizationResponse,
-    OptimizationService, OptimizerConfig, ResponseStatus, Series, ServiceConfig, SpeedupTable,
+    OptimizationService, OptimizerConfig, ResponseStatus, Series, ServiceConfig, ServiceMetrics,
+    SpeedupTable,
 };
 use mlir_rl_costmodel::{median, CostModel, MachineModel};
 use mlir_rl_env::{ActionSpaceMode, EnvConfig, InterchangeMode, OptimizationEnv, RewardMode};
@@ -1388,13 +1389,7 @@ pub fn service_throughput(scale: &ExperimentScale, workers: usize) -> ServiceRep
     );
 
     // --- cold: a fresh service (fresh cache) per request ---------------
-    let service_config = ServiceConfig {
-        env: EnvConfig::small(),
-        machine: MachineModel::xeon_e5_2680_v4(),
-        workers: 1,
-        eval_budget: None,
-        start_paused: false,
-    };
+    let service_config = ServiceConfig::quick();
     let start = Instant::now();
     let cold_responses: Vec<OptimizationResponse> = stream
         .iter()
@@ -1440,6 +1435,316 @@ pub fn service_throughput(scale: &ExperimentScale, workers: usize) -> ServiceRep
         cold,
         statuses,
         determinism_invariant,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// exp_load — open-loop traffic hardening: deterministic bursty/heavy-tailed
+// arrivals against a bounded-queue hardened service (quotas, weights,
+// backpressure) vs an unbounded queue, with tail latency next to speedup.
+// ---------------------------------------------------------------------------
+
+/// The `exp_load` report: a deterministic open-loop arrival process — a
+/// back-to-back burst followed by heavy-tailed paced arrivals, mixing every
+/// [`SearchSpec`] variant across weighted clients — replayed against a
+/// hardened bounded-queue service (and, for the memory comparison, against
+/// an unbounded-queue service), reporting p50/p99 queue and service
+/// latency next to the geomean speedup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Distinct workload modules in the stream.
+    pub modules: usize,
+    /// Requests in the replayed arrival stream.
+    pub requests: usize,
+    /// Arrivals submitted back-to-back at the head of the stream.
+    pub burst: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Queue bound of the hardened service (deliberately smaller than the
+    /// burst, so backpressure engages).
+    pub queue_capacity: usize,
+    /// Wall-clock seconds replaying the stream against the bounded
+    /// service.
+    pub wall_s: f64,
+    /// Statuses of the bounded run
+    /// `(completed, stopped, skipped, rejected)`.
+    pub statuses: (usize, usize, usize, usize),
+    /// Geometric mean speedup over the bounded run's completed requests.
+    pub geomean_speedup: f64,
+    /// Bounded-run metrics snapshot: latency quantiles, admission /
+    /// overflow / quota counters, queue high-water mark, cache hit-rate.
+    pub metrics: ServiceMetrics,
+    /// Queue high-water mark of the unbounded service replaying the same
+    /// arrivals — the memory the bounded queue refuses to grow.
+    pub unbounded_high_water: u64,
+}
+
+impl LoadReport {
+    /// Requests answered per wall-clock second in the bounded run.
+    pub fn requests_per_sec(&self) -> f64 {
+        self.requests as f64 / self.wall_s.max(1e-9)
+    }
+
+    /// Machine-readable record of the run (one JSON object). The p50/p99
+    /// latency fields are surfaced at the top level (in addition to the
+    /// nested metrics snapshot) so CI can assert on them directly.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        json::field(&mut out, 1, "experiment", json::string("exp_load"));
+        out.push_str(",\n");
+        for (key, value) in [
+            ("modules", self.modules as f64),
+            ("requests", self.requests as f64),
+            ("burst", self.burst as f64),
+            ("workers", self.workers as f64),
+            ("queue_capacity", self.queue_capacity as f64),
+            ("wall_s", self.wall_s),
+            ("requests_per_sec", self.requests_per_sec()),
+            ("geomean_speedup", self.geomean_speedup),
+            ("queue_p50_s", self.metrics.queue_p50_s),
+            ("queue_p99_s", self.metrics.queue_p99_s),
+            ("service_p50_s", self.metrics.service_p50_s),
+            ("service_p99_s", self.metrics.service_p99_s),
+            ("bounded_high_water", self.metrics.queue_high_water as f64),
+            ("unbounded_high_water", self.unbounded_high_water as f64),
+        ] {
+            json::field(&mut out, 1, key, json::number(value));
+            out.push_str(",\n");
+        }
+        let (completed, stopped, skipped, rejected) = self.statuses;
+        json::field(
+            &mut out,
+            1,
+            "statuses",
+            format!(
+                "{{\"completed\": {completed}, \"stopped\": {stopped}, \"skipped\": {skipped}, \"rejected\": {rejected}}}"
+            ),
+        );
+        out.push_str(",\n");
+        json::field(&mut out, 1, "metrics", self.metrics.to_json());
+        out.push_str("\n}");
+        out
+    }
+}
+
+impl fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== exp_load: open-loop traffic hardening ({} requests over {} modules; burst {}, \
+             queue capacity {}, {} workers) ==",
+            self.requests, self.modules, self.burst, self.queue_capacity, self.workers
+        )?;
+        let (completed, stopped, skipped, rejected) = self.statuses;
+        writeln!(
+            f,
+            "throughput         {:>7.2} req/s over {:.3}s  geomean speedup (completed) {:>6.2}x",
+            self.requests_per_sec(),
+            self.wall_s,
+            self.geomean_speedup
+        )?;
+        writeln!(
+            f,
+            "statuses           completed {completed}  stopped {stopped}  skipped {skipped}  \
+             rejected {rejected}  (overflow rejects {})",
+            self.metrics.overflow_rejects
+        )?;
+        writeln!(
+            f,
+            "queue latency      p50 {:>9.6}s  p99 {:>9.6}s  mean {:>9.6}s",
+            self.metrics.queue_p50_s, self.metrics.queue_p99_s, self.metrics.queue_mean_s
+        )?;
+        writeln!(
+            f,
+            "service latency    p50 {:>9.6}s  p99 {:>9.6}s  mean {:>9.6}s",
+            self.metrics.service_p50_s, self.metrics.service_p99_s, self.metrics.service_mean_s
+        )?;
+        writeln!(
+            f,
+            "fairness           {} client lanes, quota deferrals {}",
+            self.metrics.clients, self.metrics.quota_deferrals
+        )?;
+        writeln!(
+            f,
+            "queue memory       bounded high-water {} (capacity {})  vs unbounded {} — \
+             backpressure keeps the burst flat",
+            self.metrics.queue_high_water, self.queue_capacity, self.unbounded_high_water
+        )?;
+        writeln!(
+            f,
+            "cache              hit-rate {:>5.1}%",
+            self.metrics.cache_hit_rate() * 100.0
+        )
+    }
+}
+
+/// Builds the deterministic open-loop arrival stream: `burst` back-to-back
+/// arrivals, then heavy-tailed (power-of-two microsecond) gaps from a
+/// seeded generator; modules, spec variants, weighted clients and
+/// priorities all cycle deterministically with the stream position.
+fn load_request_stream(
+    workloads: &[Module],
+    total: usize,
+    burst: usize,
+    specs: &[SearchSpec],
+) -> Vec<(OptimizationRequest, Duration)> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = ChaCha8Rng::seed_from_u64(90210);
+    let clients = [Some("alice"), Some("bob"), None];
+    (0..total)
+        .map(|i| {
+            let module = workloads[i % workloads.len()].clone();
+            let spec = specs[i % specs.len()].clone();
+            let seed = mlir_rl_agent::episode_seed(3031, i as u64);
+            let mut request = OptimizationRequest::new(module, spec)
+                .with_seed(seed)
+                .with_priority((rng.gen::<u64>() % 3) as i32 - 1);
+            if let Some(client) = clients[i % clients.len()] {
+                request = request.with_client(client);
+            }
+            let gap = if i < burst {
+                Duration::ZERO
+            } else {
+                // Heavy-tailed pacing: mostly tight arrivals with
+                // occasional power-of-two spikes up to ~128 µs.
+                let draw = rng.gen::<u64>() % 100;
+                if draw < 70 {
+                    Duration::ZERO
+                } else {
+                    Duration::from_micros(1 << (draw % 8))
+                }
+            };
+            (request, gap)
+        })
+        .collect()
+}
+
+/// Replays the arrival stream open-loop (submission times never wait for
+/// completions) and waits for every response.
+fn replay_stream(
+    service: &OptimizationService,
+    stream: &[(OptimizationRequest, Duration)],
+) -> Vec<OptimizationResponse> {
+    let pending: Vec<_> = stream
+        .iter()
+        .map(|(request, gap)| {
+            if !gap.is_zero() {
+                std::thread::sleep(*gap);
+            }
+            service.submit(request.clone())
+        })
+        .collect();
+    wait_all(&pending)
+}
+
+/// Runs the traffic-hardening experiment: trains a quick policy, builds a
+/// deterministic open-loop arrival stream (an opening burst deliberately
+/// larger than the hardened service's queue bound, then heavy-tailed
+/// pacing; every [`SearchSpec`] variant; three client lanes with weights
+/// 3/1/1 and an in-flight quota), and replays it against
+///
+/// 1. the **hardened** service — bounded queue, client quotas and weights:
+///    backpressure rejects the overflowing burst tail, the queue
+///    high-water mark plateaus at the capacity, and the metrics surface
+///    reports p50/p99 queue and service latency; and
+/// 2. an **unbounded** service replaying the same arrivals — its
+///    high-water mark grows with the burst, the memory-leak mode the
+///    bounded queue exists to prevent.
+pub fn load_test(scale: &ExperimentScale, workers: usize) -> LoadReport {
+    let dataset = dl_ops::training_dataset(scale.dataset_scale, 101);
+    let rl = train_mlir_rl(EnvConfig::small(), &dataset, scale, 23);
+    let workloads: Vec<Module> = dl_ops::evaluation_benchmark()
+        .into_iter()
+        .map(|(_, m)| m)
+        .collect();
+
+    let budget = scale.trajectories_per_iteration;
+    let specs = vec![
+        SearchSpec::Greedy,
+        SearchSpec::beam(3),
+        SearchSpec::Mcts {
+            iterations: budget.max(4),
+            branch: 3,
+            widening: Some((1.0, 0.6)),
+        },
+        SearchSpec::random(budget.max(3)),
+        SearchSpec::round_robin(vec![SearchSpec::Greedy, SearchSpec::beam(2)]),
+        SearchSpec::racing(vec![SearchSpec::Greedy, SearchSpec::beam(2)], 0.0),
+    ];
+    let rounds = if scale.hidden_size <= 16 { 2 } else { 4 };
+    let total = workloads.len() * rounds;
+    let burst = (total / 2).max(4);
+    let capacity = (burst / 2).max(2);
+    let stream = load_request_stream(&workloads, total, burst, &specs);
+
+    // --- hardened: bounded queue + quotas + weighted lanes -------------
+    let bounded = OptimizationService::new(
+        ServiceConfig::quick()
+            .with_workers(workers)
+            .with_queue_capacity(capacity)
+            .with_client_quota(2)
+            .with_client_weight("alice", 3)
+            .with_client_weight("bob", 1),
+        rl.policy().clone(),
+    );
+    let start = Instant::now();
+    let responses = replay_stream(&bounded, &stream);
+    let wall_s = start.elapsed().as_secs_f64();
+    let metrics = bounded.metrics();
+    let statuses = (
+        responses
+            .iter()
+            .filter(|r| r.status == ResponseStatus::Completed)
+            .count(),
+        responses
+            .iter()
+            .filter(|r| r.status == ResponseStatus::Stopped)
+            .count(),
+        responses
+            .iter()
+            .filter(|r| r.status == ResponseStatus::Skipped)
+            .count(),
+        responses
+            .iter()
+            .filter(|r| r.status == ResponseStatus::Rejected)
+            .count(),
+    );
+    let completed: Vec<&OptimizationResponse> = responses
+        .iter()
+        .filter(|r| r.status == ResponseStatus::Completed)
+        .collect();
+    let geomean_speedup = if completed.is_empty() {
+        1.0
+    } else {
+        (completed
+            .iter()
+            .map(|r| r.speedup().max(1e-12).ln())
+            .sum::<f64>()
+            / completed.len() as f64)
+            .exp()
+    };
+
+    // --- unbounded: the same arrivals, no queue bound ------------------
+    let unbounded = OptimizationService::new(
+        ServiceConfig::quick()
+            .with_workers(workers)
+            .with_unbounded_queue(),
+        rl.policy().clone(),
+    );
+    replay_stream(&unbounded, &stream);
+    let unbounded_high_water = unbounded.metrics().queue_high_water;
+
+    LoadReport {
+        modules: workloads.len(),
+        requests: total,
+        burst,
+        workers: workers.max(1),
+        queue_capacity: capacity,
+        wall_s,
+        statuses,
+        geomean_speedup,
+        metrics,
+        unbounded_high_water,
     }
 }
 
@@ -1955,6 +2260,40 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"exp_service\""));
         assert!(json.contains("\"hit_rate\""));
+    }
+
+    #[test]
+    fn smoke_load_test_reports_tails_and_keeps_the_bounded_queue_flat() {
+        let report = load_test(&ExperimentScale::smoke(), 2);
+        assert!(report.requests >= report.burst);
+        assert!(report.burst > report.queue_capacity);
+        let (completed, stopped, skipped, rejected) = report.statuses;
+        assert_eq!(
+            completed + stopped + skipped + rejected,
+            report.requests,
+            "every submitted request must be answered"
+        );
+        assert!(completed > 0);
+        assert!(report.geomean_speedup > 0.0);
+        // The tail-latency surface is populated (bucket upper bounds are
+        // never zero once a sample lands).
+        assert!(report.metrics.queue_p99_s > 0.0);
+        assert!(report.metrics.service_p99_s > 0.0);
+        assert!(report.metrics.queue_p99_s >= report.metrics.queue_p50_s);
+        // Bounded-queue memory stays flat under the burst: the high-water
+        // mark never exceeds the capacity, while the unbounded service
+        // replaying the same arrivals queues at least as much.
+        assert!(report.metrics.queue_high_water <= report.queue_capacity as u64);
+        assert!(report.unbounded_high_water >= report.metrics.queue_high_water);
+        let printed = report.to_string();
+        assert!(printed.contains("queue latency"));
+        assert!(printed.contains("p99"));
+        assert!(printed.contains("backpressure keeps the burst flat"));
+        let json = report.to_json();
+        assert!(json.contains("\"exp_load\""));
+        assert!(json.contains("\"queue_p99_s\""));
+        assert!(json.contains("\"service_p99_s\""));
+        assert!(json.contains("\"unbounded_high_water\""));
     }
 
     #[test]

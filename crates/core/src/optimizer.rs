@@ -34,7 +34,9 @@ use mlir_rl_env::{EnvConfig, EpisodeStats, OptimizationEnv};
 use mlir_rl_ir::Module;
 use mlir_rl_search::{BatchSearchReport, Portfolio, SearchOutcome, SearchSpec, Searcher};
 
-use crate::service::{wait_all, OptimizationRequest, OptimizationService, PendingResponse};
+use crate::service::{
+    wait_all, OptimizationRequest, OptimizationService, PendingResponse, ServiceConfig,
+};
 
 /// The outcome of optimizing one module.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -203,6 +205,23 @@ impl MlirRlOptimizer {
     pub fn spawn_service(&mut self, workers: usize) -> OptimizationService {
         self.env.enable_shared_cache();
         OptimizationService::from_env_template(&self.env, self.trainer.policy.clone(), workers)
+    }
+
+    /// Like [`MlirRlOptimizer::spawn_service`], but with the serving knobs
+    /// (worker count, queue bound, per-client quota and weights, eval
+    /// budget, paused start) taken from `config`. The config's
+    /// `env`/`machine` fields are ignored: the optimizer's own environment
+    /// provides them, so the returned service shares this optimizer's warm
+    /// evaluation cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`ServiceConfig::try_validate`] (zero
+    /// queue capacity, quota or client weight).
+    pub fn spawn_service_with(&mut self, config: &ServiceConfig) -> OptimizationService {
+        config.try_validate().expect("invalid service config");
+        self.env.enable_shared_cache();
+        OptimizationService::from_env_template_with(&self.env, self.trainer.policy.clone(), config)
     }
 
     /// Submits one [`OptimizationRequest`] to the internal service.

@@ -12,8 +12,8 @@
 //!
 //! * [`OptimizationRequest`] — a module plus a declarative [`SearchSpec`]
 //!   (greedy / beam / MCTS / random / portfolio), a seed, a priority, an
-//!   optional queue deadline and an optional per-request environment
-//!   override.
+//!   optional client id, an optional end-to-end deadline and an optional
+//!   per-request environment override.
 //! * [`OptimizationService::submit`] / [`OptimizationService::submit_batch`]
 //!   — enqueue requests; a pool of long-lived worker threads admits and
 //!   executes them. Every submit returns a [`PendingResponse`] handle that
@@ -24,40 +24,55 @@
 //!
 //! ## Request lifecycle
 //!
-//! `submit` → **queued** (priority order, FIFO within a priority) →
-//! **admission** (cancellation, queue deadline, [`SearchSpec::try_validate`]
-//! and [`EnvConfig::try_validate`] checks, global [`EvalBudget`] gate) →
-//! **running** (the worker builds the spec's searcher and runs it with the
-//! request's seed on the service's shared cache) → **responded**. A
-//! malformed request is [`ResponseStatus::Rejected`]; a request that never
-//! ran (cancelled in the queue, deadline expired, budget exhausted) is
-//! [`ResponseStatus::Skipped`]; a request cancelled mid-run winds down at
-//! its searcher's next stop boundary and reports
-//! [`ResponseStatus::Stopped`] with its best-so-far — the same semantics as
-//! portfolio [`mlir_rl_search::MemberStatus`] rows.
+//! `submit` → **submit-time admission** (backpressure: a full bounded
+//! queue answers [`ResponseStatus::Rejected`] immediately — the submitter
+//! is never blocked — and the global [`EvalBudget`] is charged a
+//! reservation from [`SearchSpec::cost_estimate`]; an exhausted ledger
+//! answers [`ResponseStatus::Skipped`]) → **queued** (per-client lanes,
+//! priority order and FIFO within a priority inside each lane; the
+//! dispatcher interleaves lanes by deficit-weighted round-robin under the
+//! per-client in-flight quota) → **dequeue admission** (cancellation,
+//! expired-deadline load shedding, [`SearchSpec::try_validate`] and
+//! [`EnvConfig::try_validate`] checks) → **running** (the worker builds the
+//! spec's searcher and runs it with the request's seed on the service's
+//! shared cache; the request's [`StopToken`] carries its deadline, so
+//! stop-aware searchers wind down at their next boundary when it passes
+//! mid-run) → **responded**. A malformed request is
+//! [`ResponseStatus::Rejected`]; a request that never ran (cancelled in
+//! the queue, deadline expired before a worker picked it up, budget
+//! exhausted at submit) is [`ResponseStatus::Skipped`]; a request stopped
+//! mid-run (cancel or deadline) winds down at its searcher's next stop
+//! boundary and reports [`ResponseStatus::Stopped`] with its best-so-far —
+//! the same semantics as portfolio [`mlir_rl_search::MemberStatus`] rows.
 //!
 //! ## Determinism
 //!
 //! Responses extend the search subsystem's determinism contract to the
 //! request level: a request's outcome depends only on `(module, spec, seed,
 //! policy, environment config)` — never on the worker count, the submission
-//! order, queue priorities or what else is in flight — because cost-model
-//! values are deterministic whether they hit or miss the shared cache, and
-//! every searcher reseeds its noise stream from the request seed.
-//! [`OptimizationResponse::fingerprint`] hashes exactly the deterministic
-//! fields (accounting *counts* and timings legitimately vary with cache
-//! warmth and load); the `service_api` integration test battery locks the
-//! guarantee across worker counts and shuffled submission orders.
+//! order, queue priorities, client weights or what else is in flight —
+//! because cost-model values are deterministic whether they hit or miss the
+//! shared cache, and every searcher reseeds its noise stream from the
+//! request seed. [`OptimizationResponse::fingerprint`] hashes exactly the
+//! deterministic fields (accounting *counts* and timings legitimately vary
+//! with cache warmth and load); the `service_api` integration test battery
+//! locks the guarantee across worker counts and shuffled submission orders
+//! with quotas, bounded queues and admission reservations enabled.
 //!
-//! The two *liveness* knobs are deliberately outside the guarantee, like
-//! the racing portfolio's preempted-loser rows: **which** requests a queue
-//! deadline expires or an exhausted [`EvalBudget`] skips depends on load
-//! and worker count (concurrent workers admit requests before earlier
-//! ones have charged their spend). Every request that *runs* keeps the
-//! full contract; services configured without deadlines and without a
-//! budget cap answer every request deterministically.
+//! The *liveness* knobs are deliberately outside the guarantee, like the
+//! racing portfolio's preempted-loser rows: **which** requests a deadline
+//! expires or a full queue rejects depends on load and worker count.
+//! Budget admission is the exception this layer works to keep sequenced:
+//! reservations are charged under the submission lock in submission order
+//! from a pure per-spec cost estimate, so for a fixed submission sequence
+//! the set of budget-skipped requests is the same at any worker count
+//! (reconciliation refunds after completion can reopen the ledger for
+//! *later* submissions, which is a timing effect only sustained traffic
+//! observes). Every request that *runs* keeps the full contract; services
+//! configured without deadlines, quotas, a queue bound or a budget cap
+//! answer every request deterministically.
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -79,6 +94,13 @@ use mlir_rl_search::{
 const RUN_RANK: usize = 1;
 const CANCEL_RANK: usize = 0;
 
+/// Every backpressure rejection reason starts with this prefix, and
+/// [`OptimizationResponse::fingerprint`] excludes such reasons from the
+/// hash: whether a queue overflows is a property of instantaneous load,
+/// not of the request, so backpressure text must not break fingerprint
+/// comparisons across runs.
+pub const BACKPRESSURE_PREFIX: &str = "backpressure: ";
+
 /// Static configuration of an [`OptimizationService`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServiceConfig {
@@ -90,13 +112,32 @@ pub struct ServiceConfig {
     /// Worker threads executing requests (at least 1).
     pub workers: usize,
     /// Global admission cap on cost-model lookups across every request the
-    /// service executes (`None` = unlimited). Once the ledger is exhausted,
-    /// later requests are answered [`ResponseStatus::Skipped`]. A liveness
-    /// knob: spend is charged as searches *finish*, so with concurrent
-    /// workers **which** request first observes exhaustion depends on
-    /// timing — skip decisions are deterministic only for single-worker
-    /// services (admitted requests' outcomes stay deterministic always).
+    /// service executes (`None` = unlimited). The ledger is charged a
+    /// *reservation* from [`SearchSpec::cost_estimate`] at submit, under
+    /// the submission lock, and reconciled to the real spend when the
+    /// request finishes — so for a fixed submission sequence, **which**
+    /// requests an exhausted ledger answers [`ResponseStatus::Skipped`]
+    /// does not depend on the worker count.
     pub eval_budget: Option<u64>,
+    /// Upper bound on the number of *queued* (not yet dispatched)
+    /// requests. A submit that would push past the bound is answered
+    /// [`ResponseStatus::Rejected`] immediately with a
+    /// [`BACKPRESSURE_PREFIX`] reason — the submitter is never blocked and
+    /// queue memory stays flat under overload. `None` = unbounded
+    /// (pre-hardening behaviour, useful for drain-everything batch runs).
+    pub queue_capacity: Option<usize>,
+    /// Per-client cap on requests *in flight* (dispatched, not yet
+    /// responded). A lane at its quota is passed over by the dispatcher
+    /// until one of its requests finishes — later-submitted clients run
+    /// instead, so one hot client cannot occupy every worker. `None` = no
+    /// quota. Must be at least 1 when set.
+    pub client_quota: Option<usize>,
+    /// Deficit-round-robin weights by client id (see
+    /// [`OptimizationRequest::with_client`]); a client absent from the
+    /// list weighs 1. A weight-`w` client is offered `w` dequeues per
+    /// round-robin cycle. Requests submitted without a client id share
+    /// the anonymous `""` lane.
+    pub client_weights: Vec<(String, u64)>,
     /// Start with the workers paused: requests queue up but none executes
     /// until [`OptimizationService::resume`]. Useful for deterministic
     /// admission tests and for pre-loading a batch before serving begins.
@@ -104,13 +145,21 @@ pub struct ServiceConfig {
 }
 
 impl ServiceConfig {
-    /// A laptop-scale configuration (small environment, one worker).
+    /// A laptop-scale configuration: small environment, one worker, a
+    /// bounded queue of 1024 requests, no per-client quotas, no eval
+    /// budget. The bounded-queue default means a runaway submitter gets
+    /// [`ResponseStatus::Rejected`] backpressure instead of growing the
+    /// queue without limit; callers that want the old unbounded behaviour
+    /// opt in with [`ServiceConfig::with_unbounded_queue`].
     pub fn quick() -> Self {
         Self {
             env: EnvConfig::small(),
             machine: MachineModel::xeon_e5_2680_v4(),
             workers: 1,
             eval_budget: None,
+            queue_capacity: Some(1024),
+            client_quota: None,
+            client_weights: Vec::new(),
             start_paused: false,
         }
     }
@@ -127,10 +176,63 @@ impl ServiceConfig {
         self
     }
 
+    /// Bounds the queue at `capacity` requests (see
+    /// [`ServiceConfig::queue_capacity`]).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Removes the queue bound: every submit queues, memory grows with
+    /// the backlog.
+    pub fn with_unbounded_queue(mut self) -> Self {
+        self.queue_capacity = None;
+        self
+    }
+
+    /// Caps each client's in-flight requests (see
+    /// [`ServiceConfig::client_quota`]).
+    pub fn with_client_quota(mut self, quota: usize) -> Self {
+        self.client_quota = Some(quota);
+        self
+    }
+
+    /// Sets a client's deficit-round-robin weight (replacing any earlier
+    /// weight for the same client).
+    pub fn with_client_weight(mut self, client: impl Into<String>, weight: u64) -> Self {
+        let client = client.into();
+        self.client_weights.retain(|(name, _)| *name != client);
+        self.client_weights.push((client, weight));
+        self
+    }
+
     /// Starts the service paused (see [`ServiceConfig::start_paused`]).
     pub fn paused(mut self) -> Self {
         self.start_paused = true;
         self
+    }
+
+    /// Validates the serving knobs: a zero queue capacity would reject
+    /// every request and a zero quota would block every client forever —
+    /// both are configuration bugs, not useful modes, so they fail here
+    /// (and in [`OptimizationService::try_new`]) instead of deadlocking a
+    /// live service.
+    pub fn try_validate(&self) -> Result<(), String> {
+        self.env.try_validate()?;
+        if self.queue_capacity == Some(0) {
+            return Err("queue_capacity must be at least 1 (0 rejects every request)".to_string());
+        }
+        if self.client_quota == Some(0) {
+            return Err(
+                "client_quota must be at least 1 (0 would block every client forever)".to_string(),
+            );
+        }
+        if let Some((client, _)) = self.client_weights.iter().find(|(_, w)| *w == 0) {
+            return Err(format!(
+                "client weight for {client:?} must be at least 1 (0 would starve the lane)"
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -151,16 +253,28 @@ pub struct OptimizationRequest {
     /// Search seed — with the module, spec and policy, this fully
     /// determines the response's outcome.
     pub seed: u64,
-    /// Scheduling priority: higher-priority requests leave the queue first
-    /// (FIFO within a priority). Priorities affect *when* a request runs,
-    /// never *what* it computes.
+    /// Scheduling priority: higher-priority requests leave their client's
+    /// lane first (FIFO within a priority). Priorities affect *when* a
+    /// request runs, never *what* it computes.
     pub priority: i32,
-    /// Maximum time the request may wait in the queue; a request admitted
-    /// later than this is answered [`ResponseStatus::Skipped`] instead of
-    /// running stale. `None` waits indefinitely. A liveness knob —
-    /// responses produced under deadline pressure are still deterministic,
-    /// but *which* requests expire depends on load.
+    /// End-to-end deadline, measured from submission. A request still
+    /// queued when it passes is load-shed at dequeue
+    /// ([`ResponseStatus::Skipped`], nothing ran); a request already
+    /// running carries the deadline on its [`StopToken`], so stop-aware
+    /// searchers wind down at their next boundary and answer
+    /// [`ResponseStatus::Stopped`] with the best-so-far. `None` waits
+    /// indefinitely. A liveness knob — responses produced under deadline
+    /// pressure are still deterministic, but *which* requests expire
+    /// depends on load.
     pub deadline: Option<Duration>,
+    /// Client id for fair scheduling: requests from the same client share
+    /// one queue lane, and the dispatcher interleaves lanes by
+    /// deficit-weighted round-robin (weights from
+    /// [`ServiceConfig::client_weights`], per-client in-flight cap from
+    /// [`ServiceConfig::client_quota`]). `None` shares the anonymous
+    /// lane. Scheduling-only: never affects a response's outcome or
+    /// fingerprint.
+    pub client: Option<String>,
     /// Per-request environment override. Validated at admission with
     /// [`EnvConfig::try_validate`], and additionally required to preserve
     /// the observation/action *shape* the service policy was built for
@@ -173,8 +287,8 @@ pub struct OptimizationRequest {
 }
 
 impl OptimizationRequest {
-    /// A request with seed 0, default priority, no deadline and the
-    /// service's environment.
+    /// A request with seed 0, default priority, no deadline, no client id
+    /// and the service's environment.
     pub fn new(module: Module, spec: SearchSpec) -> Self {
         Self {
             module,
@@ -182,6 +296,7 @@ impl OptimizationRequest {
             seed: 0,
             priority: 0,
             deadline: None,
+            client: None,
             env: None,
         }
     }
@@ -198,9 +313,15 @@ impl OptimizationRequest {
         self
     }
 
-    /// Sets the queue deadline.
+    /// Sets the end-to-end deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Tags the request with a client id for fair scheduling.
+    pub fn with_client(mut self, client: impl Into<String>) -> Self {
+        self.client = Some(client.into());
         self
     }
 
@@ -217,16 +338,19 @@ impl OptimizationRequest {
 pub enum ResponseStatus {
     /// The search ran to completion.
     Completed,
-    /// The request was cancelled mid-run; the outcome is the search's
-    /// best-so-far at the stop boundary (stop-unaware searchers such as
-    /// greedy decoding finish their run regardless).
+    /// The request was stopped mid-run (cancelled, or its deadline passed);
+    /// the outcome is the search's best-so-far at the stop boundary
+    /// (stop-unaware searchers such as greedy decoding finish their run
+    /// regardless).
     Stopped,
-    /// The request never ran: cancelled while queued, queue deadline
-    /// expired, or the service's eval budget was exhausted. All accounting
-    /// is zero; `error` says why.
+    /// The request never ran: cancelled while queued, deadline expired
+    /// before dispatch, or the service's eval budget was exhausted at
+    /// submit. All accounting is zero; `error` says why.
     Skipped,
-    /// The request was malformed (spec or environment override failed
-    /// validation); `error` carries the problem. Nothing ran.
+    /// The request was refused: malformed (spec or environment override
+    /// failed validation) or pushed back by backpressure (queue full,
+    /// service shutting down — reasons prefixed [`BACKPRESSURE_PREFIX`]).
+    /// `error` carries the problem. Nothing ran.
     Rejected,
 }
 
@@ -244,7 +368,7 @@ pub struct OptimizationResponse {
     /// The search outcome ([`ResponseStatus::Completed`] and
     /// [`ResponseStatus::Stopped`] only).
     pub outcome: Option<SearchOutcome>,
-    /// Why the request was skipped or rejected.
+    /// Why the request was skipped, rejected or deadline-stopped.
     pub error: Option<String>,
     /// Estimator runs this request caused (cache misses).
     pub evaluations: usize,
@@ -275,18 +399,24 @@ impl OptimizationResponse {
     /// and the outcome's baseline/best estimates, speedup, action
     /// sequence, schedule and nodes expanded. Excludes the request id,
     /// timings, cache accounting *counts*, portfolio member attribution
-    /// rows, and the error text of [`ResponseStatus::Skipped`] responses
-    /// (skip reasons embed load-dependent measurements such as queue wait
-    /// and budget spend) — those legitimately vary with submission order,
-    /// load and table warmth. Two runs of the same request set produce
-    /// equal fingerprints for matching requests, regardless of worker
-    /// count or arrival order.
+    /// rows, the error text of [`ResponseStatus::Skipped`] and
+    /// [`ResponseStatus::Stopped`] responses (skip/stop reasons embed
+    /// load-dependent measurements such as queue wait and budget spend),
+    /// and [`BACKPRESSURE_PREFIX`] rejection reasons (whether a bounded
+    /// queue overflows is a property of load, not of the request) — those
+    /// legitimately vary with submission order, load and table warmth.
+    /// Two runs of the same request set produce equal fingerprints for
+    /// matching requests, regardless of worker count or arrival order.
     pub fn fingerprint(&self) -> u64 {
         let mut h = Fnv::new();
         h.write(self.module.as_bytes());
         h.write(self.searcher.as_bytes());
         h.write(format!("{:?}", self.status).as_bytes());
-        if self.status == ResponseStatus::Rejected {
+        let backpressure = self
+            .error
+            .as_deref()
+            .is_some_and(|e| e.starts_with(BACKPRESSURE_PREFIX));
+        if self.status == ResponseStatus::Rejected && !backpressure {
             h.write(format!("{:?}", self.error).as_bytes());
         }
         if let Some(outcome) = &self.outcome {
@@ -341,13 +471,27 @@ impl PendingResponse {
         self.id
     }
 
-    /// Blocks until the response is available.
+    /// Blocks until the response is available (condvar wait, no polling).
     pub fn wait(&self) -> OptimizationResponse {
         let mut ready = self.slot.ready.lock().expect("response slot poisoned");
         while ready.is_none() {
             ready = self.slot.cond.wait(ready).expect("response slot poisoned");
         }
         ready.clone().expect("checked above")
+    }
+
+    /// Waits for the response for at most `timeout`, returning `None` when
+    /// the request is still outstanding after that long. The request keeps
+    /// running — call again, [`PendingResponse::wait`], or
+    /// [`PendingResponse::cancel`] as appropriate.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<OptimizationResponse> {
+        let ready = self.slot.ready.lock().expect("response slot poisoned");
+        let (ready, _) = self
+            .slot
+            .cond
+            .wait_timeout_while(ready, timeout, |ready| ready.is_none())
+            .expect("response slot poisoned");
+        ready.clone()
     }
 
     /// The response, if it is already available.
@@ -395,12 +539,15 @@ impl ResponseSlot {
     }
 }
 
-/// A queued request plus its routing state. Ordered by (priority, FIFO):
-/// the queue is a max-heap, so higher priorities pop first and equal
-/// priorities pop in submission order.
+/// A queued request plus its routing state. Ordered by (priority, FIFO)
+/// within its client's lane: each lane is a max-heap, so higher priorities
+/// pop first and equal priorities pop in submission order.
 struct QueuedJob {
     id: u64,
     submitted: Instant,
+    /// Eval-budget reservation charged at submit, reconciled (refunded or
+    /// topped up to the real spend) when the request leaves the service.
+    reserved: u64,
     request: OptimizationRequest,
     stop: StopToken,
     slot: Arc<ResponseSlot>,
@@ -429,10 +576,180 @@ impl Ord for QueuedJob {
     }
 }
 
+/// One client's slice of the queue: its pending requests, its
+/// deficit-round-robin credit and its in-flight count (against
+/// [`ServiceConfig::client_quota`]).
+struct ClientLane {
+    heap: BinaryHeap<QueuedJob>,
+    weight: u64,
+    credit: u64,
+    in_flight: usize,
+}
+
+/// What the dispatcher found when it asked for work.
+//
+// `Job` dwarfs the unit variants, but a `Popped` lives only for the
+// hand-off from the queue lock to the worker — boxing would buy nothing
+// except an allocation per dequeue.
+#[allow(clippy::large_enum_variant)]
+enum Popped {
+    /// A job to run, plus its lane index (for the in-flight decrement).
+    Job(QueuedJob, usize),
+    /// Requests are queued but every non-empty lane is at its in-flight
+    /// quota: wait for a completion, then try again.
+    Blocked,
+    /// The queue is empty.
+    Idle,
+}
+
 struct ServiceState {
-    queue: BinaryHeap<QueuedJob>,
+    /// Per-client lanes in creation (first-submission) order. Lanes are
+    /// never removed — a client's weight and in-flight count persist for
+    /// the service's lifetime.
+    lanes: Vec<ClientLane>,
+    /// Client id → lane index.
+    index: HashMap<String, usize>,
+    /// Deficit-round-robin scan position.
+    cursor: usize,
+    /// Total queued (not yet dispatched) requests across all lanes.
+    depth: usize,
     paused: bool,
     shutdown: bool,
+}
+
+impl ServiceState {
+    /// The lane for `client`, created on first use with its configured
+    /// weight (default 1).
+    fn lane_for(&mut self, client: &str, weights: &[(String, u64)]) -> usize {
+        if let Some(&i) = self.index.get(client) {
+            return i;
+        }
+        let weight = weights
+            .iter()
+            .find(|(name, _)| name == client)
+            .map_or(1, |(_, w)| *w)
+            .max(1);
+        let i = self.lanes.len();
+        self.lanes.push(ClientLane {
+            heap: BinaryHeap::new(),
+            weight,
+            credit: 0,
+            in_flight: 0,
+        });
+        self.index.insert(client.to_string(), i);
+        i
+    }
+
+    /// Deficit-weighted round-robin dispatch. Pass 0 serves the first
+    /// lane (from the cursor) that has queued work, remaining credit and
+    /// quota headroom; if none has credit, every eligible lane is
+    /// replenished by its weight (capped at twice the weight so an idle
+    /// heavy client cannot bank an unbounded burst) and pass 1 serves. A
+    /// lane drained empty forfeits its credit — deficit round-robin's
+    /// classic rule, keeping long-idle lanes from hoarding turns.
+    fn pop_next(&mut self, quota: Option<usize>) -> Popped {
+        if self.depth == 0 {
+            return Popped::Idle;
+        }
+        let n = self.lanes.len();
+        for pass in 0..2 {
+            for step in 0..n {
+                let i = (self.cursor + step) % n;
+                let lane = &mut self.lanes[i];
+                if lane.heap.is_empty() {
+                    lane.credit = 0;
+                    continue;
+                }
+                if quota.is_some_and(|q| lane.in_flight >= q) || lane.credit == 0 {
+                    continue;
+                }
+                lane.credit -= 1;
+                lane.in_flight += 1;
+                let job = lane.heap.pop().expect("non-empty lane");
+                self.depth -= 1;
+                self.cursor = (i + 1) % n;
+                return Popped::Job(job, i);
+            }
+            if pass == 0 {
+                let mut eligible = false;
+                for lane in &mut self.lanes {
+                    if lane.heap.is_empty() || quota.is_some_and(|q| lane.in_flight >= q) {
+                        continue;
+                    }
+                    lane.credit = (lane.credit + lane.weight).min(lane.weight.saturating_mul(2));
+                    eligible = true;
+                }
+                if !eligible {
+                    return Popped::Blocked;
+                }
+            }
+        }
+        // Unreachable: a replenished lane has credit >= 1 and pass 1
+        // serves it; kept as a safe fallback.
+        Popped::Blocked
+    }
+}
+
+/// Number of power-of-two microsecond latency buckets: bucket `i` counts
+/// samples in `(2^i, 2^(i+1)]` µs, so 40 buckets span sub-microsecond to
+/// ~13 days.
+const HIST_BUCKETS: usize = 40;
+
+/// A fixed-bucket, lock-free latency histogram: recording is two relaxed
+/// atomic adds, so the serving hot path never contends on metrics.
+/// Quantiles report the matched bucket's *upper* bound — a conservative
+/// (never under-reported) tail estimate that is also never zero for a
+/// non-empty histogram.
+#[derive(Debug)]
+struct LatencyHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, seconds: f64) {
+        let us = (seconds * 1e6).max(0.0) as u64;
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// The `q`-quantile in seconds (0 when nothing was recorded).
+    fn quantile(&self, q: f64) -> f64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0.0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return (1u64 << (i + 1)) as f64 / 1e6;
+            }
+        }
+        (1u64 << HIST_BUCKETS) as f64 / 1e6
+    }
+
+    /// Mean recorded latency in seconds (exact, from the running sum).
+    fn mean(&self) -> f64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / count as f64 / 1e6
+        }
+    }
 }
 
 struct ServiceShared {
@@ -440,11 +757,23 @@ struct ServiceShared {
     work: Condvar,
     budget: EvalBudget,
     cache: SharedEvalCache,
+    queue_capacity: Option<usize>,
+    client_quota: Option<usize>,
+    client_weights: Vec<(String, u64)>,
     submitted: AtomicU64,
     completed: AtomicU64,
     stopped: AtomicU64,
     skipped: AtomicU64,
     rejected: AtomicU64,
+    admitted: AtomicU64,
+    overflow: AtomicU64,
+    sheds: AtomicU64,
+    deadline_stops: AtomicU64,
+    quota_deferrals: AtomicU64,
+    budget_skips: AtomicU64,
+    queue_high_water: AtomicU64,
+    queue_hist: LatencyHistogram,
+    service_hist: LatencyHistogram,
 }
 
 /// Aggregate serving statistics, snapshot by
@@ -467,7 +796,8 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Lifetime misses (estimator runs) of the persistent shared cache.
     pub cache_misses: u64,
-    /// Cost-model lookups charged against the global eval budget.
+    /// Cost-model lookups charged against the global eval budget
+    /// (includes outstanding reservations not yet reconciled).
     pub budget_spent: u64,
     /// The global eval-budget cap (`None` = unlimited).
     pub budget_cap: Option<u64>,
@@ -482,6 +812,133 @@ impl ServiceStats {
         } else {
             self.cache_hits as f64 / total as f64
         }
+    }
+}
+
+/// A point-in-time snapshot of the service's overload-observability
+/// surface, taken by [`OptimizationService::metrics`]: queue depth and
+/// high-water mark, the admission/backpressure/shedding counters, and
+/// fixed-bucket latency distributions for queue wait and service time.
+/// All counters are lifetime totals; reading them is lock-free except for
+/// the queue depth (one brief state lock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceMetrics {
+    /// Requests submitted so far.
+    pub submitted: u64,
+    /// Requests answered [`ResponseStatus::Completed`].
+    pub completed: u64,
+    /// Requests answered [`ResponseStatus::Stopped`].
+    pub stopped: u64,
+    /// Requests answered [`ResponseStatus::Skipped`].
+    pub skipped: u64,
+    /// Requests answered [`ResponseStatus::Rejected`].
+    pub rejected: u64,
+    /// Requests that passed dequeue admission and ran a search.
+    pub admitted: u64,
+    /// Submits rejected because the bounded queue was full.
+    pub overflow_rejects: u64,
+    /// Requests load-shed at dequeue because their deadline had passed.
+    pub deadline_sheds: u64,
+    /// Requests whose deadline passed mid-run (answered
+    /// [`ResponseStatus::Stopped`] with best-so-far).
+    pub deadline_stops: u64,
+    /// Times a dispatcher found work queued but every non-empty lane at
+    /// its in-flight quota (it waited for a completion).
+    pub quota_deferrals: u64,
+    /// Submits skipped because the eval budget could not cover their
+    /// reservation.
+    pub budget_skips: u64,
+    /// Requests currently waiting in the queue.
+    pub queue_depth: u64,
+    /// Maximum queue depth ever observed — under a burst against a
+    /// bounded queue this plateaus at the capacity.
+    pub queue_high_water: u64,
+    /// Distinct client lanes created so far (the anonymous lane counts
+    /// once it has seen a request).
+    pub clients: u64,
+    /// Median queue wait in seconds (bucket upper bound).
+    pub queue_p50_s: f64,
+    /// 99th-percentile queue wait in seconds (bucket upper bound).
+    pub queue_p99_s: f64,
+    /// Mean queue wait in seconds.
+    pub queue_mean_s: f64,
+    /// Median search run time in seconds (bucket upper bound).
+    pub service_p50_s: f64,
+    /// 99th-percentile search run time in seconds (bucket upper bound).
+    pub service_p99_s: f64,
+    /// Mean search run time in seconds.
+    pub service_mean_s: f64,
+    /// Lifetime hits of the service's persistent shared cache.
+    pub cache_hits: u64,
+    /// Lifetime misses (estimator runs) of the persistent shared cache.
+    pub cache_misses: u64,
+    /// Cost-model lookups charged against the global eval budget
+    /// (includes outstanding reservations not yet reconciled).
+    pub budget_spent: u64,
+    /// The global eval-budget cap (`None` = unlimited).
+    pub budget_cap: Option<u64>,
+}
+
+impl ServiceMetrics {
+    /// Lifetime fraction of lookups served by the persistent cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Serializes the snapshot to JSON (via [`crate::report::json`], like
+    /// every other report type in this crate).
+    pub fn to_json(&self) -> String {
+        use crate::report::json;
+        let fields: Vec<(&str, String)> = vec![
+            ("submitted", json::number(self.submitted as f64)),
+            ("completed", json::number(self.completed as f64)),
+            ("stopped", json::number(self.stopped as f64)),
+            ("skipped", json::number(self.skipped as f64)),
+            ("rejected", json::number(self.rejected as f64)),
+            ("admitted", json::number(self.admitted as f64)),
+            (
+                "overflow_rejects",
+                json::number(self.overflow_rejects as f64),
+            ),
+            ("deadline_sheds", json::number(self.deadline_sheds as f64)),
+            ("deadline_stops", json::number(self.deadline_stops as f64)),
+            ("quota_deferrals", json::number(self.quota_deferrals as f64)),
+            ("budget_skips", json::number(self.budget_skips as f64)),
+            ("queue_depth", json::number(self.queue_depth as f64)),
+            (
+                "queue_high_water",
+                json::number(self.queue_high_water as f64),
+            ),
+            ("clients", json::number(self.clients as f64)),
+            ("queue_p50_s", json::number(self.queue_p50_s)),
+            ("queue_p99_s", json::number(self.queue_p99_s)),
+            ("queue_mean_s", json::number(self.queue_mean_s)),
+            ("service_p50_s", json::number(self.service_p50_s)),
+            ("service_p99_s", json::number(self.service_p99_s)),
+            ("service_mean_s", json::number(self.service_mean_s)),
+            ("cache_hits", json::number(self.cache_hits as f64)),
+            ("cache_misses", json::number(self.cache_misses as f64)),
+            ("cache_hit_rate", json::number(self.cache_hit_rate())),
+            ("budget_spent", json::number(self.budget_spent as f64)),
+            (
+                "budget_cap",
+                self.budget_cap
+                    .map_or("null".to_string(), |cap| json::number(cap as f64)),
+            ),
+        ];
+        let mut out = String::from("{\n");
+        let last = fields.len() - 1;
+        for (i, (name, value)) in fields.into_iter().enumerate() {
+            json::field(&mut out, 1, name, value);
+            out.push_str(if i == last { "\n" } else { ",\n" });
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -502,8 +959,9 @@ impl OptimizationService {
     ///
     /// # Panics
     ///
-    /// Panics if `config.env` fails validation; use
-    /// [`OptimizationService::try_new`] for a non-panicking constructor.
+    /// Panics if the configuration fails [`ServiceConfig::try_validate`];
+    /// use [`OptimizationService::try_new`] for a non-panicking
+    /// constructor.
     pub fn new(config: ServiceConfig, policy: PolicyNetwork) -> Self {
         Self::try_new(config, policy).expect("invalid service configuration")
     }
@@ -511,17 +969,11 @@ impl OptimizationService {
     /// Like [`OptimizationService::new`], but a malformed configuration
     /// becomes an error instead of a panic.
     pub fn try_new(config: ServiceConfig, policy: PolicyNetwork) -> Result<Self, String> {
-        config.env.try_validate()?;
+        config.try_validate()?;
         let mut env =
             OptimizationEnv::new(config.env.clone(), CostModel::new(config.machine.clone()));
         env.enable_shared_cache();
-        Ok(Self::from_env_template_with(
-            &env,
-            policy,
-            config.workers,
-            config.eval_budget,
-            config.start_paused,
-        ))
+        Ok(Self::from_env_template_with(&env, policy, &config))
     }
 
     /// Creates a service whose requests run against (a clone of) the given
@@ -529,40 +981,57 @@ impl OptimizationService {
     /// **joins that table** — this is how the deprecated
     /// [`crate::MlirRlOptimizer`] facade keeps one warm cache across its
     /// own calls and the service's; otherwise the service starts its own
-    /// table seeded with the environment's memoized entries.
+    /// table seeded with the environment's memoized entries. Serving knobs
+    /// are [`ServiceConfig::quick`] defaults with the given worker count.
     pub fn from_env_template(env: &OptimizationEnv, policy: PolicyNetwork, workers: usize) -> Self {
-        Self::from_env_template_with(env, policy, workers, None, false)
+        Self::from_env_template_with(env, policy, &ServiceConfig::quick().with_workers(workers))
     }
 
-    fn from_env_template_with(
+    /// The engine under both constructors: `config.env` / `config.machine`
+    /// are ignored (the template environment provides them); every serving
+    /// knob comes from `config`.
+    pub(crate) fn from_env_template_with(
         env: &OptimizationEnv,
         policy: PolicyNetwork,
-        workers: usize,
-        eval_budget: Option<u64>,
-        start_paused: bool,
+        config: &ServiceConfig,
     ) -> Self {
         let mut template = env.clone();
         let cache = template.enable_shared_cache();
-        let budget = match eval_budget {
+        let budget = match config.eval_budget {
             Some(cap) => EvalBudget::limited(cap),
             None => EvalBudget::unlimited(),
         };
         let shared = Arc::new(ServiceShared {
             state: Mutex::new(ServiceState {
-                queue: BinaryHeap::new(),
-                paused: start_paused,
+                lanes: Vec::new(),
+                index: HashMap::new(),
+                cursor: 0,
+                depth: 0,
+                paused: config.start_paused,
                 shutdown: false,
             }),
             work: Condvar::new(),
             budget,
             cache,
+            queue_capacity: config.queue_capacity,
+            client_quota: config.client_quota,
+            client_weights: config.client_weights.clone(),
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             stopped: AtomicU64::new(0),
             skipped: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            deadline_stops: AtomicU64::new(0),
+            quota_deferrals: AtomicU64::new(0),
+            budget_skips: AtomicU64::new(0),
+            queue_high_water: AtomicU64::new(0),
+            queue_hist: LatencyHistogram::new(),
+            service_hist: LatencyHistogram::new(),
         });
-        let workers = (0..workers.max(1))
+        let workers = (0..config.workers.max(1))
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 let env = template.clone();
@@ -580,6 +1049,9 @@ impl OptimizationService {
     }
 
     /// Submits one request, returning a handle to wait on (or cancel).
+    /// Never blocks on queue pressure: a full bounded queue or an
+    /// exhausted budget answers the handle immediately (see the module
+    /// docs' lifecycle).
     pub fn submit(&self, request: OptimizationRequest) -> PendingResponse {
         let pending = self.enqueue(request);
         self.shared.work.notify_one();
@@ -594,29 +1066,91 @@ impl OptimizationService {
         pending
     }
 
+    /// Submit-time admission (see the module docs' lifecycle): assign an
+    /// id, check backpressure against the bounded queue, charge the
+    /// eval-budget reservation (in submission order, under the state
+    /// lock), and route the job into its client's lane.
     fn enqueue(&self, request: OptimizationRequest) -> PendingResponse {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
-        let stop = StopToken::new();
+        let mut stop = StopToken::new();
+        if let Some(deadline) = request.deadline {
+            stop = stop.with_deadline(Instant::now() + deadline);
+        }
         let slot = ResponseSlot::new();
         let pending = PendingResponse {
             id,
             stop: stop.clone(),
             slot: Arc::clone(&slot),
         };
-        let job = QueuedJob {
+        let refusal = |status: ResponseStatus, error: String| OptimizationResponse {
+            id,
+            module: request.module.name().to_string(),
+            searcher: request.spec.name(),
+            status,
+            outcome: None,
+            error: Some(error),
+            evaluations: 0,
+            cache_hits: 0,
+            queue_s: 0.0,
+            service_s: 0.0,
+        };
+        // The reservation estimate is a pure function of the request, so
+        // computing it outside the lock keeps the critical section short.
+        let est_env = request.env.as_ref().unwrap_or(self.template.config());
+        let reserved = request.spec.cost_estimate(est_env, &request.module);
+
+        let mut state = self.shared.state.lock().expect("service state poisoned");
+        if state.shutdown {
+            drop(state);
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            slot.fill(refusal(
+                ResponseStatus::Rejected,
+                format!("{BACKPRESSURE_PREFIX}service is shutting down"),
+            ));
+            return pending;
+        }
+        if let Some(capacity) = self.shared.queue_capacity {
+            if state.depth >= capacity {
+                drop(state);
+                self.shared.overflow.fetch_add(1, Ordering::Relaxed);
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                slot.fill(refusal(
+                    ResponseStatus::Rejected,
+                    format!("{BACKPRESSURE_PREFIX}queue full (capacity {capacity})"),
+                ));
+                return pending;
+            }
+        }
+        if let Err(spent) = self.shared.budget.try_admit(reserved) {
+            drop(state);
+            self.shared.budget_skips.fetch_add(1, Ordering::Relaxed);
+            self.shared.skipped.fetch_add(1, Ordering::Relaxed);
+            slot.fill(refusal(
+                ResponseStatus::Skipped,
+                format!(
+                    "service eval budget exhausted ({spent} lookups spent or reserved, \
+                     estimate {reserved} refused)"
+                ),
+            ));
+            return pending;
+        }
+        let lane = state.lane_for(
+            request.client.as_deref().unwrap_or(""),
+            &self.shared.client_weights,
+        );
+        state.lanes[lane].heap.push(QueuedJob {
             id,
             submitted: Instant::now(),
+            reserved,
             request,
             stop,
             slot,
-        };
+        });
+        state.depth += 1;
         self.shared
-            .state
-            .lock()
-            .expect("service state poisoned")
-            .queue
-            .push(job);
+            .queue_high_water
+            .fetch_max(state.depth as u64, Ordering::Relaxed);
         pending
     }
 
@@ -667,8 +1201,7 @@ impl OptimizationService {
             .state
             .lock()
             .expect("service state poisoned")
-            .queue
-            .len() as u64;
+            .depth as u64;
         ServiceStats {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
@@ -680,6 +1213,42 @@ impl OptimizationService {
             cache_misses: self.shared.cache.misses(),
             budget_spent: self.shared.budget.spent(),
             budget_cap: self.shared.budget.cap(),
+        }
+    }
+
+    /// Snapshot of the overload-observability surface (see
+    /// [`ServiceMetrics`]).
+    pub fn metrics(&self) -> ServiceMetrics {
+        let (queue_depth, clients) = {
+            let state = self.shared.state.lock().expect("service state poisoned");
+            (state.depth as u64, state.lanes.len() as u64)
+        };
+        let s = &self.shared;
+        ServiceMetrics {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            stopped: s.stopped.load(Ordering::Relaxed),
+            skipped: s.skipped.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            admitted: s.admitted.load(Ordering::Relaxed),
+            overflow_rejects: s.overflow.load(Ordering::Relaxed),
+            deadline_sheds: s.sheds.load(Ordering::Relaxed),
+            deadline_stops: s.deadline_stops.load(Ordering::Relaxed),
+            quota_deferrals: s.quota_deferrals.load(Ordering::Relaxed),
+            budget_skips: s.budget_skips.load(Ordering::Relaxed),
+            queue_depth,
+            queue_high_water: s.queue_high_water.load(Ordering::Relaxed),
+            clients,
+            queue_p50_s: s.queue_hist.quantile(0.5),
+            queue_p99_s: s.queue_hist.quantile(0.99),
+            queue_mean_s: s.queue_hist.mean(),
+            service_p50_s: s.service_hist.quantile(0.5),
+            service_p99_s: s.service_hist.quantile(0.99),
+            service_mean_s: s.service_hist.mean(),
+            cache_hits: s.cache.hits(),
+            cache_misses: s.cache.misses(),
+            budget_spent: s.budget.spent(),
+            budget_cap: s.budget.cap(),
         }
     }
 
@@ -721,6 +1290,8 @@ impl OptimizationService {
 
     /// Initiates shutdown and blocks until every queued request has been
     /// served and all workers have exited. Called automatically on drop.
+    /// Requests submitted after shutdown begins are answered
+    /// [`ResponseStatus::Rejected`] with a backpressure reason.
     pub fn shutdown(&mut self) {
         {
             let mut state = self.shared.state.lock().expect("service state poisoned");
@@ -753,31 +1324,47 @@ impl std::fmt::Debug for OptimizationService {
 
 fn worker_loop(shared: Arc<ServiceShared>, mut env: OptimizationEnv, mut policy: PolicyNetwork) {
     loop {
-        let job = {
+        let popped = {
             let mut state = shared.state.lock().expect("service state poisoned");
             loop {
                 // Shutdown drains the queue even while paused, so dropping
                 // a paused service still answers every request.
                 if state.shutdown || !state.paused {
-                    if let Some(job) = state.queue.pop() {
-                        break Some(job);
-                    }
-                    if state.shutdown {
-                        break None;
+                    match state.pop_next(shared.client_quota) {
+                        Popped::Job(job, lane) => break Some((job, lane)),
+                        Popped::Blocked => {
+                            // Work is queued but every lane is at quota:
+                            // a completion will notify this condvar.
+                            shared.quota_deferrals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Popped::Idle => {
+                            if state.shutdown {
+                                break None;
+                            }
+                        }
                     }
                 }
                 state = shared.work.wait(state).expect("service state poisoned");
             }
         };
-        match job {
-            Some(job) => execute(&shared, &mut env, &mut policy, job),
+        match popped {
+            Some((job, lane)) => {
+                execute(&shared, &mut env, &mut policy, job);
+                shared.state.lock().expect("service state poisoned").lanes[lane].in_flight -= 1;
+                // Wake quota-blocked dispatchers (and the shutdown drain).
+                shared.work.notify_all();
+            }
             None => return,
         }
     }
 }
 
 /// Admission + execution of one dequeued request (see the module docs for
-/// the lifecycle). Always fills the job's response slot.
+/// the lifecycle). Always fills the job's response slot, and always
+/// reconciles the job's budget reservation: refunded in full when nothing
+/// ran, adjusted to the real spend after a search (a panicked search keeps
+/// its reservation charged — the estimate is the best available bound on
+/// what it consumed before dying).
 fn execute(
     shared: &ServiceShared,
     env: &mut OptimizationEnv,
@@ -785,6 +1372,7 @@ fn execute(
     job: QueuedJob,
 ) {
     let queue_s = job.submitted.elapsed().as_secs_f64();
+    shared.queue_hist.record(queue_s);
     let skeleton = |status: ResponseStatus, error: Option<String>| OptimizationResponse {
         id: job.id,
         module: job.request.module.name().to_string(),
@@ -798,8 +1386,9 @@ fn execute(
         service_s: 0.0,
     };
 
-    // --- admission ---------------------------------------------------
-    if job.stop.stops(RUN_RANK) {
+    // --- dequeue admission -------------------------------------------
+    if job.stop.claimant().is_some_and(|rank| rank < RUN_RANK) {
+        shared.budget.refund(job.reserved);
         shared.skipped.fetch_add(1, Ordering::Relaxed);
         job.slot.fill(skeleton(
             ResponseStatus::Skipped,
@@ -807,20 +1396,22 @@ fn execute(
         ));
         return;
     }
-    if let Some(deadline) = job.request.deadline {
-        if queue_s > deadline.as_secs_f64() {
-            shared.skipped.fetch_add(1, Ordering::Relaxed);
-            job.slot.fill(skeleton(
-                ResponseStatus::Skipped,
-                Some(format!(
-                    "queue deadline of {:.3}s expired after {queue_s:.3}s",
-                    deadline.as_secs_f64()
-                )),
-            ));
-            return;
-        }
+    if job.stop.expired() {
+        shared.budget.refund(job.reserved);
+        shared.sheds.fetch_add(1, Ordering::Relaxed);
+        shared.skipped.fetch_add(1, Ordering::Relaxed);
+        let deadline_s = job.request.deadline.map_or(0.0, |d| d.as_secs_f64());
+        job.slot.fill(skeleton(
+            ResponseStatus::Skipped,
+            Some(format!(
+                "deadline of {deadline_s:.3}s expired after {queue_s:.3}s in the queue; \
+                 request shed at dequeue"
+            )),
+        ));
+        return;
     }
     if let Err(problem) = job.request.spec.try_validate() {
+        shared.budget.refund(job.reserved);
         shared.rejected.fetch_add(1, Ordering::Relaxed);
         job.slot.fill(skeleton(
             ResponseStatus::Rejected,
@@ -830,6 +1421,7 @@ fn execute(
     }
     if let Some(config) = &job.request.env {
         if let Err(problem) = config.try_validate() {
+            shared.budget.refund(job.reserved);
             shared.rejected.fetch_add(1, Ordering::Relaxed);
             job.slot.fill(skeleton(
                 ResponseStatus::Rejected,
@@ -847,6 +1439,7 @@ fn execute(
             || config.interchange_mode != base.interchange_mode
             || config.action_space_mode != base.action_space_mode
         {
+            shared.budget.refund(job.reserved);
             shared.rejected.fetch_add(1, Ordering::Relaxed);
             job.slot.fill(skeleton(
                 ResponseStatus::Rejected,
@@ -860,17 +1453,7 @@ fn execute(
             return;
         }
     }
-    if shared.budget.try_admit(0).is_err() {
-        shared.skipped.fetch_add(1, Ordering::Relaxed);
-        job.slot.fill(skeleton(
-            ResponseStatus::Skipped,
-            Some(format!(
-                "service eval budget exhausted ({} lookups spent)",
-                shared.budget.spent()
-            )),
-        ));
-        return;
-    }
+    shared.admitted.fetch_add(1, Ordering::Relaxed);
 
     // --- execution ---------------------------------------------------
     // An override request runs on a fresh environment that joins the
@@ -920,16 +1503,34 @@ fn execute(
         }
     };
     let service_s = start.elapsed().as_secs_f64();
-    shared.budget.charge(outcome.total_lookups() as u64);
+    shared.service_hist.record(service_s);
+    // Reconcile the reservation to the real spend.
+    let actual = outcome.total_lookups() as u64;
+    if actual >= job.reserved {
+        shared.budget.charge(actual - job.reserved);
+    } else {
+        shared.budget.refund(job.reserved - actual);
+    }
 
-    let status = if job.stop.stops(RUN_RANK) {
+    let cancelled = job.stop.claimant().is_some_and(|rank| rank < RUN_RANK);
+    let (status, error) = if cancelled {
         shared.stopped.fetch_add(1, Ordering::Relaxed);
-        ResponseStatus::Stopped
+        (ResponseStatus::Stopped, None)
+    } else if job.stop.expired() {
+        shared.stopped.fetch_add(1, Ordering::Relaxed);
+        shared.deadline_stops.fetch_add(1, Ordering::Relaxed);
+        let deadline_s = job.request.deadline.map_or(0.0, |d| d.as_secs_f64());
+        (
+            ResponseStatus::Stopped,
+            Some(format!(
+                "deadline of {deadline_s:.3}s passed mid-run; best-so-far returned"
+            )),
+        )
     } else {
         shared.completed.fetch_add(1, Ordering::Relaxed);
-        ResponseStatus::Completed
+        (ResponseStatus::Completed, None)
     };
-    let mut response = skeleton(status, None);
+    let mut response = skeleton(status, error);
     response.evaluations = outcome.evaluations;
     response.cache_hits = outcome.cache_hits;
     response.service_s = service_s;
@@ -982,6 +1583,8 @@ mod tests {
         assert_eq!(stats.submitted, 1);
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.pending, 0);
+        // Reconciliation nets the budget back to the real spend.
+        assert_eq!(stats.budget_spent, response.total_lookups() as u64);
     }
 
     #[test]
@@ -1008,6 +1611,12 @@ mod tests {
             .wait();
         assert_eq!(ok.status, ResponseStatus::Completed);
         assert_eq!(service.stats().rejected, 2);
+        // Both rejections refunded their reservations in full.
+        assert_eq!(
+            service.stats().budget_spent,
+            ok.total_lookups() as u64,
+            "rejected requests must not leak budget reservations"
+        );
     }
 
     #[test]
@@ -1031,19 +1640,15 @@ mod tests {
     }
 
     #[test]
-    fn exhausted_budget_skips_consistently() {
-        // Measure one greedy request's spend, then cap the service budget
-        // at exactly that: request 1 completes (admitted below the cap),
-        // requests 2 and 3 are skipped.
-        let probe = OptimizationService::new(ServiceConfig::quick(), policy());
-        let spend = probe
-            .submit(OptimizationRequest::new(module(64), SearchSpec::Greedy).with_seed(3))
-            .wait()
-            .total_lookups() as u64;
-        drop(probe);
-
+    fn exhausted_budget_skips_in_submission_order() {
+        // Cap the budget at exactly the first request's reservation
+        // estimate: request 1 is admitted at submit (spend 0 < cap) and
+        // charges the whole cap; requests 2 and 3 are refused *at submit*,
+        // before any worker runs — the skip set is a pure function of the
+        // submission sequence, not of load or worker count.
+        let est = SearchSpec::Greedy.cost_estimate(&EnvConfig::small(), &module(64));
         let service = OptimizationService::new(
-            ServiceConfig::quick().with_eval_budget(spend).paused(),
+            ServiceConfig::quick().with_eval_budget(est).paused(),
             policy(),
         );
         let pending = service.submit_batch(vec![
@@ -1051,15 +1656,129 @@ mod tests {
             OptimizationRequest::new(module(96), SearchSpec::Greedy).with_seed(4),
             OptimizationRequest::new(module(128), SearchSpec::Greedy).with_seed(5),
         ]);
+        // Budget decisions are already made: later requests answered
+        // immediately, while the service is still paused.
+        for late in &pending[1..] {
+            let response = late.try_response().expect("skipped at submit");
+            assert_eq!(response.status, ResponseStatus::Skipped);
+            assert!(response
+                .error
+                .as_ref()
+                .unwrap()
+                .contains("budget exhausted"));
+            assert_eq!(response.total_lookups(), 0);
+        }
+        service.resume();
+        let first = pending[0].wait();
+        assert_eq!(first.status, ResponseStatus::Completed);
+        // Reconciliation nets the ledger to the real spend, which the
+        // estimate upper-bounds.
+        assert!(service.budget().spent() <= est);
+        assert_eq!(service.budget().spent(), first.total_lookups() as u64);
+        assert_eq!(service.metrics().budget_skips, 2);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow_immediately() {
+        // Paused 1-worker service, capacity 2: the third submit is
+        // answered Rejected synchronously — the submitter is never
+        // blocked and the queue never grows past its bound.
+        let service = OptimizationService::new(
+            ServiceConfig::quick().with_queue_capacity(2).paused(),
+            policy(),
+        );
+        let a = service.submit(OptimizationRequest::new(module(64), SearchSpec::Greedy));
+        let b = service.submit(OptimizationRequest::new(module(96), SearchSpec::Greedy));
+        let c = service.submit(OptimizationRequest::new(module(128), SearchSpec::Greedy));
+        let rejected = c.try_response().expect("rejected synchronously");
+        assert_eq!(rejected.status, ResponseStatus::Rejected);
+        let reason = rejected.error.as_deref().unwrap();
+        assert!(reason.starts_with(BACKPRESSURE_PREFIX), "got {reason:?}");
+        assert!(reason.contains("queue full (capacity 2)"));
+        // Backpressure text is excluded from the fingerprint, so two
+        // overflows of different instantaneous depth still match.
+        let mut other = rejected.clone();
+        other.error = Some(format!("{BACKPRESSURE_PREFIX}queue full (capacity 7)"));
+        assert_eq!(rejected.fingerprint(), other.fingerprint());
+        let metrics = service.metrics();
+        assert_eq!(metrics.overflow_rejects, 1);
+        assert_eq!(metrics.queue_depth, 2);
+        assert_eq!(metrics.queue_high_water, 2);
+        service.resume();
+        assert_eq!(a.wait().status, ResponseStatus::Completed);
+        assert_eq!(b.wait().status, ResponseStatus::Completed);
+        // The overflow reject never occupied queue memory.
+        assert_eq!(service.metrics().queue_high_water, 2);
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_at_dequeue() {
+        let service = OptimizationService::new(ServiceConfig::quick().paused(), policy());
+        let doomed = service.submit(
+            OptimizationRequest::new(module(64), SearchSpec::Greedy).with_deadline(Duration::ZERO),
+        );
+        let fine = service.submit(OptimizationRequest::new(module(96), SearchSpec::Greedy));
+        service.resume();
+        let shed = doomed.wait();
+        assert_eq!(shed.status, ResponseStatus::Skipped);
+        assert!(shed.error.as_ref().unwrap().contains("shed at dequeue"));
+        assert_eq!(shed.total_lookups(), 0);
+        assert_eq!(fine.wait().status, ResponseStatus::Completed);
+        let metrics = service.metrics();
+        assert_eq!(metrics.deadline_sheds, 1);
+        // The shed request's reservation was refunded in full.
+        assert_eq!(service.budget().spent(), fine.wait().total_lookups() as u64);
+    }
+
+    #[test]
+    fn weighted_lanes_serve_every_client() {
+        // Two named clients with different weights plus the anonymous
+        // lane, a quota of 1 in flight, 2 workers: everything completes
+        // and outcomes stay seed-deterministic.
+        let service = OptimizationService::new(
+            ServiceConfig::quick()
+                .with_workers(2)
+                .with_client_quota(1)
+                .with_client_weight("heavy", 3)
+                .paused(),
+            policy(),
+        );
+        let mut pending = Vec::new();
+        for i in 0..3u64 {
+            pending.push(
+                service.submit(
+                    OptimizationRequest::new(module(64), SearchSpec::Greedy)
+                        .with_seed(i)
+                        .with_client("heavy"),
+                ),
+            );
+            pending.push(
+                service.submit(
+                    OptimizationRequest::new(module(96), SearchSpec::Greedy)
+                        .with_seed(i)
+                        .with_client("light"),
+                ),
+            );
+            pending
+                .push(service.submit(
+                    OptimizationRequest::new(module(128), SearchSpec::Greedy).with_seed(i),
+                ));
+        }
         service.resume();
         let responses = wait_all(&pending);
-        assert_eq!(responses[0].status, ResponseStatus::Completed);
-        for late in &responses[1..] {
-            assert_eq!(late.status, ResponseStatus::Skipped);
-            assert!(late.error.as_ref().unwrap().contains("budget exhausted"));
-            assert_eq!(late.total_lookups(), 0);
+        for response in &responses {
+            assert_eq!(response.status, ResponseStatus::Completed);
         }
-        assert!(service.budget().is_exhausted());
+        let metrics = service.metrics();
+        assert_eq!(metrics.clients, 3);
+        assert_eq!(metrics.completed, 9);
+        // Identical requests answered identically regardless of lanes.
+        assert_eq!(responses[0].fingerprint(), {
+            let solo = OptimizationService::new(ServiceConfig::quick(), policy());
+            solo.submit(OptimizationRequest::new(module(64), SearchSpec::Greedy).with_seed(0))
+                .wait()
+                .fingerprint()
+        });
     }
 
     #[test]
@@ -1148,6 +1867,79 @@ mod tests {
     }
 
     #[test]
+    fn wait_timeout_returns_none_then_the_response() {
+        let service = OptimizationService::new(ServiceConfig::quick().paused(), policy());
+        let pending = service.submit(OptimizationRequest::new(module(64), SearchSpec::Greedy));
+        assert!(
+            pending.wait_timeout(Duration::from_millis(20)).is_none(),
+            "paused service must time the wait out"
+        );
+        service.resume();
+        let response = pending
+            .wait_timeout(Duration::from_secs(30))
+            .expect("resumed service answers well before the timeout");
+        assert_eq!(response.status, ResponseStatus::Completed);
+        // Once filled, every further wait_timeout returns instantly.
+        assert_eq!(
+            pending.wait_timeout(Duration::ZERO).map(|r| r.id),
+            Some(response.id)
+        );
+    }
+
+    #[test]
+    fn metrics_surface_reports_latency_and_admission() {
+        let service = OptimizationService::new(ServiceConfig::quick(), policy());
+        for seed in 0..3 {
+            let response = service
+                .submit(OptimizationRequest::new(module(64), SearchSpec::Greedy).with_seed(seed))
+                .wait();
+            assert_eq!(response.status, ResponseStatus::Completed);
+        }
+        let metrics = service.metrics();
+        assert_eq!(metrics.submitted, 3);
+        assert_eq!(metrics.admitted, 3);
+        assert_eq!(metrics.completed, 3);
+        assert_eq!(metrics.queue_depth, 0);
+        assert!(metrics.queue_high_water >= 1);
+        assert!(metrics.queue_p50_s > 0.0 && metrics.queue_p99_s >= metrics.queue_p50_s);
+        assert!(metrics.service_p50_s > 0.0 && metrics.service_p99_s >= metrics.service_p50_s);
+        assert!(metrics.service_mean_s > 0.0);
+        assert!(metrics.cache_hit_rate() > 0.0, "repeat modules must hit");
+        // The JSON rendering exposes every counter, parseably.
+        let json = metrics.to_json();
+        for key in [
+            "\"queue_p99_s\"",
+            "\"service_p99_s\"",
+            "\"overflow_rejects\"",
+            "\"quota_deferrals\"",
+            "\"budget_cap\": null",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn zero_knobs_fail_validation_instead_of_wedging() {
+        assert!(ServiceConfig::quick()
+            .with_queue_capacity(0)
+            .try_validate()
+            .is_err());
+        assert!(ServiceConfig::quick()
+            .with_client_quota(0)
+            .try_validate()
+            .is_err());
+        assert!(ServiceConfig::quick()
+            .with_client_weight("a", 0)
+            .try_validate()
+            .is_err());
+        assert!(OptimizationService::try_new(
+            ServiceConfig::quick().with_queue_capacity(0),
+            policy()
+        )
+        .is_err());
+    }
+
+    #[test]
     fn drop_drains_the_queue() {
         let mut service = OptimizationService::new(ServiceConfig::quick().paused(), policy());
         let pending = service.submit_batch(vec![
@@ -1159,5 +1951,20 @@ mod tests {
         for p in &pending {
             assert!(p.try_response().is_some(), "shutdown must drain the queue");
         }
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_backpressure_rejected() {
+        let mut service = OptimizationService::new(ServiceConfig::quick(), policy());
+        service.shutdown();
+        let late = service
+            .submit(OptimizationRequest::new(module(64), SearchSpec::Greedy))
+            .wait();
+        assert_eq!(late.status, ResponseStatus::Rejected);
+        assert!(late
+            .error
+            .as_deref()
+            .unwrap()
+            .starts_with(BACKPRESSURE_PREFIX));
     }
 }

@@ -70,6 +70,22 @@ impl EvalBudget {
         }
     }
 
+    /// Returns `amount` units to the ledger, saturating at zero spend. The
+    /// reconciliation half of reservation-style admission: an admitter
+    /// charges a cost *estimate* up front with [`EvalBudget::try_admit`]
+    /// and, once the real spend is known, refunds the over-estimate (or
+    /// [`EvalBudget::charge`]s the shortfall). Refunding more than was ever
+    /// charged is a no-op beyond zero — the ledger never underflows into a
+    /// huge unsigned spend.
+    pub fn refund(&self, amount: u64) -> u64 {
+        self.spent
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |spent| {
+                Some(spent.saturating_sub(amount))
+            })
+            .expect("refund update never fails")
+            .saturating_sub(amount)
+    }
+
     /// Total units charged so far, across every clone of the ledger.
     pub fn spent(&self) -> u64 {
         self.spent.load(Ordering::Relaxed)
@@ -137,6 +153,30 @@ mod tests {
         let open = EvalBudget::unlimited();
         assert_eq!(open.try_admit(u64::MAX / 2), Ok(u64::MAX / 2));
         assert!(open.try_admit(0).is_ok());
+    }
+
+    #[test]
+    fn refund_reconciles_reservations_and_saturates_at_zero() {
+        let ledger = EvalBudget::limited(10);
+        // Reserve an estimate, then reconcile down to the real spend.
+        assert_eq!(ledger.try_admit(8), Ok(8));
+        assert_eq!(ledger.refund(3), 5);
+        assert_eq!(ledger.spent(), 5);
+        assert_eq!(ledger.remaining(), Some(5));
+        // A refund reopens admission that the reservation had closed.
+        ledger.charge(5);
+        assert!(ledger.try_admit(1).is_err());
+        ledger.refund(1);
+        assert!(ledger.try_admit(1).is_ok());
+        // Saturating underflow: refunding more than was charged pins the
+        // ledger at zero instead of wrapping to u64::MAX.
+        let ledger = EvalBudget::limited(10);
+        ledger.charge(4);
+        assert_eq!(ledger.refund(100), 0);
+        assert_eq!(ledger.spent(), 0);
+        assert_eq!(ledger.refund(1), 0);
+        assert!(!ledger.is_exhausted());
+        assert!(ledger.try_admit(2).is_ok());
     }
 
     #[test]

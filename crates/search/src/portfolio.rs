@@ -168,26 +168,35 @@ impl<P: PolicyModel> Portfolio<P> {
         policy: &mut P,
         module: &Module,
         seed: u64,
+        rank: usize,
+        stop: &StopToken,
     ) -> SearchOutcome {
         let ledger = self.ledger();
         let mut finished: Vec<(usize, SearchOutcome)> = Vec::new();
         let mut skipped: Vec<usize> = Vec::new();
-        for (rank, member) in self.members.iter().enumerate() {
-            if ledger.is_exhausted() {
-                skipped.push(rank);
+        for (member_rank, member) in self.members.iter().enumerate() {
+            // An external stop (a served request's cancellation or
+            // deadline) ends the round-robin at a member boundary; the
+            // members that never got a turn report `Skipped`, exactly like
+            // budget-skipped members.
+            if ledger.is_exhausted() || stop.stops(rank) {
+                skipped.push(member_rank);
                 continue;
             }
             // Every member gets the portfolio's own seed: members are
             // different algorithms, and sharing the seed is what makes a
             // single-member portfolio identical to running that member
             // alone. Warmth flows member to member through `env`'s cache.
-            let outcome = member.search(env, policy, module, seed);
+            // The external token is threaded through at the portfolio's own
+            // rank so stop-aware members also wind down mid-run.
+            let outcome = member.search_with_stop(env, policy, module, seed, rank, stop);
             ledger.charge(outcome.total_lookups() as u64);
-            finished.push((rank, outcome));
+            finished.push((member_rank, outcome));
         }
         self.assemble(env, module, finished, skipped, None, usize::MAX)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn search_racing(
         &self,
         env: &mut OptimizationEnv,
@@ -195,19 +204,24 @@ impl<P: PolicyModel> Portfolio<P> {
         module: &Module,
         seed: u64,
         target_speedup: f64,
+        rank: usize,
+        stop: &StopToken,
     ) -> SearchOutcome {
         // Member threads must share one table; idempotent when the driver
         // already put the environment in shared mode.
         env.enable_shared_cache();
         let ledger = self.ledger();
-        let stop = StopToken::new();
+        // The race runs in its own claimant space, linked to the external
+        // token: member claims stay internal, while an external cancel or
+        // deadline stops every member through the parent link.
+        let race = stop.child(rank);
 
         let mut raced: Vec<(usize, SearchOutcome, bool)> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.members.len());
-            for (rank, member) in self.members.iter().enumerate() {
+            for (member_rank, member) in self.members.iter().enumerate() {
                 let mut member_env = env.clone();
                 let mut member_policy = policy.clone();
-                let stop = &stop;
+                let race = &race;
                 let ledger = ledger.clone();
                 handles.push(scope.spawn(move || {
                     let outcome = member.search_with_stop(
@@ -215,19 +229,19 @@ impl<P: PolicyModel> Portfolio<P> {
                         &mut member_policy,
                         module,
                         seed,
-                        rank,
-                        stop,
+                        member_rank,
+                        race,
                     );
                     // Only a member that was never preempted may claim:
                     // its outcome is its full search, so "reached the
                     // target" is a deterministic fact about (seed,
                     // module), not about thread timing.
-                    let preempted = stop.stops(rank);
+                    let preempted = race.stops(member_rank);
                     if !preempted && outcome.speedup >= target_speedup {
-                        stop.claim(rank);
+                        race.claim(member_rank);
                     }
                     ledger.charge(outcome.total_lookups() as u64);
-                    (rank, outcome, preempted)
+                    (member_rank, outcome, preempted)
                 }));
             }
             handles
@@ -241,7 +255,7 @@ impl<P: PolicyModel> Portfolio<P> {
         // that (run to completion) reached the target; every member ranked
         // at or below it always completes. Members above the claimant are
         // attribution-only — their stopping point depends on timing.
-        let claimant = stop.claimant();
+        let claimant = race.claimant();
         let counted_below = claimant.unwrap_or(usize::MAX);
         let finished: Vec<(usize, SearchOutcome)> = raced
             .iter()
@@ -425,10 +439,29 @@ impl<P: PolicyModel> Searcher<P> for Portfolio<P> {
         if self.members.is_empty() {
             return self.empty_outcome(env, module);
         }
+        // A standalone search runs under a token that never fires, so the
+        // stop-threaded paths behave exactly like unstoppable ones.
+        self.search_with_stop(env, policy, module, seed, 0, &StopToken::new())
+    }
+
+    fn search_with_stop(
+        &self,
+        env: &mut OptimizationEnv,
+        policy: &mut P,
+        module: &Module,
+        seed: u64,
+        rank: usize,
+        stop: &StopToken,
+    ) -> SearchOutcome {
+        if self.members.is_empty() {
+            return self.empty_outcome(env, module);
+        }
         match self.mode {
-            PortfolioMode::RoundRobin => self.search_round_robin(env, policy, module, seed),
+            PortfolioMode::RoundRobin => {
+                self.search_round_robin(env, policy, module, seed, rank, stop)
+            }
             PortfolioMode::Racing { target_speedup } => {
-                self.search_racing(env, policy, module, seed, target_speedup)
+                self.search_racing(env, policy, module, seed, target_speedup, rank, stop)
             }
         }
     }

@@ -2,6 +2,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
@@ -111,7 +112,8 @@ impl MemberOutcome {
     }
 }
 
-/// Cooperative early-stop channel of a racing portfolio.
+/// Cooperative early-stop channel of a racing portfolio — and, since the
+/// serving layer reuses it, of any deadline- or cancellation-aware search.
 ///
 /// The token holds the roster rank of the best (lowest-ranked) member that
 /// has claimed the race target so far. A member checks
@@ -120,17 +122,64 @@ impl MemberOutcome {
 /// eventual winner always runs to completion, which is what keeps racing
 /// outcomes deterministic: the winner and everything it reports never
 /// depend on thread timing, only losers *above* the winner get cut short.
+///
+/// Two optional extensions serve the request/response layer:
+///
+/// * a **deadline** ([`StopToken::with_deadline`]): once the wall-clock
+///   deadline passes, [`StopToken::stops`] fires for *every* rank — the
+///   in-run half of end-to-end deadline enforcement. Deadline stops are
+///   timing-based, so (like racing-loser rows) anything cut short by one
+///   is outside the determinism contract;
+/// * a **parent link** ([`StopToken::child`]): a child token opens a fresh
+///   claimant space (for e.g. a portfolio's internal race) that *also*
+///   honors stops addressed to the parent rank it was created under — how
+///   an external cancel or deadline reaches into a nested search's members.
 #[derive(Debug, Clone)]
 pub struct StopToken {
     claimant: Arc<AtomicUsize>,
+    deadline: Option<Instant>,
+    parent: Option<(Arc<StopToken>, usize)>,
 }
 
 impl StopToken {
-    /// A token with no claimant: it never stops anyone until
-    /// [`StopToken::claim`] is called.
+    /// A token with no claimant, no deadline and no parent: it never stops
+    /// anyone until [`StopToken::claim`] is called.
     pub fn new() -> Self {
         Self {
             claimant: Arc::new(AtomicUsize::new(usize::MAX)),
+            deadline: None,
+            parent: None,
+        }
+    }
+
+    /// Attaches a wall-clock deadline: from `deadline` on,
+    /// [`StopToken::stops`] fires for every rank.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The attached deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// True once the attached deadline has passed (never for a token
+    /// without one).
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// A token with a fresh claimant space that additionally stops every
+    /// rank whenever `self` stops `rank` — claims on the child never
+    /// propagate to `self`. Nested searches (a portfolio race inside a
+    /// served request) hand their members a child of the request token so
+    /// an external cancel or deadline cuts through both layers.
+    pub fn child(&self, rank: usize) -> Self {
+        Self {
+            claimant: Arc::new(AtomicUsize::new(usize::MAX)),
+            deadline: None,
+            parent: Some((Arc::new(self.clone()), rank)),
         }
     }
 
@@ -140,16 +189,24 @@ impl StopToken {
         self.claimant.fetch_min(rank, Ordering::SeqCst);
     }
 
-    /// The best (lowest) rank that has claimed so far.
+    /// The best (lowest) rank that has claimed *this* token so far
+    /// (deadline expiry and parent stops are not claims).
     pub fn claimant(&self) -> Option<usize> {
         let rank = self.claimant.load(Ordering::SeqCst);
         (rank != usize::MAX).then_some(rank)
     }
 
-    /// True when a member ranked below `rank` has claimed — the signal for
-    /// the member at `rank` to wind down with its best-so-far.
+    /// True when the member at `rank` should wind down with its
+    /// best-so-far: a member ranked below it has claimed, the deadline has
+    /// passed, or the parent token stops the rank this child was created
+    /// under.
     pub fn stops(&self, rank: usize) -> bool {
         self.claimant.load(Ordering::SeqCst) < rank
+            || self.expired()
+            || self
+                .parent
+                .as_ref()
+                .is_some_and(|(parent, parent_rank)| parent.stops(*parent_rank))
     }
 }
 

@@ -13,6 +13,8 @@
 use serde::{Deserialize, Serialize};
 
 use mlir_rl_agent::PolicyModel;
+use mlir_rl_env::EnvConfig;
+use mlir_rl_ir::Module;
 
 use crate::beam::BeamSearch;
 use crate::greedy::GreedyPolicy;
@@ -120,6 +122,45 @@ impl SearchSpec {
                 PortfolioMode::Racing { .. } => format!("portfolio-race-{}", members.len()),
             },
         }
+    }
+
+    /// A deterministic upper-bound estimate of the cost-model lookups a
+    /// search of this spec may spend on `module` under `env` — the unit
+    /// reservation-style budget admission charges *before* the search runs
+    /// (reconciled against the real spend afterwards). The estimate is a
+    /// pure function of `(spec, env, module)`, never of load, cache warmth
+    /// or worker count, which is what makes admission decisions derived
+    /// from it reproducible for a fixed submission sequence. The formulas
+    /// bound each searcher by its episode budget times the driver's
+    /// episode-length bound; they deliberately over-reserve (refunds are
+    /// cheap, blown ledgers are not).
+    pub fn cost_estimate(&self, env: &EnvConfig, module: &Module) -> u64 {
+        // The same malformed-module-tolerant bound `max_episode_steps`
+        // uses, plus one lookup for the baseline estimate.
+        let episode = ((module.ops().len() as u64).saturating_add(1))
+            .saturating_mul(env.max_schedule_len as u64 + 3);
+        let estimate = match self {
+            Self::Greedy => episode.saturating_add(1),
+            Self::Beam { width } => episode
+                .saturating_mul((*width as u64).saturating_add(1))
+                .saturating_add(1),
+            Self::Mcts { iterations, .. } => episode
+                .saturating_mul((*iterations as u64).saturating_add(1))
+                .saturating_add(1),
+            Self::Random { episodes } => episode
+                .saturating_mul((*episodes as u64).saturating_add(1))
+                .saturating_add(1),
+            Self::Portfolio {
+                members, budget, ..
+            } => {
+                let roster: u64 = members.iter().fold(0u64, |sum, m| {
+                    sum.saturating_add(m.cost_estimate(env, module))
+                });
+                // A portfolio's own ledger already caps its members' spend.
+                budget.map_or(roster, |cap| roster.min(cap.saturating_add(1)))
+            }
+        };
+        estimate.max(1)
     }
 
     /// Checks the spec for problems a built searcher could not recover
@@ -278,6 +319,49 @@ mod tests {
             let err = spec.try_validate().unwrap_err();
             assert!(err.contains(needle), "{spec:?}: {err}");
         }
+    }
+
+    #[test]
+    fn cost_estimates_bound_real_spend_and_are_pure() {
+        let config = EnvConfig::small();
+        let env = OptimizationEnv::new(config.clone(), CostModel::new(MachineModel::default()));
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut policy = PolicyNetwork::new(
+            config.clone(),
+            PolicyHyperparams {
+                hidden_size: 16,
+                backbone_layers: 1,
+            },
+            &mut rng,
+        );
+        let mut b = ModuleBuilder::new("m");
+        let a = b.argument("A", vec![64, 64]);
+        let w = b.argument("B", vec![64, 64]);
+        b.matmul(a, w);
+        let module = b.finish();
+
+        for spec in specs() {
+            let estimate = spec.cost_estimate(&config, &module);
+            assert!(estimate >= 1, "{spec:?}");
+            // Pure in (spec, env, module): repeated calls agree.
+            assert_eq!(estimate, spec.cost_estimate(&config, &module), "{spec:?}");
+            // An upper bound on what the built searcher actually spends.
+            let outcome =
+                spec.build::<PolicyNetwork>()
+                    .search(&mut env.clone(), &mut policy, &module, 11);
+            assert!(
+                outcome.total_lookups() as u64 <= estimate,
+                "{spec:?}: spent {} over the {estimate} reservation",
+                outcome.total_lookups()
+            );
+        }
+        // A portfolio's own budget caps its reservation.
+        let capped = SearchSpec::Portfolio {
+            members: vec![SearchSpec::beam(4), SearchSpec::random(8)],
+            mode: PortfolioMode::RoundRobin,
+            budget: Some(10),
+        };
+        assert!(capped.cost_estimate(&config, &module) <= 11);
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //! shuffled orders to services with 1/2/4 workers, must produce
 //! bitwise-identical responses (the deterministic response fields — status,
 //! outcome estimates, action sequences, schedules — not the warmth- and
-//! load-dependent accounting counts); budget-exhausted and cancelled
-//! requests report `Skipped`/`Stopped` consistently with the portfolio
-//! `MemberStatus` semantics.
+//! load-dependent accounting counts) with every hardening knob (bounded
+//! queue, client quotas and weights, budget reservations) enabled;
+//! budget-exhausted and cancelled requests report `Skipped`/`Stopped`
+//! consistently with the portfolio `MemberStatus` semantics; and the
+//! overload battery proves a saturated service sheds/rejects
+//! deterministically and never hangs a client.
 
 use mlir_rl::agent::{PolicyHyperparams, PolicyNetwork};
 use mlir_rl::env::EnvConfig;
@@ -108,11 +111,26 @@ fn responses_are_identical_across_worker_counts_and_submission_orders() {
     let mut reference: Option<Vec<_>> = None;
     for workers in [1usize, 2, 4] {
         for order in &orders {
-            let service =
-                OptimizationService::new(ServiceConfig::quick().with_workers(workers), policy(7));
+            // Every hardening knob enabled at once: a bounded queue (large
+            // enough that nothing overflows), per-client quotas and
+            // weights, and a budget cap high enough that reservation
+            // admission passes — none of them may move a single bit of an
+            // admitted response.
+            let service = OptimizationService::new(
+                ServiceConfig::quick()
+                    .with_workers(workers)
+                    .with_queue_capacity(64)
+                    .with_client_quota(2)
+                    .with_client_weight("alice", 3)
+                    .with_eval_budget(1_000_000),
+                policy(7),
+            );
             let pending: Vec<_> = order
                 .iter()
-                .map(|&i| service.submit(requests[i].clone()))
+                .map(|&i| {
+                    let client = ["alice", "bob"][i % 2];
+                    service.submit(requests[i].clone().with_client(client))
+                })
                 .collect();
             let mut fields = vec![None; n];
             for (&i, p) in order.iter().zip(&pending) {
@@ -136,40 +154,141 @@ fn responses_are_identical_across_worker_counts_and_submission_orders() {
 }
 
 #[test]
-fn budget_exhaustion_skips_like_member_status_semantics() {
-    // Measure the first request's spend, then cap a fresh service there:
-    // with one worker and a paused start, request order is deterministic,
-    // so exactly the later requests are skipped — the request-level
-    // analogue of the round-robin portfolio's budget-skipped members.
+fn budget_exhaustion_skips_in_submission_order_at_any_worker_count() {
+    // The ledger is charged a reservation from the spec's cost estimate at
+    // *submit*, in submission order, so which requests an exhausted budget
+    // refuses is a pure function of the submission sequence — not of the
+    // worker count or of when earlier searches happen to finish. Capping
+    // the budget at exactly the first request's reservation admits request
+    // 1 and refuses 2 and 3, every time, at every worker count — the
+    // request-level analogue of the round-robin portfolio's
+    // budget-skipped members.
     let requests: Vec<OptimizationRequest> = [64u64, 96, 128]
         .iter()
         .map(|&s| OptimizationRequest::new(chain(s, s, s), SearchSpec::Greedy).with_seed(5))
         .collect();
-    let probe = OptimizationService::new(ServiceConfig::quick(), policy(9));
-    let first_spend = probe.submit(requests[0].clone()).wait().total_lookups() as u64;
-    drop(probe);
+    let est = SearchSpec::Greedy.cost_estimate(&EnvConfig::small(), &requests[0].module);
 
-    for _ in 0..2 {
-        // Twice: the skip pattern itself is reproducible.
-        let service = OptimizationService::new(
-            ServiceConfig::quick()
-                .with_eval_budget(first_spend)
-                .paused(),
-            policy(9),
-        );
-        let pending = service.submit_batch(requests.clone());
-        service.resume();
-        let responses = wait_all(&pending);
-        assert_eq!(responses[0].status, ResponseStatus::Completed);
-        for skipped in &responses[1..] {
-            // Skipped == never ran: no outcome, zero accounting, a reason.
-            assert_eq!(skipped.status, ResponseStatus::Skipped);
-            assert!(skipped.outcome.is_none());
-            assert_eq!(skipped.total_lookups(), 0);
-            assert!(skipped.error.as_ref().unwrap().contains("budget"));
+    for workers in [1usize, 4] {
+        for _ in 0..2 {
+            // Twice per worker count: the skip pattern is reproducible.
+            let service = OptimizationService::new(
+                ServiceConfig::quick()
+                    .with_workers(workers)
+                    .with_eval_budget(est)
+                    .paused(),
+                policy(9),
+            );
+            let pending = service.submit_batch(requests.clone());
+            // Refusals are decided at submit: the skipped responses are
+            // already available while the service is still paused.
+            for skipped in &pending[1..] {
+                let response = skipped.try_response().expect("refused at submit");
+                // Skipped == never ran: no outcome, zero accounting, a
+                // reason.
+                assert_eq!(response.status, ResponseStatus::Skipped);
+                assert!(response.outcome.is_none());
+                assert_eq!(response.total_lookups(), 0);
+                assert!(response.error.as_ref().unwrap().contains("budget"));
+            }
+            service.resume();
+            let responses = wait_all(&pending);
+            assert_eq!(responses[0].status, ResponseStatus::Completed);
+            assert_eq!(service.stats().skipped, 2);
         }
-        assert_eq!(service.stats().skipped, 2);
     }
+}
+
+#[test]
+fn saturated_service_sheds_and_rejects_deterministically_and_never_hangs() {
+    // Overflow: a paused capacity-2 service answers the overflowing tail
+    // Rejected synchronously at submit, in submission order — the same
+    // refusal set at 1 worker and at 4, run after run.
+    for workers in [1usize, 4] {
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let service = OptimizationService::new(
+                ServiceConfig::quick()
+                    .with_workers(workers)
+                    .with_queue_capacity(2)
+                    .paused(),
+                policy(17),
+            );
+            let pending: Vec<_> = (0..5u64)
+                .map(|i| {
+                    service.submit(
+                        OptimizationRequest::new(chain(64, 64, 64), SearchSpec::Greedy)
+                            .with_seed(i),
+                    )
+                })
+                .collect();
+            // The overflowed requests never block the submitter.
+            for p in &pending[2..] {
+                let r = p.try_response().expect("rejected at submit");
+                assert_eq!(r.status, ResponseStatus::Rejected);
+                assert!(r.error.as_deref().unwrap().starts_with("backpressure: "));
+                assert!(r.outcome.is_none());
+            }
+            service.resume();
+            let statuses: Vec<ResponseStatus> =
+                wait_all(&pending).iter().map(|r| r.status).collect();
+            runs.push(statuses);
+        }
+        assert_eq!(runs[0], runs[1], "refusal set must be reproducible");
+        assert_eq!(
+            runs[0],
+            vec![
+                ResponseStatus::Completed,
+                ResponseStatus::Completed,
+                ResponseStatus::Rejected,
+                ResponseStatus::Rejected,
+                ResponseStatus::Rejected,
+            ]
+        );
+    }
+
+    // Shedding + quotas: expired deadlines are load-shed at dequeue with
+    // Skipped, and a quota-1 4-worker service interleaving a hot and a
+    // cold client still answers every request — no deadlock, no hang.
+    let service = OptimizationService::new(
+        ServiceConfig::quick()
+            .with_workers(4)
+            .with_client_quota(1)
+            .paused(),
+        policy(17),
+    );
+    let mut pending = Vec::new();
+    for i in 0..4u64 {
+        pending.push(
+            service.submit(
+                OptimizationRequest::new(chain(64, 64, 64), SearchSpec::Greedy)
+                    .with_seed(i)
+                    .with_client("hot")
+                    .with_deadline(std::time::Duration::ZERO),
+            ),
+        );
+        pending.push(
+            service.submit(
+                OptimizationRequest::new(chain(96, 48, 64), SearchSpec::Greedy)
+                    .with_seed(i)
+                    .with_client("cold"),
+            ),
+        );
+    }
+    service.resume();
+    let responses = wait_all(&pending);
+    for (i, response) in responses.iter().enumerate() {
+        if i % 2 == 0 {
+            assert_eq!(response.status, ResponseStatus::Skipped);
+            assert!(response.error.as_ref().unwrap().contains("shed"));
+            assert_eq!(response.total_lookups(), 0);
+        } else {
+            assert_eq!(response.status, ResponseStatus::Completed);
+        }
+    }
+    let metrics = service.metrics();
+    assert_eq!(metrics.deadline_sheds, 4);
+    assert_eq!(metrics.completed, 4);
 }
 
 #[test]
