@@ -7,14 +7,10 @@
 //! Scale with `MLIR_RL_SCALE` (`smoke` / `standard` / `full`) or pass
 //! `--smoke`.
 
-use mlir_rl_bench::{nn_throughput, ExperimentScale};
+use mlir_rl_bench::{cli, nn_throughput};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--smoke") {
-        ExperimentScale::smoke()
-    } else {
-        ExperimentScale::from_env()
-    };
-    let report = nn_throughput(&scale);
+    let args = cli::parse("exp_nn_throughput", cli::Accepts::default());
+    let report = nn_throughput(&args.scale());
     println!("{report}");
 }

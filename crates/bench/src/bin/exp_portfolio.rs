@@ -9,22 +9,18 @@
 //! `--smoke`; worker count with `MLIR_RL_WORKERS` (default: available
 //! parallelism). Pass `--json` for a machine-readable record.
 
-use mlir_rl_bench::{portfolio_speedups, ExperimentScale};
+use mlir_rl_bench::{cli, portfolio_speedups};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = if args.iter().any(|a| a == "--smoke") {
-        ExperimentScale::smoke()
-    } else {
-        ExperimentScale::from_env()
-    };
-    let workers = std::env::var("MLIR_RL_WORKERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(mlir_rl_agent::default_rollout_workers)
-        .max(1);
-    let report = portfolio_speedups(&scale, workers);
-    if args.iter().any(|a| a == "--json") {
+    let args = cli::parse(
+        "exp_portfolio",
+        cli::Accepts {
+            json: true,
+            trace: false,
+        },
+    );
+    let report = portfolio_speedups(&args.scale(), cli::workers_from_env());
+    if args.json {
         println!("{}", report.to_json());
     } else {
         println!("{report}");

@@ -7,19 +7,10 @@
 //! `--smoke`; worker count with `MLIR_RL_WORKERS` (default: available
 //! parallelism).
 
-use mlir_rl_bench::{search_speedups, ExperimentScale};
+use mlir_rl_bench::{cli, search_speedups};
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--smoke") {
-        ExperimentScale::smoke()
-    } else {
-        ExperimentScale::from_env()
-    };
-    let workers = std::env::var("MLIR_RL_WORKERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(mlir_rl_agent::default_rollout_workers)
-        .max(1);
-    let report = search_speedups(&scale, workers);
+    let args = cli::parse("exp_search", cli::Accepts::default());
+    let report = search_speedups(&args.scale(), cli::workers_from_env());
     println!("{report}");
 }

@@ -9,24 +9,29 @@
 //!
 //! Scale with `MLIR_RL_SCALE` (`smoke` / `standard` / `full`) or pass
 //! `--smoke`; worker count with `MLIR_RL_WORKERS` (default: available
-//! parallelism). Pass `--json` for a machine-readable record.
+//! parallelism). Pass `--json` for a machine-readable record, and
+//! `--trace <path>` to record a structured trace of the warm run and
+//! export it as Chrome trace-event JSON (a tracing summary with the
+//! measured recorder overhead goes to stderr).
 
-use mlir_rl_bench::{service_throughput, ExperimentScale};
+use mlir_rl_bench::{cli, export_trace, service_throughput_traced, DEFAULT_TRACE_CAPACITY};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = if args.iter().any(|a| a == "--smoke") {
-        ExperimentScale::smoke()
-    } else {
-        ExperimentScale::from_env()
-    };
-    let workers = std::env::var("MLIR_RL_WORKERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(mlir_rl_agent::default_rollout_workers)
-        .max(1);
-    let report = service_throughput(&scale, workers);
-    if args.iter().any(|a| a == "--json") {
+    let args = cli::parse(
+        "exp_service",
+        cli::Accepts {
+            json: true,
+            trace: true,
+        },
+    );
+    let scale = args.scale();
+    let workers = cli::workers_from_env();
+    let trace_capacity = args.trace.as_ref().map(|_| DEFAULT_TRACE_CAPACITY);
+    let (report, snapshot) = service_throughput_traced(&scale, workers, trace_capacity);
+    if let (Some(path), Some(snapshot)) = (&args.trace, &snapshot) {
+        export_trace(snapshot, path);
+    }
+    if args.json {
         println!("{}", report.to_json());
     } else {
         println!("{report}");

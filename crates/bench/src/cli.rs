@@ -1,0 +1,159 @@
+//! Shared command-line parsing for the `exp_*` binaries.
+//!
+//! Every binary historically hand-rolled `args.iter().any(|a| a == "--smoke")`
+//! scans, which silently accepted unknown arguments — a typo'd `--smokey`
+//! ran the full-scale experiment, and `--json` on a binary without a JSON
+//! report printed nothing anyone asked for. This parser is strict: exactly
+//! the flags a binary declares in [`Accepts`] are recognized and anything
+//! else aborts with a usage line and exit code 2.
+
+use std::path::PathBuf;
+
+use crate::ExperimentScale;
+
+/// Which optional flags a binary accepts. `--smoke` is always accepted;
+/// the rest are opt-in per binary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Accepts {
+    /// `--json`: print the machine-readable report instead of text.
+    pub json: bool,
+    /// `--trace <path>`: record a structured service trace and export it
+    /// as Chrome trace-event JSON to `<path>`.
+    pub trace: bool,
+}
+
+/// Parsed command line of an `exp_*` binary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExpArgs {
+    /// Run at [`ExperimentScale::smoke`] regardless of `MLIR_RL_SCALE`.
+    pub smoke: bool,
+    /// Print the machine-readable JSON report instead of text.
+    pub json: bool,
+    /// Write a Chrome trace-event JSON trace to this path.
+    pub trace: Option<PathBuf>,
+}
+
+impl ExpArgs {
+    /// The experiment scale the flags select: `--smoke` wins, otherwise
+    /// the `MLIR_RL_SCALE` environment variable decides.
+    pub fn scale(&self) -> ExperimentScale {
+        if self.smoke {
+            ExperimentScale::smoke()
+        } else {
+            ExperimentScale::from_env()
+        }
+    }
+}
+
+/// Parses the process arguments. An unrecognized argument (or a missing
+/// `--trace` path) prints the problem and a usage line to stderr and
+/// exits with status 2.
+pub fn parse(bin: &str, accepts: Accepts) -> ExpArgs {
+    match try_parse(std::env::args().skip(1), accepts) {
+        Ok(args) => args,
+        Err(problem) => {
+            let mut usage = format!("usage: {bin} [--smoke]");
+            if accepts.json {
+                usage.push_str(" [--json]");
+            }
+            if accepts.trace {
+                usage.push_str(" [--trace <path>]");
+            }
+            eprintln!("{bin}: {problem}");
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The testable engine under [`parse`]: takes the argument list (without
+/// the program name) and the binary's accepted flags.
+pub fn try_parse(
+    args: impl IntoIterator<Item = String>,
+    accepts: Accepts,
+) -> Result<ExpArgs, String> {
+    let mut out = ExpArgs::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => out.smoke = true,
+            "--json" if accepts.json => out.json = true,
+            "--trace" if accepts.trace => {
+                let path = iter
+                    .next()
+                    .ok_or_else(|| "--trace requires a path argument".to_string())?;
+                out.trace = Some(PathBuf::from(path));
+            }
+            other => return Err(format!("unrecognized argument `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+/// Worker count from `MLIR_RL_WORKERS`, defaulting to the machine's
+/// available parallelism, always at least 1.
+pub fn workers_from_env() -> usize {
+    std::env::var("MLIR_RL_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(mlir_rl_agent::default_rollout_workers)
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn accepts_declared_flags_in_any_order() {
+        let accepts = Accepts {
+            json: true,
+            trace: true,
+        };
+        let parsed = try_parse(
+            args(&["--json", "--trace", "/tmp/t.json", "--smoke"]),
+            accepts,
+        )
+        .expect("all flags declared");
+        assert!(parsed.smoke && parsed.json);
+        assert_eq!(parsed.trace, Some(PathBuf::from("/tmp/t.json")));
+    }
+
+    #[test]
+    fn rejects_unknown_and_undeclared_flags() {
+        let none = Accepts::default();
+        assert!(try_parse(args(&["--smokey"]), none).is_err());
+        // `--json` exists on other binaries but is not declared here, so
+        // it must be rejected rather than silently ignored.
+        assert!(try_parse(args(&["--json"]), none).is_err());
+        assert!(try_parse(
+            args(&["--trace", "t.json"]),
+            Accepts {
+                json: true,
+                trace: false
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn trace_requires_a_path() {
+        let accepts = Accepts {
+            json: false,
+            trace: true,
+        };
+        assert!(try_parse(args(&["--trace"]), accepts).is_err());
+    }
+
+    #[test]
+    fn empty_argv_is_the_default() {
+        assert_eq!(
+            try_parse(args(&[]), Accepts::default()).expect("empty is fine"),
+            ExpArgs::default()
+        );
+    }
+}

@@ -11,6 +11,8 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
+
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -29,6 +31,7 @@ use mlir_rl_core::{
 use mlir_rl_costmodel::{median, CostModel, MachineModel};
 use mlir_rl_env::{ActionSpaceMode, EnvConfig, InterchangeMode, OptimizationEnv, RewardMode};
 use mlir_rl_ir::Module;
+use mlir_rl_obs::{recorder_overhead_ns, TraceSnapshot};
 use mlir_rl_search::{
     BaselineSearcher, BatchSearchReport, BeamSearch, GreedyPolicy, Mcts, MemberAggregate,
     Portfolio, RandomSearch, SearchDriver, SearchSpec, Searcher,
@@ -1332,6 +1335,18 @@ fn service_request_stream(
 /// comparing response fingerprints. The acceptance invariant: the warm
 /// service's shared-cache hit-rate strictly beats the cold baseline's.
 pub fn service_throughput(scale: &ExperimentScale, workers: usize) -> ServiceReport {
+    service_throughput_traced(scale, workers, None).0
+}
+
+/// [`service_throughput`] with optional structured tracing on the warm
+/// persistent service: `trace_capacity` is the per-ring event capacity
+/// ([`ServiceConfig::with_tracing`]), and the returned snapshot covers the
+/// whole warm stream. `None` runs exactly [`service_throughput`].
+pub fn service_throughput_traced(
+    scale: &ExperimentScale,
+    workers: usize,
+    trace_capacity: Option<usize>,
+) -> (ServiceReport, Option<TraceSnapshot>) {
     use rand::SeedableRng;
 
     let dataset = dl_ops::training_dataset(scale.dataset_scale, 101);
@@ -1356,10 +1371,14 @@ pub fn service_throughput(scale: &ExperimentScale, workers: usize) -> ServiceRep
     let stream = service_request_stream(&workloads, rounds, &specs);
 
     // --- warm: one persistent service, one cache across the stream ----
-    let warm_service = rl.spawn_service(workers);
-    // `spawn_service` shares the optimizer's cache, which training warmed;
-    // start the comparison from a clean slate so warm-vs-cold measures
-    // exactly the cross-request amortization.
+    let mut warm_config = ServiceConfig::quick().with_workers(workers);
+    if let Some(capacity) = trace_capacity {
+        warm_config = warm_config.with_tracing(capacity);
+    }
+    let warm_service = rl.spawn_service_with(&warm_config);
+    // `spawn_service_with` shares the optimizer's cache, which training
+    // warmed; start the comparison from a clean slate so warm-vs-cold
+    // measures exactly the cross-request amortization.
     warm_service.cache().clear();
     let start = Instant::now();
     let pending = warm_service.submit_batch(stream.clone());
@@ -1427,15 +1446,19 @@ pub fn service_throughput(scale: &ExperimentScale, workers: usize) -> ServiceRep
         fingerprints == reference
     });
 
-    ServiceReport {
-        modules: workloads.len(),
-        rounds,
-        workers: workers.max(1),
-        warm,
-        cold,
-        statuses,
-        determinism_invariant,
-    }
+    let snapshot = warm_service.trace_snapshot();
+    (
+        ServiceReport {
+            modules: workloads.len(),
+            rounds,
+            workers: workers.max(1),
+            warm,
+            cold,
+            statuses,
+            determinism_invariant,
+        },
+        snapshot,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -1651,6 +1674,20 @@ fn replay_stream(
 ///    high-water mark grows with the burst, the memory-leak mode the
 ///    bounded queue exists to prevent.
 pub fn load_test(scale: &ExperimentScale, workers: usize) -> LoadReport {
+    load_test_traced(scale, workers, None).0
+}
+
+/// [`load_test`] with optional structured tracing on the hardened bounded
+/// service: `trace_capacity` is the per-ring event capacity
+/// ([`ServiceConfig::with_tracing`]), and the returned snapshot covers the
+/// whole replayed stream — per-request lifecycle spans (including the
+/// burst's backpressure rejections) plus searcher phase events. `None`
+/// runs exactly [`load_test`].
+pub fn load_test_traced(
+    scale: &ExperimentScale,
+    workers: usize,
+    trace_capacity: Option<usize>,
+) -> (LoadReport, Option<TraceSnapshot>) {
     let dataset = dl_ops::training_dataset(scale.dataset_scale, 101);
     let rl = train_mlir_rl(EnvConfig::small(), &dataset, scale, 23);
     let workloads: Vec<Module> = dl_ops::evaluation_benchmark()
@@ -1678,15 +1715,16 @@ pub fn load_test(scale: &ExperimentScale, workers: usize) -> LoadReport {
     let stream = load_request_stream(&workloads, total, burst, &specs);
 
     // --- hardened: bounded queue + quotas + weighted lanes -------------
-    let bounded = OptimizationService::new(
-        ServiceConfig::quick()
-            .with_workers(workers)
-            .with_queue_capacity(capacity)
-            .with_client_quota(2)
-            .with_client_weight("alice", 3)
-            .with_client_weight("bob", 1),
-        rl.policy().clone(),
-    );
+    let mut bounded_config = ServiceConfig::quick()
+        .with_workers(workers)
+        .with_queue_capacity(capacity)
+        .with_client_quota(2)
+        .with_client_weight("alice", 3)
+        .with_client_weight("bob", 1);
+    if let Some(ring) = trace_capacity {
+        bounded_config = bounded_config.with_tracing(ring);
+    }
+    let bounded = OptimizationService::new(bounded_config, rl.policy().clone());
     let start = Instant::now();
     let responses = replay_stream(&bounded, &stream);
     let wall_s = start.elapsed().as_secs_f64();
@@ -1734,18 +1772,50 @@ pub fn load_test(scale: &ExperimentScale, workers: usize) -> LoadReport {
     replay_stream(&unbounded, &stream);
     let unbounded_high_water = unbounded.metrics().queue_high_water;
 
-    LoadReport {
-        modules: workloads.len(),
-        requests: total,
-        burst,
-        workers: workers.max(1),
-        queue_capacity: capacity,
-        wall_s,
-        statuses,
-        geomean_speedup,
-        metrics,
-        unbounded_high_water,
-    }
+    let snapshot = bounded.trace_snapshot();
+    (
+        LoadReport {
+            modules: workloads.len(),
+            requests: total,
+            burst,
+            workers: workers.max(1),
+            queue_capacity: capacity,
+            wall_s,
+            statuses,
+            geomean_speedup,
+            metrics,
+            unbounded_high_water,
+        },
+        snapshot,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Tracing support shared by the exp_* binaries
+// ---------------------------------------------------------------------------
+
+/// Per-ring event capacity the binaries' `--trace` flag uses: large enough
+/// to hold every smoke/standard stream without drops, small enough that
+/// the rings stay a few MiB.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// Writes `snapshot` as Chrome trace-event JSON (load it in
+/// `chrome://tracing` or Perfetto) to `path` and prints a one-line
+/// summary — event count, drops, ring count, and the measured per-event
+/// recorder overhead — to **stderr**, keeping stdout parseable for
+/// `--json` reports.
+pub fn export_trace(snapshot: &TraceSnapshot, path: &std::path::Path) {
+    std::fs::write(path, snapshot.to_chrome_json())
+        .unwrap_or_else(|problem| panic!("writing trace to {}: {problem}", path.display()));
+    eprintln!(
+        "trace: {} events ({} dropped) across {} rings -> {}; recorder overhead \
+         ~{:.0} ns/event",
+        snapshot.events.len(),
+        snapshot.dropped,
+        snapshot.writers,
+        path.display(),
+        recorder_overhead_ns(1 << 16),
+    );
 }
 
 // ---------------------------------------------------------------------------

@@ -84,6 +84,7 @@ use mlir_rl_agent::PolicyNetwork;
 use mlir_rl_costmodel::{CostModel, EvalBudget, EvalCache, MachineModel, SharedEvalCache};
 use mlir_rl_env::{EnvConfig, OptimizationEnv};
 use mlir_rl_ir::Module;
+use mlir_rl_obs::{EventKind, MetricsRegistry, ProbeRef, TraceRecorder, TraceSnapshot};
 use mlir_rl_search::{
     BatchSearchReport, SearchDriver, SearchJob, SearchOutcome, SearchSpec, Searcher, StopToken,
 };
@@ -142,6 +143,14 @@ pub struct ServiceConfig {
     /// until [`OptimizationService::resume`]. Useful for deterministic
     /// admission tests and for pre-loading a batch before serving begins.
     pub start_paused: bool,
+    /// Per-writer event capacity of the structured trace recorder, or
+    /// `None` (the default) for tracing off. When set, the service records
+    /// request lifecycle spans and searcher phase events into bounded
+    /// lock-free rings (one per worker plus one for the submit side) and
+    /// exposes them via [`OptimizationService::trace_snapshot`]. Tracing is
+    /// purely observational: responses stay bit-identical
+    /// ([`OptimizationResponse::fingerprint`] never covers trace data).
+    pub trace_capacity: Option<usize>,
 }
 
 impl ServiceConfig {
@@ -161,6 +170,7 @@ impl ServiceConfig {
             client_quota: None,
             client_weights: Vec::new(),
             start_paused: false,
+            trace_capacity: None,
         }
     }
 
@@ -212,6 +222,13 @@ impl ServiceConfig {
         self
     }
 
+    /// Enables structured tracing with `capacity` events retained per
+    /// writer (see [`ServiceConfig::trace_capacity`]).
+    pub fn with_tracing(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
     /// Validates the serving knobs: a zero queue capacity would reject
     /// every request and a zero quota would block every client forever —
     /// both are configuration bugs, not useful modes, so they fail here
@@ -231,6 +248,12 @@ impl ServiceConfig {
             return Err(format!(
                 "client weight for {client:?} must be at least 1 (0 would starve the lane)"
             ));
+        }
+        if self.trace_capacity == Some(0) {
+            return Err(
+                "trace_capacity must be at least 1 (0 records nothing; use None to disable)"
+                    .to_string(),
+            );
         }
         Ok(())
     }
@@ -379,6 +402,11 @@ pub struct OptimizationResponse {
     pub queue_s: f64,
     /// Seconds the search itself ran.
     pub service_s: f64,
+    /// Trace id of this request in the service's trace recorder (`None`
+    /// when the service ran without tracing). Like all timing data, it is
+    /// excluded from [`OptimizationResponse::fingerprint`]: which id a
+    /// request drew depends on submission order, never on the outcome.
+    pub trace_id: Option<u64>,
 }
 
 impl OptimizationResponse {
@@ -398,7 +426,7 @@ impl OptimizationResponse {
     /// (validation messages are a deterministic function of the request),
     /// and the outcome's baseline/best estimates, speedup, action
     /// sequence, schedule and nodes expanded. Excludes the request id,
-    /// timings, cache accounting *counts*, portfolio member attribution
+    /// the trace id, timings, cache accounting *counts*, portfolio member attribution
     /// rows, the error text of [`ResponseStatus::Skipped`] and
     /// [`ResponseStatus::Stopped`] responses (skip/stop reasons embed
     /// load-dependent measurements such as queue wait and budget spend),
@@ -750,6 +778,15 @@ impl LatencyHistogram {
             self.sum_us.load(Ordering::Relaxed) as f64 / count as f64 / 1e6
         }
     }
+
+    /// Relaxed snapshot of the raw per-bucket counts, for exporters that
+    /// want the distribution rather than derived quantiles.
+    fn buckets(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
 }
 
 struct ServiceShared {
@@ -774,6 +811,10 @@ struct ServiceShared {
     queue_high_water: AtomicU64,
     queue_hist: LatencyHistogram,
     service_hist: LatencyHistogram,
+    /// Present iff the service was built with
+    /// [`ServiceConfig::with_tracing`]: ring 0 records submit-side
+    /// lifecycle events, ring `1 + w` records worker `w`'s events.
+    recorder: Option<TraceRecorder>,
 }
 
 /// Aggregate serving statistics, snapshot by
@@ -868,6 +909,14 @@ pub struct ServiceMetrics {
     pub service_p99_s: f64,
     /// Mean search run time in seconds.
     pub service_mean_s: f64,
+    /// Raw queue-wait histogram counts: bucket `i` counts waits in
+    /// `(2^i, 2^(i+1)]` µs. The derived `queue_p*_s` fields report bucket
+    /// upper bounds; the raw counts let consumers recompute any quantile
+    /// (or merge histograms across services) without loss.
+    pub queue_hist_buckets: Vec<u64>,
+    /// Raw service-time histogram counts, same bucket layout as
+    /// [`ServiceMetrics::queue_hist_buckets`].
+    pub service_hist_buckets: Vec<u64>,
     /// Lifetime hits of the service's persistent shared cache.
     pub cache_hits: u64,
     /// Lifetime misses (estimator runs) of the persistent shared cache.
@@ -921,6 +970,22 @@ impl ServiceMetrics {
             ("service_p50_s", json::number(self.service_p50_s)),
             ("service_p99_s", json::number(self.service_p99_s)),
             ("service_mean_s", json::number(self.service_mean_s)),
+            (
+                "queue_hist_buckets",
+                json::array(
+                    self.queue_hist_buckets
+                        .iter()
+                        .map(|c| json::number(*c as f64)),
+                ),
+            ),
+            (
+                "service_hist_buckets",
+                json::array(
+                    self.service_hist_buckets
+                        .iter()
+                        .map(|c| json::number(*c as f64)),
+                ),
+            ),
             ("cache_hits", json::number(self.cache_hits as f64)),
             ("cache_misses", json::number(self.cache_misses as f64)),
             ("cache_hit_rate", json::number(self.cache_hit_rate())),
@@ -939,6 +1004,188 @@ impl ServiceMetrics {
         }
         out.push('}');
         out
+    }
+
+    /// Registers every serving, cache and budget series into one
+    /// [`MetricsRegistry`] under the `mlir_rl_` prefix — the unified
+    /// surface behind [`OptimizationService::prometheus`]. Raw histogram
+    /// buckets export as cumulative `_bucket{le="..."}` counters in the
+    /// Prometheus histogram convention (bucket upper bounds in seconds,
+    /// plus `+Inf`, `_sum` approximated by `mean * count`, `_count`).
+    pub fn register(&self, registry: &mut MetricsRegistry) {
+        let c = |registry: &mut MetricsRegistry, name: &str, help: &str, v: u64| {
+            registry.counter(&format!("mlir_rl_{name}"), help, v as f64);
+        };
+        let g = |registry: &mut MetricsRegistry, name: &str, help: &str, v: f64| {
+            registry.gauge(&format!("mlir_rl_{name}"), help, v);
+        };
+        c(
+            registry,
+            "requests_submitted_total",
+            "Requests submitted to the service",
+            self.submitted,
+        );
+        c(
+            registry,
+            "requests_completed_total",
+            "Requests answered Completed",
+            self.completed,
+        );
+        c(
+            registry,
+            "requests_stopped_total",
+            "Requests answered Stopped (cancel or mid-run deadline)",
+            self.stopped,
+        );
+        c(
+            registry,
+            "requests_skipped_total",
+            "Requests answered Skipped (never ran)",
+            self.skipped,
+        );
+        c(
+            registry,
+            "requests_rejected_total",
+            "Requests answered Rejected",
+            self.rejected,
+        );
+        c(
+            registry,
+            "requests_admitted_total",
+            "Requests that passed dequeue admission and ran",
+            self.admitted,
+        );
+        c(
+            registry,
+            "queue_overflow_rejects_total",
+            "Submits rejected by the bounded queue",
+            self.overflow_rejects,
+        );
+        c(
+            registry,
+            "deadline_sheds_total",
+            "Requests shed at dequeue on an expired deadline",
+            self.deadline_sheds,
+        );
+        c(
+            registry,
+            "deadline_stops_total",
+            "Requests stopped mid-run by their deadline",
+            self.deadline_stops,
+        );
+        c(
+            registry,
+            "quota_deferrals_total",
+            "Dispatcher waits with all non-empty lanes at quota",
+            self.quota_deferrals,
+        );
+        c(
+            registry,
+            "budget_skips_total",
+            "Submits refused by the eval-budget ledger",
+            self.budget_skips,
+        );
+        g(
+            registry,
+            "queue_depth",
+            "Requests currently queued",
+            self.queue_depth as f64,
+        );
+        g(
+            registry,
+            "queue_high_water",
+            "Maximum queue depth observed",
+            self.queue_high_water as f64,
+        );
+        g(
+            registry,
+            "clients",
+            "Distinct client lanes created",
+            self.clients as f64,
+        );
+        c(
+            registry,
+            "cache_hits_total",
+            "Persistent shared-cache hits",
+            self.cache_hits,
+        );
+        c(
+            registry,
+            "cache_misses_total",
+            "Persistent shared-cache misses (estimator runs)",
+            self.cache_misses,
+        );
+        g(
+            registry,
+            "cache_hit_rate",
+            "Lifetime fraction of lookups served by the cache",
+            self.cache_hit_rate(),
+        );
+        c(
+            registry,
+            "budget_spent",
+            "Cost-model lookups charged against the eval budget",
+            self.budget_spent,
+        );
+        match self.budget_cap {
+            Some(cap) => g(registry, "budget_cap", "Global eval-budget cap", cap as f64),
+            None => g(
+                registry,
+                "budget_cap",
+                "Global eval-budget cap (-1 = unlimited)",
+                -1.0,
+            ),
+        }
+        let histogram = |registry: &mut MetricsRegistry,
+                         name: &str,
+                         help: &str,
+                         buckets: &[u64],
+                         mean_s: f64| {
+            let mut cumulative = 0u64;
+            for (i, count) in buckets.iter().enumerate() {
+                cumulative += count;
+                if *count == 0 && i + 1 != buckets.len() {
+                    continue; // keep the exposition compact: emit touched buckets + the last
+                }
+                let le = format!("{:.6}", (1u64 << (i + 1)) as f64 / 1e6);
+                registry.counter_with(
+                    &format!("mlir_rl_{name}_seconds_bucket"),
+                    help,
+                    &[("le", le.as_str())],
+                    cumulative as f64,
+                );
+            }
+            registry.counter_with(
+                &format!("mlir_rl_{name}_seconds_bucket"),
+                help,
+                &[("le", "+Inf")],
+                cumulative as f64,
+            );
+            registry.counter(
+                &format!("mlir_rl_{name}_seconds_sum"),
+                help,
+                mean_s * cumulative as f64,
+            );
+            registry.counter(
+                &format!("mlir_rl_{name}_seconds_count"),
+                help,
+                cumulative as f64,
+            );
+        };
+        histogram(
+            registry,
+            "queue_wait",
+            "Queue wait distribution",
+            &self.queue_hist_buckets,
+            self.queue_mean_s,
+        );
+        histogram(
+            registry,
+            "service_time",
+            "Search run-time distribution",
+            &self.service_hist_buckets,
+            self.service_mean_s,
+        );
     }
 }
 
@@ -1030,13 +1277,16 @@ impl OptimizationService {
             queue_high_water: AtomicU64::new(0),
             queue_hist: LatencyHistogram::new(),
             service_hist: LatencyHistogram::new(),
+            recorder: config
+                .trace_capacity
+                .map(|capacity| TraceRecorder::new(capacity, config.workers.max(1) + 1)),
         });
         let workers = (0..config.workers.max(1))
-            .map(|_| {
+            .map(|worker| {
                 let shared = Arc::clone(&shared);
                 let env = template.clone();
                 let policy = policy.clone();
-                std::thread::spawn(move || worker_loop(shared, env, policy))
+                std::thread::spawn(move || worker_loop(shared, env, policy, worker))
             })
             .collect();
         Self {
@@ -1083,6 +1333,12 @@ impl OptimizationService {
             stop: stop.clone(),
             slot: Arc::clone(&slot),
         };
+        // Submit-side trace context: ring 0 of the recorder, with the
+        // request id (+1 so id 0 stays distinguishable from "untraced")
+        // as the trace id threaded through every later event.
+        let probe = submit_probe(&self.shared, id);
+        let trace_id = probe.trace_id_if_enabled();
+        probe.emit(EventKind::Submitted, None, [request.priority as u64, 0, 0]);
         let refusal = |status: ResponseStatus, error: String| OptimizationResponse {
             id,
             module: request.module.name().to_string(),
@@ -1094,6 +1350,7 @@ impl OptimizationService {
             cache_hits: 0,
             queue_s: 0.0,
             service_s: 0.0,
+            trace_id,
         };
         // The reservation estimate is a pure function of the request, so
         // computing it outside the lock keeps the critical section short.
@@ -1104,6 +1361,7 @@ impl OptimizationService {
         if state.shutdown {
             drop(state);
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            probe.emit(EventKind::Rejected, Some("shutdown"), [0, 0, 0]);
             slot.fill(refusal(
                 ResponseStatus::Rejected,
                 format!("{BACKPRESSURE_PREFIX}service is shutting down"),
@@ -1115,6 +1373,11 @@ impl OptimizationService {
                 drop(state);
                 self.shared.overflow.fetch_add(1, Ordering::Relaxed);
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                probe.emit(
+                    EventKind::Rejected,
+                    Some("queue_full"),
+                    [capacity as u64, 0, 0],
+                );
                 slot.fill(refusal(
                     ResponseStatus::Rejected,
                     format!("{BACKPRESSURE_PREFIX}queue full (capacity {capacity})"),
@@ -1126,6 +1389,11 @@ impl OptimizationService {
             drop(state);
             self.shared.budget_skips.fetch_add(1, Ordering::Relaxed);
             self.shared.skipped.fetch_add(1, Ordering::Relaxed);
+            probe.emit(
+                EventKind::BudgetSkip,
+                None,
+                [reserved, spent, self.shared.budget.cap().unwrap_or(0)],
+            );
             slot.fill(refusal(
                 ResponseStatus::Skipped,
                 format!(
@@ -1148,6 +1416,11 @@ impl OptimizationService {
             slot,
         });
         state.depth += 1;
+        probe.emit(
+            EventKind::Queued,
+            None,
+            [state.depth as u64, reserved, lane as u64],
+        );
         self.shared
             .queue_high_water
             .fetch_max(state.depth as u64, Ordering::Relaxed);
@@ -1245,11 +1518,41 @@ impl OptimizationService {
             service_p50_s: s.service_hist.quantile(0.5),
             service_p99_s: s.service_hist.quantile(0.99),
             service_mean_s: s.service_hist.mean(),
+            queue_hist_buckets: s.queue_hist.buckets(),
+            service_hist_buckets: s.service_hist.buckets(),
             cache_hits: s.cache.hits(),
             cache_misses: s.cache.misses(),
             budget_spent: s.budget.spent(),
             budget_cap: s.budget.cap(),
         }
+    }
+
+    /// Whether the service records a structured trace
+    /// ([`ServiceConfig::with_tracing`]).
+    pub fn tracing_enabled(&self) -> bool {
+        self.shared.recorder.is_some()
+    }
+
+    /// A point-in-time merged snapshot of the trace recorder's rings
+    /// (submit side + every worker, sorted by timestamp), or `None` when
+    /// the service was built without [`ServiceConfig::with_tracing`].
+    /// Non-destructive: the recorder keeps recording; snapshot again
+    /// later for more events.
+    pub fn trace_snapshot(&self) -> Option<TraceSnapshot> {
+        self.shared
+            .recorder
+            .as_ref()
+            .map(|recorder| recorder.snapshot())
+    }
+
+    /// The unified Prometheus-style text exposition: every
+    /// [`ServiceMetrics`] series (serving counters, queue gauges, raw
+    /// latency histograms) plus the cache and budget gauges, in one
+    /// [`MetricsRegistry`]. Always available — tracing need not be on.
+    pub fn prometheus(&self) -> String {
+        let mut registry = MetricsRegistry::new();
+        self.metrics().register(&mut registry);
+        registry.to_prometheus()
     }
 
     /// Runs a *borrowed* custom [`Searcher`] on one module, synchronously,
@@ -1322,7 +1625,28 @@ impl std::fmt::Debug for OptimizationService {
     }
 }
 
-fn worker_loop(shared: Arc<ServiceShared>, mut env: OptimizationEnv, mut policy: PolicyNetwork) {
+/// Submit-side probe (ring 0 of the recorder) scoped to request `id`, or
+/// the inert probe when tracing is off. Trace ids are `id + 1` so an id
+/// of `0` on the wire still means "untraced".
+fn submit_probe(shared: &ServiceShared, id: u64) -> ProbeRef {
+    match &shared.recorder {
+        Some(recorder) => recorder.probe(0).with_trace(id + 1),
+        None => ProbeRef::none(),
+    }
+}
+
+fn worker_loop(
+    shared: Arc<ServiceShared>,
+    mut env: OptimizationEnv,
+    mut policy: PolicyNetwork,
+    worker: usize,
+) {
+    // Worker `w` owns ring `1 + w` exclusively, so its writes never
+    // contend with other workers or the submit side.
+    let probe = match &shared.recorder {
+        Some(recorder) => recorder.probe(worker + 1),
+        None => ProbeRef::none(),
+    };
     loop {
         let popped = {
             let mut state = shared.state.lock().expect("service state poisoned");
@@ -1349,7 +1673,7 @@ fn worker_loop(shared: Arc<ServiceShared>, mut env: OptimizationEnv, mut policy:
         };
         match popped {
             Some((job, lane)) => {
-                execute(&shared, &mut env, &mut policy, job);
+                execute(&shared, &mut env, &mut policy, job, &probe);
                 shared.state.lock().expect("service state poisoned").lanes[lane].in_flight -= 1;
                 // Wake quota-blocked dispatchers (and the shutdown drain).
                 shared.work.notify_all();
@@ -1370,9 +1694,14 @@ fn execute(
     env: &mut OptimizationEnv,
     policy: &mut PolicyNetwork,
     job: QueuedJob,
+    worker_probe: &ProbeRef,
 ) {
     let queue_s = job.submitted.elapsed().as_secs_f64();
     shared.queue_hist.record(queue_s);
+    let probe = worker_probe.with_trace(job.id + 1);
+    let trace_id = probe.trace_id_if_enabled();
+    let queue_us = (queue_s * 1e6) as u64;
+    probe.emit(EventKind::Dispatched, None, [queue_us, 0, 0]);
     let skeleton = |status: ResponseStatus, error: Option<String>| OptimizationResponse {
         id: job.id,
         module: job.request.module.name().to_string(),
@@ -1384,12 +1713,14 @@ fn execute(
         cache_hits: 0,
         queue_s,
         service_s: 0.0,
+        trace_id,
     };
 
     // --- dequeue admission -------------------------------------------
     if job.stop.claimant().is_some_and(|rank| rank < RUN_RANK) {
         shared.budget.refund(job.reserved);
         shared.skipped.fetch_add(1, Ordering::Relaxed);
+        probe.emit(EventKind::CancelledInQueue, None, [queue_us, 0, 0]);
         job.slot.fill(skeleton(
             ResponseStatus::Skipped,
             Some("cancelled while queued".to_string()),
@@ -1401,6 +1732,11 @@ fn execute(
         shared.sheds.fetch_add(1, Ordering::Relaxed);
         shared.skipped.fetch_add(1, Ordering::Relaxed);
         let deadline_s = job.request.deadline.map_or(0.0, |d| d.as_secs_f64());
+        probe.emit(
+            EventKind::Shed,
+            None,
+            [queue_us, (deadline_s * 1e6) as u64, 0],
+        );
         job.slot.fill(skeleton(
             ResponseStatus::Skipped,
             Some(format!(
@@ -1413,6 +1749,7 @@ fn execute(
     if let Err(problem) = job.request.spec.try_validate() {
         shared.budget.refund(job.reserved);
         shared.rejected.fetch_add(1, Ordering::Relaxed);
+        probe.emit(EventKind::Rejected, Some("invalid_spec"), [0, 0, 0]);
         job.slot.fill(skeleton(
             ResponseStatus::Rejected,
             Some(format!("invalid search spec: {problem}")),
@@ -1423,6 +1760,7 @@ fn execute(
         if let Err(problem) = config.try_validate() {
             shared.budget.refund(job.reserved);
             shared.rejected.fetch_add(1, Ordering::Relaxed);
+            probe.emit(EventKind::Rejected, Some("invalid_env"), [0, 0, 0]);
             job.slot.fill(skeleton(
                 ResponseStatus::Rejected,
                 Some(format!("invalid environment override: {problem}")),
@@ -1441,6 +1779,7 @@ fn execute(
         {
             shared.budget.refund(job.reserved);
             shared.rejected.fetch_add(1, Ordering::Relaxed);
+            probe.emit(EventKind::Rejected, Some("shape_mismatch"), [0, 0, 0]);
             job.slot.fill(skeleton(
                 ResponseStatus::Rejected,
                 Some(
@@ -1468,6 +1807,17 @@ fn execute(
         }
         None => env,
     };
+    // Scope the environment's probe to this request: searcher phase
+    // events and cache hit/miss events recorded during the run carry its
+    // trace id. Purely observational — emission never touches RNG state
+    // or control flow, so traced and untraced runs are bit-identical.
+    run_env.set_probe(probe.clone());
+    let searcher_name = job.request.spec.name();
+    probe.emit(
+        EventKind::RunBegin,
+        Some(&searcher_name),
+        [job.reserved, job.request.seed, 0],
+    );
     let start = Instant::now();
     // Panic isolation: a search that panics (e.g. on a malformed module no
     // validation anticipated) must become an error *response*, never a
@@ -1495,6 +1845,7 @@ fn execute(
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "opaque panic payload".to_string());
             shared.rejected.fetch_add(1, Ordering::Relaxed);
+            probe.emit(EventKind::RunEnd, Some("panicked"), [3, 0, 0]);
             job.slot.fill(skeleton(
                 ResponseStatus::Rejected,
                 Some(format!("search panicked: {message}")),
@@ -1530,6 +1881,21 @@ fn execute(
         shared.completed.fetch_add(1, Ordering::Relaxed);
         (ResponseStatus::Completed, None)
     };
+    let status_code = match status {
+        ResponseStatus::Completed => 0u64,
+        ResponseStatus::Stopped => 1,
+        ResponseStatus::Skipped => 2,
+        ResponseStatus::Rejected => 3,
+    };
+    probe.emit(
+        EventKind::RunEnd,
+        None,
+        [
+            status_code,
+            outcome.evaluations as u64,
+            outcome.cache_hits as u64,
+        ],
+    );
     let mut response = skeleton(status, error);
     response.evaluations = outcome.evaluations;
     response.cache_hits = outcome.cache_hits;

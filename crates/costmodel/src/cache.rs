@@ -45,6 +45,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use mlir_rl_ir::Module;
+use mlir_rl_obs::{EventKind, ProbeRef};
 use mlir_rl_transforms::ScheduledModule;
 
 use crate::budget::EvalBudget;
@@ -273,6 +274,12 @@ pub struct EvalCache {
     capacity: usize,
     hits: u64,
     misses: u64,
+    /// Trace probe carried by this handle: every lookup classification
+    /// (hit/miss) and shared-backend budget charge is mirrored as a trace
+    /// event. Disabled (no-op) by default; cloning shares the sink, so an
+    /// environment clone handed to a racing search thread keeps emitting
+    /// into the same trace.
+    probe: ProbeRef,
 }
 
 impl Default for EvalCache {
@@ -294,7 +301,19 @@ impl EvalCache {
             capacity: capacity.max(1),
             hits: 0,
             misses: 0,
+            probe: ProbeRef::none(),
         }
+    }
+
+    /// Attaches (or detaches, with [`ProbeRef::none`]) the trace probe this
+    /// handle mirrors its lookups into. The probe rides along on clones.
+    pub fn set_probe(&mut self, probe: ProbeRef) {
+        self.probe = probe;
+    }
+
+    /// The trace probe carried by this handle.
+    pub fn probe(&self) -> &ProbeRef {
+        &self.probe
     }
 
     /// A cache whose lookups go through an existing thread-shared table —
@@ -359,10 +378,13 @@ impl EvalCache {
         if let Some(backend) = &self.backend {
             let (estimate, was_hit) = backend.estimate_keyed(key, model, scheduled);
             self.count(was_hit);
+            self.emit_lookup(was_hit);
             return (estimate, was_hit);
         }
         let (estimate, was_hit) = self.local_lookup(key, model, scheduled);
-        (estimate.clone(), was_hit)
+        let estimate = estimate.clone();
+        self.emit_lookup(was_hit);
+        (estimate, was_hit)
     }
 
     /// Cheapest lookup: only the total time, no estimate clone. Returns
@@ -376,10 +398,33 @@ impl EvalCache {
         if let Some(backend) = &self.backend {
             let (total_s, was_hit) = backend.total_s_keyed(key, model, scheduled);
             self.count(was_hit);
+            self.emit_lookup(was_hit);
             return (total_s, was_hit);
         }
         let (estimate, was_hit) = self.local_lookup(key, model, scheduled);
-        (estimate.total_s, was_hit)
+        let total_s = estimate.total_s;
+        self.emit_lookup(was_hit);
+        (total_s, was_hit)
+    }
+
+    /// Mirrors one lookup classification into the trace: a hit or a miss,
+    /// and — in shared mode, where every miss charges the common ledger —
+    /// the budget-spend delta. Purely observational: emission never touches
+    /// the lookup result, so traced and untraced runs stay bit-identical.
+    fn emit_lookup(&self, was_hit: bool) {
+        if !self.probe.is_enabled() {
+            return;
+        }
+        if was_hit {
+            self.probe.emit(EventKind::CacheHit, None, [0, 0, 0]);
+        } else {
+            self.probe.emit(EventKind::CacheMiss, None, [0, 0, 0]);
+            if let Some(backend) = &self.backend {
+                let budget = backend.budget();
+                self.probe
+                    .emit(EventKind::BudgetCharge, None, [1, budget.spent(), 0]);
+            }
+        }
     }
 
     fn count(&mut self, was_hit: bool) {

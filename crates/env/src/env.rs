@@ -16,6 +16,7 @@ use mlir_rl_costmodel::{
     SharedEvalCache,
 };
 use mlir_rl_ir::{Module, OpId};
+use mlir_rl_obs::ProbeRef;
 use mlir_rl_transforms::{ScheduledModule, TransformError, TransformationKind};
 
 use crate::action::Action;
@@ -220,6 +221,23 @@ impl OptimizationEnv {
     /// The schedule-keyed evaluation cache (lifetime hit/miss counters).
     pub fn cache(&self) -> &EvalCache {
         &self.cache
+    }
+
+    /// Attaches a trace probe to this environment's evaluation path:
+    /// cache hits/misses and budget charges are mirrored as trace events,
+    /// and searchers read the handle back (via [`OptimizationEnv::probe`])
+    /// to emit their own phase events against the same trace id. Emission
+    /// is purely observational and never perturbs outcomes; pass
+    /// [`ProbeRef::none`] to detach. The probe rides along on environment
+    /// clones (racing portfolio members keep tracing) but is *not* part of
+    /// episode snapshots.
+    pub fn set_probe(&mut self, probe: ProbeRef) {
+        self.cache.set_probe(probe);
+    }
+
+    /// The trace probe events from this environment are attributed to.
+    pub fn probe(&self) -> &ProbeRef {
+        self.cache.probe()
     }
 
     /// Replaces the evaluation cache, returning the previous one.

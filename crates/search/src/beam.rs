@@ -6,6 +6,7 @@ use rand_chacha::ChaCha8Rng;
 use mlir_rl_agent::PolicyModel;
 use mlir_rl_env::{Action, EpisodeSnapshot, Observation, OptimizationEnv};
 use mlir_rl_ir::Module;
+use mlir_rl_obs::EventKind;
 
 use crate::greedy::greedy_rollout;
 use crate::searcher::{
@@ -126,10 +127,16 @@ impl BeamSearch {
         };
 
         let max_depth = max_episode_steps(env, module);
-        for _depth in 0..max_depth {
+        let probe = env.probe().clone();
+        for depth in 0..max_depth {
             if beams.is_empty() || stop.stops(rank) {
                 break;
             }
+            probe.emit(
+                EventKind::BeamDepth,
+                None,
+                [depth as u64, beams.len() as u64, 0],
+            );
             // Rank the whole frontier in one batched policy inference. The
             // policy RNG is consumed per state in beam order and the
             // environment steps run afterwards in the same order as the

@@ -6,6 +6,7 @@ use rand_chacha::ChaCha8Rng;
 use mlir_rl_agent::PolicyModel;
 use mlir_rl_env::{Action, OptimizationEnv};
 use mlir_rl_ir::Module;
+use mlir_rl_obs::EventKind;
 
 use crate::searcher::{
     finish_outcome, max_episode_steps, reseed_for_search, BestFound, LookupMeter, SearchOutcome,
@@ -38,12 +39,19 @@ pub(crate) fn greedy_rollout<P: PolicyModel>(
     rng: &mut ChaCha8Rng,
 ) -> GreedyRollout {
     let max_steps = max_episode_steps(env, module);
+    let probe = env.probe().clone();
     let mut obs = env.reset(module.clone());
     let baseline_s = env.peek_time_s();
     let mut actions = Vec::new();
     while let Some(current) = obs {
         let record = policy.select_action(&current, true, rng);
+        let op = current.op.0 as u64;
         let outcome = env.step(&record.action);
+        probe.emit(
+            EventKind::GreedyStep,
+            None,
+            [actions.len() as u64, op, outcome.applied as u64],
+        );
         actions.push(record.action);
         obs = outcome.observation;
         if actions.len() > max_steps {

@@ -7,6 +7,7 @@ use rand_chacha::ChaCha8Rng;
 use mlir_rl_agent::PolicyModel;
 use mlir_rl_env::{Action, EpisodeSnapshot, OptimizationEnv};
 use mlir_rl_ir::Module;
+use mlir_rl_obs::EventKind;
 
 use crate::searcher::{
     finish_outcome, max_episode_steps, reseed_for_search, BestFound, LookupMeter, SearchOutcome,
@@ -278,10 +279,16 @@ impl Mcts {
             value_sum: 0.0,
         }];
 
-        for _ in 0..self.iterations {
+        let probe = env.probe().clone();
+        for iteration in 0..self.iterations {
             if arena[0].done || stop.stops(rank) {
                 break;
             }
+            probe.emit(
+                EventKind::MctsIteration,
+                None,
+                [iteration as u64, nodes_expanded as u64, 0],
+            );
             // --- Selection (with inline expansion of unvisited edges) ----
             let mut path = vec![0usize];
             let mut node = 0usize;

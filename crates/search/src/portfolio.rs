@@ -35,6 +35,7 @@ use mlir_rl_agent::PolicyModel;
 use mlir_rl_costmodel::EvalBudget;
 use mlir_rl_env::OptimizationEnv;
 use mlir_rl_ir::Module;
+use mlir_rl_obs::EventKind;
 
 use crate::searcher::{MemberOutcome, MemberStatus, SearchOutcome, Searcher, StopToken};
 
@@ -172,6 +173,7 @@ impl<P: PolicyModel> Portfolio<P> {
         stop: &StopToken,
     ) -> SearchOutcome {
         let ledger = self.ledger();
+        let probe = env.probe().clone();
         let mut finished: Vec<(usize, SearchOutcome)> = Vec::new();
         let mut skipped: Vec<usize> = Vec::new();
         for (member_rank, member) in self.members.iter().enumerate() {
@@ -189,8 +191,23 @@ impl<P: PolicyModel> Portfolio<P> {
             // alone. Warmth flows member to member through `env`'s cache.
             // The external token is threaded through at the portfolio's own
             // rank so stop-aware members also wind down mid-run.
+            probe.emit(
+                EventKind::MemberBegin,
+                Some(&member.name()),
+                [member_rank as u64, 0, 0],
+            );
             let outcome = member.search_with_stop(env, policy, module, seed, rank, stop);
-            ledger.charge(outcome.total_lookups() as u64);
+            let spent_after = ledger.charge(outcome.total_lookups() as u64);
+            probe.emit(
+                EventKind::MemberEnd,
+                Some(&member.name()),
+                [member_rank as u64, 0, 0],
+            );
+            probe.emit(
+                EventKind::BudgetCharge,
+                None,
+                [outcome.total_lookups() as u64, spent_after, 0],
+            );
             finished.push((member_rank, outcome));
         }
         self.assemble(env, module, finished, skipped, None, usize::MAX)
@@ -224,6 +241,15 @@ impl<P: PolicyModel> Portfolio<P> {
                 let race = &race;
                 let ledger = ledger.clone();
                 handles.push(scope.spawn(move || {
+                    // The cloned environment carries the request's probe, so
+                    // racing members trace into the same request lane.
+                    let probe = member_env.probe().clone();
+                    let name = member.name();
+                    probe.emit(
+                        EventKind::MemberBegin,
+                        Some(&name),
+                        [member_rank as u64, 0, 0],
+                    );
                     let outcome = member.search_with_stop(
                         &mut member_env,
                         &mut member_policy,
@@ -241,6 +267,11 @@ impl<P: PolicyModel> Portfolio<P> {
                         race.claim(member_rank);
                     }
                     ledger.charge(outcome.total_lookups() as u64);
+                    probe.emit(
+                        EventKind::MemberEnd,
+                        Some(&name),
+                        [member_rank as u64, preempted as u64, 0],
+                    );
                     (member_rank, outcome, preempted)
                 }));
             }
@@ -374,6 +405,11 @@ impl<P: PolicyModel> Portfolio<P> {
             .find(|(rank, _)| *rank == winner_rank)
             .expect("winner rank comes from the finished set")
             .1;
+        env.probe().emit(
+            EventKind::MemberWin,
+            Some(&winner.searcher),
+            [winner_rank as u64, 0, 0],
+        );
         SearchOutcome {
             searcher: Searcher::<P>::name(self),
             module: winner.module.clone(),

@@ -9,6 +9,7 @@ use mlir_rl_env::{
     Action, EnvConfig, InterchangeMode, InterchangeSpec, Observation, OptimizationEnv,
 };
 use mlir_rl_ir::Module;
+use mlir_rl_obs::EventKind;
 use mlir_rl_transforms::TransformationKind;
 
 use crate::searcher::{
@@ -150,6 +151,7 @@ impl RandomSearch {
         let max_steps = max_episode_steps(env, module);
         let config = env.config().clone();
 
+        let probe = env.probe().clone();
         let mut baseline_s = 0.0;
         let mut best_s = f64::INFINITY;
         let mut best_actions: Vec<Action> = Vec::new();
@@ -157,6 +159,7 @@ impl RandomSearch {
             if episode > 0 && stop.stops(rank) {
                 break;
             }
+            probe.emit(EventKind::RandomEpisode, None, [episode as u64, 0, 0]);
             let mut obs = env.reset(module.clone());
             if episode == 0 {
                 // The noise-free estimate of the do-nothing schedule is the

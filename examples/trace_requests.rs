@@ -1,0 +1,121 @@
+//! Trace a batch of requests through a live `OptimizationService`: turn
+//! tracing on with one `ServiceConfig` knob, serve a mixed stream, then
+//! walk each request's lifecycle span (submitted → queued → dispatched →
+//! running → terminal) and its searcher phase events from the merged
+//! trace snapshot. Exports the same snapshot three ways — Chrome
+//! trace-event JSON for `chrome://tracing`/Perfetto, a JSONL event log,
+//! and the unified Prometheus-style metrics exposition — and measures the
+//! recorder's per-event overhead.
+//!
+//! Run with `cargo run --release --example trace_requests`.
+
+use mlir_rl_core::{
+    wait_all, MlirRlOptimizer, OptimizationRequest, OptimizerConfig, ServiceConfig,
+};
+use mlir_rl_ir::{Module, ModuleBuilder};
+use mlir_rl_obs::{recorder_overhead_ns, EventKind};
+use mlir_rl_search::SearchSpec;
+
+fn workload(rows: u64, name: &str) -> Module {
+    let mut b = ModuleBuilder::new(name);
+    let a = b.argument("A", vec![rows, 128]);
+    let w = b.argument("B", vec![128, 64]);
+    let mm = b.matmul(a, w);
+    b.relu(mm);
+    b.finish()
+}
+
+fn main() {
+    let modules = [
+        workload(64, "m64"),
+        workload(96, "m96"),
+        workload(128, "m128"),
+    ];
+    let mut optimizer = MlirRlOptimizer::new(OptimizerConfig::quick());
+    optimizer.train(&modules, 4);
+
+    // One knob: per-ring event capacity. Everything else is unchanged —
+    // tracing is purely observational, so responses (and their
+    // fingerprints) are bit-identical to an untraced service.
+    let service =
+        optimizer.spawn_service_with(&ServiceConfig::quick().with_workers(2).with_tracing(8192));
+
+    let specs = [
+        SearchSpec::Greedy,
+        SearchSpec::beam(3),
+        SearchSpec::Mcts {
+            iterations: 6,
+            branch: 2,
+            widening: Some((1.0, 0.6)),
+        },
+        SearchSpec::random(3),
+        SearchSpec::racing(vec![SearchSpec::Greedy, SearchSpec::beam(2)], 0.0),
+    ];
+    let requests: Vec<OptimizationRequest> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            OptimizationRequest::new(modules[i % modules.len()].clone(), spec.clone())
+                .with_seed(100 + i as u64)
+        })
+        .collect();
+    let responses = wait_all(&service.submit_batch(requests));
+
+    // Each response names its trace; the snapshot merges every ring
+    // (submit side + one per worker) into one timestamp-sorted view.
+    let snapshot = service.trace_snapshot().expect("tracing is on");
+    println!("== per-request lifecycle ==");
+    for response in &responses {
+        let trace_id = response.trace_id.expect("traced service stamps ids");
+        let events = snapshot.for_trace(trace_id);
+        let phases: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        println!(
+            "request {:>2} ({:<22}) trace {:>2}: {} events [{}]",
+            response.id,
+            response.searcher,
+            trace_id,
+            events.len(),
+            phases.join(" → "),
+        );
+    }
+
+    println!("\n== searcher phase event totals ==");
+    for kind in [
+        EventKind::GreedyStep,
+        EventKind::BeamDepth,
+        EventKind::MctsIteration,
+        EventKind::RandomEpisode,
+        EventKind::MemberBegin,
+        EventKind::MemberWin,
+        EventKind::CacheHit,
+        EventKind::CacheMiss,
+    ] {
+        println!("{:<16} {}", kind.name(), snapshot.count(kind));
+    }
+
+    // Exporters: same snapshot, three audiences.
+    let chrome = snapshot.to_chrome_json();
+    let jsonl = snapshot.to_jsonl();
+    let path = std::env::temp_dir().join("mlir_rl_trace.json");
+    std::fs::write(&path, &chrome).expect("write trace");
+    println!(
+        "\nChrome trace ({} bytes) written to {} — open in chrome://tracing or Perfetto",
+        chrome.len(),
+        path.display()
+    );
+    println!(
+        "JSONL log: {} lines; recorder overhead ~{:.0} ns/event",
+        jsonl.lines().count(),
+        recorder_overhead_ns(1 << 16),
+    );
+
+    println!("\n== unified metrics exposition (excerpt) ==");
+    for line in service
+        .prometheus()
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .take(12)
+    {
+        println!("{line}");
+    }
+}

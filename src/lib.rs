@@ -8,3 +8,9 @@
 #![warn(missing_docs)]
 
 pub use mlir_rl_core::*;
+
+/// Structured tracing and telemetry (re-export of `mlir-rl-obs`): the
+/// [`obs::TraceRecorder`] behind [`ServiceConfig::with_tracing`], the
+/// [`obs::Probe`] hook searchers emit phase events through, and the
+/// Chrome-trace / JSONL / Prometheus exporters.
+pub use mlir_rl_obs as obs;

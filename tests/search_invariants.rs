@@ -24,6 +24,7 @@ use mlir_rl_agent::{PolicyHyperparams, PolicyNetwork};
 use mlir_rl_costmodel::{CostModel, MachineModel};
 use mlir_rl_env::{EnvConfig, OptimizationEnv};
 use mlir_rl_ir::{Module, ModuleBuilder};
+use mlir_rl_obs::TraceRecorder;
 use mlir_rl_search::{
     random_action, BeamSearch, GreedyPolicy, Mcts, Portfolio, RandomSearch, SearchDriver,
     SearchOutcome, Searcher,
@@ -160,6 +161,56 @@ fn battery_same_seed_searches_are_reproducible() {
             assert_eq!(a.evaluations, b.evaluations, "{}", e.searcher.name());
             assert_eq!(a.cache_hits, b.cache_hits, "{}", e.searcher.name());
         }
+    }
+}
+
+#[test]
+fn battery_probe_enabled_runs_are_bitwise_identical_to_disabled() {
+    // Attaching a trace probe must be purely observational: for every
+    // roster searcher, a probed run is bit-for-bit the unprobed run —
+    // emission never touches RNG state, lookup order or control flow —
+    // and the probe actually captures phase events with the right trace
+    // id.
+    let module = chain(96, 48, 64);
+    for e in roster() {
+        let mut p = policy(3);
+        let (mut plain_env, mut probed_env) = (env(), env());
+        let recorder = TraceRecorder::new(4096, 1);
+        probed_env.set_probe(recorder.probe(0).with_trace(7));
+        let plain = e.searcher.search(&mut plain_env, &mut p, &module, 17);
+        let probed = e.searcher.search(&mut probed_env, &mut p, &module, 17);
+        assert_eq!(
+            deterministic_fields(&plain),
+            deterministic_fields(&probed),
+            "{} with a probe attached must match the probe-free run bit-for-bit",
+            e.searcher.name()
+        );
+        assert_eq!(
+            plain.best_schedule,
+            probed.best_schedule,
+            "{}",
+            e.searcher.name()
+        );
+        if !e.racing {
+            assert_eq!(
+                plain.evaluations,
+                probed.evaluations,
+                "{}",
+                e.searcher.name()
+            );
+            assert_eq!(plain.cache_hits, probed.cache_hits, "{}", e.searcher.name());
+        }
+        let snapshot = recorder.snapshot();
+        assert!(
+            !snapshot.events.is_empty(),
+            "{} must emit phase events through the probe",
+            e.searcher.name()
+        );
+        assert!(
+            snapshot.events.iter().all(|event| event.trace_id == 7),
+            "{} events must carry the scoped trace id",
+            e.searcher.name()
+        );
     }
 }
 

@@ -12,6 +12,7 @@
 use mlir_rl::agent::{PolicyHyperparams, PolicyNetwork};
 use mlir_rl::env::EnvConfig;
 use mlir_rl::ir::{Module, ModuleBuilder};
+use mlir_rl::obs::EventKind;
 use mlir_rl::search::SearchSpec;
 use mlir_rl::{
     wait_all, MlirRlOptimizer, OptimizationRequest, OptimizationService, OptimizerConfig,
@@ -150,6 +151,107 @@ fn responses_are_identical_across_worker_counts_and_submission_orders() {
     for fields in reference.expect("at least one run") {
         assert_eq!(fields.2, ResponseStatus::Completed);
         assert!(fields.3.is_some());
+    }
+}
+
+#[test]
+fn tracing_is_observational_and_traces_every_request() {
+    let requests = request_set();
+    let n = requests.len();
+
+    // Reference: the same stream on an untraced service.
+    let untraced_service =
+        OptimizationService::new(ServiceConfig::quick().with_workers(2), policy(7));
+    assert!(!untraced_service.tracing_enabled());
+    assert!(untraced_service.trace_snapshot().is_none());
+    let untraced = wait_all(&untraced_service.submit_batch(requests.clone()));
+    assert!(untraced.iter().all(|r| r.trace_id.is_none()));
+
+    // Tracing on: same responses, bit for bit, plus a full trace.
+    let traced_service = OptimizationService::new(
+        ServiceConfig::quick().with_workers(2).with_tracing(4096),
+        policy(7),
+    );
+    assert!(traced_service.tracing_enabled());
+    let traced = wait_all(&traced_service.submit_batch(requests.clone()));
+    for (u, t) in untraced.iter().zip(&traced) {
+        assert_eq!(
+            deterministic_fields(u),
+            deterministic_fields(t),
+            "tracing must not move a single bit of a response"
+        );
+        assert_eq!(u.fingerprint(), t.fingerprint());
+    }
+
+    // Every response carries a distinct trace id (never 0 — that means
+    // "untraced" on the wire)...
+    let mut ids: Vec<u64> = traced
+        .iter()
+        .map(|r| r.trace_id.expect("traced service stamps every response"))
+        .collect();
+    assert!(ids.iter().all(|&id| id != 0));
+    let unsorted = ids.clone();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "trace ids must be unique per request");
+
+    // ...and the snapshot holds the full lifecycle for each of them.
+    let snapshot = traced_service.trace_snapshot().expect("tracing is on");
+    assert_eq!(snapshot.dropped, 0, "4096-deep rings must not overflow");
+    for &id in &unsorted {
+        let events = snapshot.for_trace(id);
+        for kind in [
+            EventKind::Submitted,
+            EventKind::Queued,
+            EventKind::Dispatched,
+            EventKind::RunBegin,
+            EventKind::RunEnd,
+        ] {
+            assert!(
+                events.iter().any(|e| e.kind == kind),
+                "trace {id} is missing its {kind:?} lifecycle event"
+            );
+        }
+    }
+    // The request set exercises every searcher family, so every phase
+    // event kind must appear, scoped to some request's trace.
+    for kind in [
+        EventKind::GreedyStep,
+        EventKind::BeamDepth,
+        EventKind::MctsIteration,
+        EventKind::RandomEpisode,
+        EventKind::MemberBegin,
+        EventKind::MemberEnd,
+        EventKind::MemberWin,
+    ] {
+        assert!(
+            snapshot.count(kind) > 0,
+            "expected at least one {kind:?} searcher phase event"
+        );
+    }
+
+    // The exporters accept the snapshot: Chrome JSON with one complete
+    // span per admitted request, and one JSONL line per event.
+    let chrome = snapshot.to_chrome_json();
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.matches("\"ph\":\"X\"").count() >= n);
+    assert_eq!(snapshot.to_jsonl().lines().count(), snapshot.events.len());
+
+    // The unified Prometheus exposition covers serving, cache and budget
+    // series plus the raw latency histograms.
+    let exposition = traced_service.prometheus();
+    for series in [
+        "mlir_rl_requests_submitted_total",
+        "mlir_rl_requests_completed_total",
+        "mlir_rl_cache_hits_total",
+        "mlir_rl_budget_spent",
+        "mlir_rl_queue_wait_seconds_bucket",
+        "mlir_rl_service_time_seconds_count",
+    ] {
+        assert!(
+            exposition.contains(series),
+            "{series} missing from the Prometheus exposition"
+        );
     }
 }
 
