@@ -17,7 +17,7 @@ use mlir_rl_env::{
 use mlir_rl_nn::{Linear, Lstm, MaskedCategorical, Mlp, Param, Scratch, Tensor2};
 
 use crate::policy::{lstm_step_tensors, rank_candidates, ActionRecord, PolicyHyperparams};
-use crate::ppo::PolicyModel;
+use crate::ppo::{GroupResult, InferenceGroup, InferenceMode, PolicyModel};
 
 /// The flat policy network: same embedding and backbone as the
 /// multi-discrete policy, but a single categorical head over the whole flat
@@ -260,7 +260,12 @@ impl PolicyModel for FlatPolicyNetwork {
         items: &[(&Observation, &ActionRecord)],
     ) -> Vec<(f64, f64)> {
         assert_eq!(batch.len(), items.len(), "packed batch size mismatch");
-        assert!(!items.is_empty(), "evaluate_batch needs at least one item");
+        if items.is_empty() {
+            // Nothing evaluated, nothing pushed: the matching
+            // `backward_batch` is a no-op, so the pending stack stays
+            // symmetric and an empty tick cannot panic the caller.
+            return Vec::new();
+        }
         let logits = self.logits_train_batch(batch);
         let mut out = Vec::with_capacity(items.len());
         for (i, (obs, record)) in items.iter().enumerate() {
@@ -273,6 +278,10 @@ impl PolicyModel for FlatPolicyNetwork {
     }
 
     fn backward_batch(&mut self, items: &[(&Observation, &ActionRecord)], coeffs: &[(f64, f64)]) {
+        if items.is_empty() {
+            assert!(coeffs.is_empty(), "coefficient count mismatch");
+            return;
+        }
         let logits = self
             .pending_batches
             .0
@@ -334,6 +343,61 @@ impl PolicyModel for FlatPolicyNetwork {
         self.batch_scratch = Scratch(logits);
         out
     }
+
+    fn infer_groups(&mut self, groups: &mut [InferenceGroup]) -> Vec<GroupResult> {
+        let total_rows: usize = groups.iter().map(|g| g.observations.len()).sum();
+        if total_rows == 0 {
+            return groups
+                .iter()
+                .map(|g| match g.mode {
+                    InferenceMode::Rank { .. } => GroupResult::Ranked(Vec::new()),
+                    InferenceMode::Sample { .. } => GroupResult::Sampled(Vec::new()),
+                })
+                .collect();
+        }
+        let batch =
+            ObservationBatch::from_observations(groups.iter().flat_map(|g| g.observations.iter()));
+        let mut logits = std::mem::take(&mut self.batch_scratch).0;
+        self.infer_logits_batch(&batch, &mut logits);
+        let mut results = Vec::with_capacity(groups.len());
+        let mut base = 0;
+        for group in groups.iter_mut() {
+            let InferenceGroup {
+                observations,
+                mode,
+                rng,
+            } = group;
+            match *mode {
+                InferenceMode::Rank { k } => {
+                    let mut ranked = Vec::with_capacity(observations.len());
+                    for (j, obs) in observations.iter().enumerate() {
+                        let mask = self.flat_mask(obs);
+                        ranked.push(rank_candidates(k, rng, |greedy, rng| {
+                            self.record_from_logits(obs, logits.row(base + j), &mask, greedy, rng)
+                        }));
+                    }
+                    results.push(GroupResult::Ranked(ranked));
+                }
+                InferenceMode::Sample { greedy } => {
+                    let mut sampled = Vec::with_capacity(observations.len());
+                    for (j, obs) in observations.iter().enumerate() {
+                        let mask = self.flat_mask(obs);
+                        sampled.push(self.record_from_logits(
+                            obs,
+                            logits.row(base + j),
+                            &mask,
+                            greedy,
+                            rng,
+                        ));
+                    }
+                    results.push(GroupResult::Sampled(sampled));
+                }
+            }
+            base += observations.len();
+        }
+        self.batch_scratch = Scratch(logits);
+        results
+    }
 }
 
 #[cfg(test)]
@@ -365,6 +429,61 @@ mod tests {
             },
             &mut rng,
         )
+    }
+
+    #[test]
+    fn empty_batches_evaluate_to_empty_results_instead_of_panicking() {
+        let mut p = flat_policy();
+        let batch = ObservationBatch::new(p.env_config().feature_len());
+        assert!(p.evaluate_batch(&batch, &[]).is_empty());
+        p.backward_batch(&[], &[]);
+        // A real pair afterwards confirms the pending stack stayed
+        // symmetric.
+        let obs = observation();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let record = p.select_action(&obs, false, &mut rng);
+        let mut packed = ObservationBatch::new(p.env_config().feature_len());
+        packed.push(&obs);
+        let out = p.evaluate_batch(&packed, &[(&obs, &record)]);
+        assert_eq!(out.len(), 1);
+        p.backward_batch(&[(&obs, &record)], &[(1.0, 0.01)]);
+        p.zero_grad();
+    }
+
+    #[test]
+    fn infer_groups_matches_direct_calls() {
+        let obs = observation();
+        let mut batched = flat_policy();
+        let mut groups = vec![
+            InferenceGroup {
+                observations: vec![obs.clone(), obs.clone()],
+                mode: InferenceMode::Rank { k: 2 },
+                rng: ChaCha8Rng::seed_from_u64(31),
+            },
+            InferenceGroup {
+                observations: vec![obs.clone()],
+                mode: InferenceMode::Sample { greedy: false },
+                rng: ChaCha8Rng::seed_from_u64(32),
+            },
+        ];
+        let results = batched.infer_groups(&mut groups);
+
+        let mut direct = flat_policy();
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let direct_rank = direct.rank_actions_batch(&[&obs, &obs], 2, &mut rng);
+        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        let direct_sample = direct.select_action(&obs, false, &mut rng);
+
+        match &results[0] {
+            GroupResult::Ranked(ranked) => assert_eq!(ranked, &direct_rank),
+            GroupResult::Sampled(_) => panic!("rank group answered with samples"),
+        }
+        match &results[1] {
+            GroupResult::Sampled(sampled) => {
+                assert_eq!(sampled.as_slice(), std::slice::from_ref(&direct_sample));
+            }
+            GroupResult::Ranked(_) => panic!("sample group answered with ranking"),
+        }
     }
 
     #[test]

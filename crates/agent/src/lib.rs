@@ -35,17 +35,23 @@
 
 #![warn(missing_docs)]
 
+pub mod aggregator;
 pub mod flat;
 pub mod policy;
 pub mod ppo;
 pub mod value;
 
+pub use aggregator::{
+    AggregatorClient, AggregatorStats, InferenceAggregator, InferenceBatching, RunGuard,
+    ROWS_PER_BATCH_BUCKETS,
+};
 pub use flat::FlatPolicyNetwork;
 pub use policy::{
     permutation_log_prob, sample_permutation, ActionRecord, PolicyHyperparams, PolicyNetwork,
 };
 pub use ppo::{
     collect_episode, collect_rollouts, compute_gae, default_rollout_workers, episode_seed,
-    IterationStats, PolicyModel, PpoConfig, PpoTrainer, RolloutBatch, Trajectory, Transition,
+    GroupResult, InferenceGroup, InferenceMode, IterationStats, PolicyModel, PpoConfig, PpoTrainer,
+    RolloutBatch, Trajectory, Transition,
 };
 pub use value::ValueNetwork;

@@ -27,6 +27,8 @@ use mlir_rl_env::{
 use mlir_rl_nn::{Linear, Lstm, MaskedCategorical, Mlp, Param, Scratch, Tensor2};
 use mlir_rl_transforms::TransformationKind;
 
+use crate::ppo::{GroupResult, InferenceGroup, InferenceMode};
+
 /// Hyper-parameters of the network (the paper uses 512 units everywhere;
 /// the default here is smaller so that the benchmark harness trains in
 /// minutes on one machine — pass 512 to reproduce the paper's sizes).
@@ -106,6 +108,15 @@ pub struct PolicyNetwork {
     /// [`PolicyNetwork::rank_actions_batch`].
     #[serde(skip)]
     batch_scratch: Scratch<HeadBatch>,
+    /// Reusable LSTM step tensors for batched inference: the packed
+    /// producer/consumer rows are copied into these instead of freshly
+    /// allocated tensors, so repeated batched calls (e.g. aggregator ticks)
+    /// reuse one arena.
+    #[serde(skip)]
+    step_scratch: Scratch<[Tensor2; 2]>,
+    /// Reusable packed-row arena for [`PolicyNetwork::infer_groups`].
+    #[serde(skip)]
+    pack_scratch: Scratch<ObservationBatch>,
 }
 
 /// Per-head logits of one forward pass (training mode keeps them to build
@@ -167,6 +178,17 @@ pub(crate) fn lstm_step_tensors(batch: &ObservationBatch) -> [Tensor2; 2] {
         Tensor2::from_flat(rows, cols, batch.producers().to_vec()),
         Tensor2::from_flat(rows, cols, batch.consumers().to_vec()),
     ]
+}
+
+/// Allocation-reusing form of [`lstm_step_tensors`]: copies the packed rows
+/// into existing step tensors (bit-identical contents, no fresh buffers), so
+/// long-lived inference paths — the aggregator's per-tick arena in
+/// particular — stop allocating two tensors per batch.
+pub(crate) fn lstm_step_tensors_into(batch: &ObservationBatch, steps: &mut [Tensor2; 2]) {
+    let rows = batch.len();
+    let cols = batch.feature_len();
+    steps[0].assign_flat(rows, cols, batch.producers());
+    steps[1].assign_flat(rows, cols, batch.consumers());
 }
 
 /// The shared candidate-ranking procedure behind
@@ -234,6 +256,8 @@ impl PolicyNetwork {
             pending_outputs: Scratch::default(),
             pending_batches: Scratch::default(),
             batch_scratch: Scratch::default(),
+            step_scratch: Scratch::default(),
+            pack_scratch: Scratch::default(),
         }
     }
 
@@ -302,9 +326,11 @@ impl PolicyNetwork {
     }
 
     /// Batched inference forward pass into reusable head buffers
-    /// (bit-identical per row to [`PolicyNetwork::infer_heads`]).
+    /// (bit-identical per row to [`PolicyNetwork::infer_heads`]). The LSTM
+    /// step tensors come from a scratch arena reused across calls.
     fn infer_heads_batch(&mut self, batch: &ObservationBatch, out: &mut HeadBatch) {
-        let steps = lstm_step_tensors(batch);
+        let mut steps = std::mem::take(&mut self.step_scratch).0;
+        lstm_step_tensors_into(batch, &mut steps);
         let embedding = self.lstm.infer_batch(&[&steps[0], &steps[1]]);
         let z = self.backbone.infer_batch(embedding);
         self.transformation_head
@@ -315,6 +341,7 @@ impl PolicyNetwork {
         self.fusion_head.infer_batch_into(z, &mut out.fusion);
         self.interchange_head
             .infer_batch_into(z, &mut out.interchange);
+        self.step_scratch = Scratch(steps);
     }
 
     fn tile_head_logits(outputs: &HeadOutputs, kind: TransformationKind) -> &[f64] {
@@ -524,7 +551,12 @@ impl PolicyNetwork {
         items: &[(&Observation, &ActionRecord)],
     ) -> Vec<(f64, f64)> {
         assert_eq!(batch.len(), items.len(), "packed batch size mismatch");
-        assert!(!items.is_empty(), "evaluate_batch needs at least one item");
+        if items.is_empty() {
+            // Nothing to evaluate and nothing pushed onto the pending
+            // stack; the matching `backward_batch` call is a no-op too, so
+            // an empty tick racing a drain cannot kill the caller.
+            return Vec::new();
+        }
         let heads = self.forward_heads_train_batch(batch);
         let mut out = Vec::with_capacity(items.len());
         for (i, (obs, record)) in items.iter().enumerate() {
@@ -551,6 +583,12 @@ impl PolicyNetwork {
         items: &[(&Observation, &ActionRecord)],
         coeffs: &[(f64, f64)],
     ) {
+        if items.is_empty() {
+            // `evaluate_batch` pushes nothing for an empty batch, so the
+            // pending stack stays symmetric by popping nothing here.
+            assert!(coeffs.is_empty(), "coefficient count mismatch");
+            return;
+        }
         let heads = self
             .pending_batches
             .0
@@ -652,6 +690,79 @@ impl PolicyNetwork {
         }
         self.batch_scratch = Scratch(heads);
         out
+    }
+
+    /// Batched [`crate::PolicyModel::infer_groups`]: packs the rows of
+    /// *all* groups into one reused [`ObservationBatch`], runs a single
+    /// batched head inference for the whole set, and decodes each group
+    /// against its own rows with its own RNG. Because every row of the
+    /// blocked batched kernels is bit-identical to the per-vector path, and
+    /// RNG consumption is threaded per group exactly like the direct calls,
+    /// the results do not depend on which groups happened to share a batch.
+    /// All scratch buffers (packed rows, step tensors, head logits) live on
+    /// `self` and are reused across calls — repeated aggregator ticks
+    /// allocate nothing new after the first.
+    pub(crate) fn infer_groups(&mut self, groups: &mut [InferenceGroup]) -> Vec<GroupResult> {
+        let total_rows: usize = groups.iter().map(|g| g.observations.len()).sum();
+        if total_rows == 0 {
+            return groups
+                .iter()
+                .map(|g| match g.mode {
+                    InferenceMode::Rank { .. } => GroupResult::Ranked(Vec::new()),
+                    InferenceMode::Sample { .. } => GroupResult::Sampled(Vec::new()),
+                })
+                .collect();
+        }
+        let feature_len = groups
+            .iter()
+            .find_map(|g| g.observations.first())
+            .map(|obs| obs.producer.len())
+            .expect("non-zero row count implies at least one observation");
+        let mut batch = std::mem::take(&mut self.pack_scratch).0;
+        batch.clear();
+        if batch.feature_len() != feature_len {
+            batch = ObservationBatch::new(feature_len);
+        }
+        for group in groups.iter() {
+            for obs in &group.observations {
+                batch.push(obs);
+            }
+        }
+        let mut heads = std::mem::take(&mut self.batch_scratch).0;
+        self.infer_heads_batch(&batch, &mut heads);
+        let mut results = Vec::with_capacity(groups.len());
+        let mut base = 0;
+        for group in groups.iter_mut() {
+            let InferenceGroup {
+                observations,
+                mode,
+                rng,
+            } = group;
+            match *mode {
+                InferenceMode::Rank { k } => {
+                    let mut ranked = Vec::with_capacity(observations.len());
+                    for (j, obs) in observations.iter().enumerate() {
+                        let row = heads.row_outputs(base + j);
+                        ranked.push(rank_candidates(k, rng, |greedy, rng| {
+                            self.decide(obs, &row, greedy, rng)
+                        }));
+                    }
+                    results.push(GroupResult::Ranked(ranked));
+                }
+                InferenceMode::Sample { greedy } => {
+                    let mut sampled = Vec::with_capacity(observations.len());
+                    for (j, obs) in observations.iter().enumerate() {
+                        let row = heads.row_outputs(base + j);
+                        sampled.push(self.decide(obs, &row, greedy, rng));
+                    }
+                    results.push(GroupResult::Sampled(sampled));
+                }
+            }
+            base += observations.len();
+        }
+        self.batch_scratch = Scratch(heads);
+        self.pack_scratch = Scratch(batch);
+        results
     }
 
     /// Computes the log-prob, entropy and per-head logit gradients
@@ -895,6 +1006,97 @@ mod tests {
         assert!((log_prob - record.log_prob).abs() < 1e-9);
         assert!((entropy - record.entropy).abs() < 1e-9);
         p.zero_grad();
+    }
+
+    #[test]
+    fn empty_batches_evaluate_to_empty_results_instead_of_panicking() {
+        let mut p = policy();
+        let batch = ObservationBatch::new(p.env_config().feature_len());
+        assert!(p.evaluate_batch(&batch, &[]).is_empty());
+        // The empty evaluate pushed nothing, so the empty backward pops
+        // nothing and a subsequent real evaluate/backward pair is intact.
+        p.backward_batch(&[], &[]);
+        let obs = observation();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let record = p.select_action(&obs, false, &mut rng);
+        let mut packed = ObservationBatch::new(p.env_config().feature_len());
+        packed.push(&obs);
+        let out = p.evaluate_batch(&packed, &[(&obs, &record)]);
+        assert_eq!(out.len(), 1);
+        p.backward_batch(&[(&obs, &record)], &[(1.0, 0.01)]);
+        p.zero_grad();
+    }
+
+    #[test]
+    fn infer_groups_is_bitwise_identical_to_direct_calls_and_reuses_scratch() {
+        let obs = observation();
+        // Mixed modes in one shared batch, decoded twice through the same
+        // network so the second tick runs entirely on reused scratch
+        // arenas (packed rows, step tensors, head logits).
+        let make_groups = || {
+            vec![
+                InferenceGroup {
+                    observations: vec![obs.clone(), obs.clone()],
+                    mode: InferenceMode::Rank { k: 3 },
+                    rng: ChaCha8Rng::seed_from_u64(21),
+                },
+                InferenceGroup {
+                    observations: Vec::new(),
+                    mode: InferenceMode::Rank { k: 2 },
+                    rng: ChaCha8Rng::seed_from_u64(22),
+                },
+                InferenceGroup {
+                    observations: vec![obs.clone()],
+                    mode: InferenceMode::Sample { greedy: false },
+                    rng: ChaCha8Rng::seed_from_u64(23),
+                },
+            ]
+        };
+        let mut batched_policy = policy();
+        let mut first = make_groups();
+        let tick_one = batched_policy.infer_groups(&mut first);
+        let mut second = make_groups();
+        let tick_two = batched_policy.infer_groups(&mut second);
+
+        // Direct path: fresh policy, one call per group.
+        let mut direct_policy = policy();
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let direct_rank = direct_policy.rank_actions_batch(&[&obs, &obs], 3, &mut rng);
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let direct_sample = direct_policy.select_action(&obs, false, &mut rng);
+
+        for tick in [&tick_one, &tick_two] {
+            assert_eq!(tick.len(), 3);
+            match &tick[0] {
+                GroupResult::Ranked(ranked) => assert_eq!(ranked, &direct_rank),
+                GroupResult::Sampled(_) => panic!("rank group answered with samples"),
+            }
+            match &tick[1] {
+                GroupResult::Ranked(ranked) => assert!(ranked.is_empty()),
+                GroupResult::Sampled(_) => panic!("rank group answered with samples"),
+            }
+            match &tick[2] {
+                GroupResult::Sampled(sampled) => {
+                    assert_eq!(sampled.as_slice(), std::slice::from_ref(&direct_sample));
+                }
+                GroupResult::Ranked(_) => panic!("sample group answered with ranking"),
+            }
+        }
+    }
+
+    #[test]
+    fn infer_groups_with_no_rows_returns_empty_shapes() {
+        let mut p = policy();
+        assert!(p.infer_groups(&mut []).is_empty());
+        let mut groups = vec![InferenceGroup {
+            observations: Vec::new(),
+            mode: InferenceMode::Sample { greedy: true },
+            rng: ChaCha8Rng::seed_from_u64(0),
+        }];
+        match &p.infer_groups(&mut groups)[..] {
+            [GroupResult::Sampled(records)] => assert!(records.is_empty()),
+            other => panic!("unexpected shape: {} results", other.len()),
+        }
     }
 
     #[test]

@@ -42,6 +42,47 @@ use mlir_rl_nn::{clip_grad_norm, Adam, Param};
 use crate::policy::{rank_candidates, ActionRecord, PolicyHyperparams, PolicyNetwork};
 use crate::value::ValueNetwork;
 
+/// How one queued [`InferenceGroup`] wants its observations decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferenceMode {
+    /// Decode like [`PolicyModel::rank_actions_batch`]: up to `k` distinct
+    /// candidates per observation, greedy first.
+    Rank {
+        /// Candidate count per observation.
+        k: usize,
+    },
+    /// Decode like one [`PolicyModel::select_action`] per observation, in
+    /// order, threading the group RNG sequentially.
+    Sample {
+        /// Take the sequential argmax instead of sampling (consumes no RNG).
+        greedy: bool,
+    },
+}
+
+/// One unit of policy inference queued by a searcher: a set of observations
+/// that must be decoded together with a single RNG threaded across them in
+/// order. Groups are the unit the cross-request inference aggregator packs
+/// into shared batches — a group is never split, so per-group RNG
+/// consumption matches the direct call exactly.
+#[derive(Debug, Clone)]
+pub struct InferenceGroup {
+    /// The observations to decode, in submission order.
+    pub observations: Vec<Observation>,
+    /// How to decode them.
+    pub mode: InferenceMode,
+    /// The caller's RNG, moved in with the group and returned advanced.
+    pub rng: ChaCha8Rng,
+}
+
+/// The decoded result for one [`InferenceGroup`], shape matching its mode.
+#[derive(Debug, Clone)]
+pub enum GroupResult {
+    /// Per-observation candidate lists ([`InferenceMode::Rank`]).
+    Ranked(Vec<Vec<ActionRecord>>),
+    /// One record per observation ([`InferenceMode::Sample`]).
+    Sampled(Vec<ActionRecord>),
+}
+
 /// Abstraction over policy networks so that the same PPO trainer drives both
 /// the multi-discrete policy and the flat-action-space policy of the Fig. 6
 /// ablation.
@@ -134,6 +175,38 @@ pub trait PolicyModel: Clone + Send {
             .map(|obs| self.rank_actions(obs, k, rng))
             .collect()
     }
+
+    /// Runs a set of independent inference groups, returning one result per
+    /// group in order and leaving each group's `rng` advanced exactly as
+    /// the equivalent direct call would. The default decodes group by
+    /// group; networks with a batched tensor engine override it to pack
+    /// *all* groups' rows into one forward pass per layer — the override
+    /// must stay bit-identical, row for row, to this loop (the
+    /// cross-request aggregator's determinism guarantee rests on it).
+    fn infer_groups(&mut self, groups: &mut [InferenceGroup]) -> Vec<GroupResult> {
+        groups
+            .iter_mut()
+            .map(|group| {
+                let InferenceGroup {
+                    observations,
+                    mode,
+                    rng,
+                } = group;
+                match *mode {
+                    InferenceMode::Rank { k } => {
+                        let refs: Vec<&Observation> = observations.iter().collect();
+                        GroupResult::Ranked(self.rank_actions_batch(&refs, k, rng))
+                    }
+                    InferenceMode::Sample { greedy } => GroupResult::Sampled(
+                        observations
+                            .iter()
+                            .map(|obs| self.select_action(obs, greedy, rng))
+                            .collect(),
+                    ),
+                }
+            })
+            .collect()
+    }
 }
 
 impl PolicyModel for PolicyNetwork {
@@ -188,6 +261,9 @@ impl PolicyModel for PolicyNetwork {
         rng: &mut ChaCha8Rng,
     ) -> Vec<Vec<ActionRecord>> {
         PolicyNetwork::rank_actions_batch(self, observations, k, rng)
+    }
+    fn infer_groups(&mut self, groups: &mut [InferenceGroup]) -> Vec<GroupResult> {
+        PolicyNetwork::infer_groups(self, groups)
     }
 }
 

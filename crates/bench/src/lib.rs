@@ -1194,8 +1194,14 @@ pub struct ServiceReport {
     pub rounds: usize,
     /// Worker threads of the warm service.
     pub workers: usize,
+    /// Worker threads of the batched (aggregated-inference) service —
+    /// at least 4 so cross-request coalescing has concurrency to pack.
+    pub batched_workers: usize,
     /// The warm persistent-service stream.
     pub warm: ServiceStreamSummary,
+    /// The warm stream re-served with cross-request inference batching
+    /// ([`ServiceConfig::with_inference_batching`]).
+    pub batched: ServiceStreamSummary,
     /// The cold per-request-service stream (fresh cache every request).
     pub cold: ServiceStreamSummary,
     /// Request statuses of the warm stream, as
@@ -1204,6 +1210,12 @@ pub struct ServiceReport {
     /// Whether response fingerprints were bit-identical across 1/2/4
     /// workers and two shuffled submission orders.
     pub determinism_invariant: bool,
+    /// Mean observation rows per aggregator batch in the batched stream
+    /// (> 1 means cross-request work actually shared forward passes).
+    pub rows_per_batch: f64,
+    /// Whether every batched response fingerprint matched its warm
+    /// (unbatched) counterpart bit for bit.
+    pub batched_fingerprints_match: bool,
 }
 
 impl fmt::Display for ServiceReport {
@@ -1213,7 +1225,7 @@ impl fmt::Display for ServiceReport {
             "== exp_service: request-stream serving ({} modules x {} rounds, {} workers) ==",
             self.modules, self.rounds, self.workers
         )?;
-        for s in [&self.warm, &self.cold] {
+        for s in [&self.warm, &self.batched, &self.cold] {
             writeln!(
                 f,
                 "{:<18} {:>7.2} req/s  geomean {:>6.2}x  evals {:>8}  lookups {:>8}  hit-rate {:>5.1}%  queue {:>8.4}s  service {:>8.4}s",
@@ -1237,6 +1249,17 @@ impl fmt::Display for ServiceReport {
             "warm vs cold       hit-rate {:+.1} pts, evals {:+.1}%",
             (self.warm.hit_rate - self.cold.hit_rate) * 100.0,
             100.0 * (self.warm.evaluations as f64 / self.cold.evaluations.max(1) as f64 - 1.0),
+        )?;
+        writeln!(
+            f,
+            "batching           {:.2} rows/batch at {} workers, fingerprints {}",
+            self.rows_per_batch,
+            self.batched_workers,
+            if self.batched_fingerprints_match {
+                "bit-identical to the unbatched stream"
+            } else {
+                "DIVERGED"
+            }
         )?;
         writeln!(
             f,
@@ -1266,8 +1289,36 @@ impl ServiceReport {
         json::field(
             &mut out,
             1,
+            "batched_workers",
+            json::number(self.batched_workers as f64),
+        );
+        out.push_str(",\n");
+        json::field(
+            &mut out,
+            1,
             "streams",
-            json::array([self.warm.to_json(), self.cold.to_json()].into_iter()),
+            json::array(
+                [
+                    self.warm.to_json(),
+                    self.batched.to_json(),
+                    self.cold.to_json(),
+                ]
+                .into_iter(),
+            ),
+        );
+        out.push_str(",\n");
+        json::field(
+            &mut out,
+            1,
+            "rows_per_batch",
+            json::number(self.rows_per_batch),
+        );
+        out.push_str(",\n");
+        json::field(
+            &mut out,
+            1,
+            "batched_fingerprints_match",
+            self.batched_fingerprints_match.to_string(),
         );
         out.push_str(",\n");
         let (completed, stopped, skipped, rejected) = self.statuses;
@@ -1326,22 +1377,28 @@ fn service_request_stream(
 /// (specs cycling over greedy / beam / widened MCTS / random) through
 ///
 /// 1. one **warm persistent** [`OptimizationService`] — every request warms
-///    the one shared evaluation cache for every later request, and
-/// 2. **cold per-request** services — a fresh service (fresh cache) per
+///    the one shared evaluation cache for every later request,
+/// 2. the same persistent service with **cross-request inference
+///    batching** ([`ServiceConfig::with_inference_batching`]) — the
+///    workers' policy calls coalesce into shared `Tensor2` batches, and
+/// 3. **cold per-request** services — a fresh service (fresh cache) per
 ///    request, the deployment the paper's one-shot evaluate script implies,
 ///
 /// and verifies the request-level determinism contract by re-serving the
 /// same stream with 1/2/4 workers and two shuffled submission orders,
-/// comparing response fingerprints. The acceptance invariant: the warm
-/// service's shared-cache hit-rate strictly beats the cold baseline's.
+/// comparing response fingerprints. The acceptance invariants: the warm
+/// service's shared-cache hit-rate strictly beats the cold baseline's, and
+/// the batched stream's fingerprints match the warm stream's bit for bit
+/// while packing more than one row per aggregator batch.
 pub fn service_throughput(scale: &ExperimentScale, workers: usize) -> ServiceReport {
     service_throughput_traced(scale, workers, None).0
 }
 
-/// [`service_throughput`] with optional structured tracing on the warm
-/// persistent service: `trace_capacity` is the per-ring event capacity
+/// [`service_throughput`] with optional structured tracing:
+/// `trace_capacity` is the per-ring event capacity
 /// ([`ServiceConfig::with_tracing`]), and the returned snapshot covers the
-/// whole warm stream. `None` runs exactly [`service_throughput`].
+/// whole batched stream — request lifecycles plus the aggregator's
+/// `batch_formed` instants. `None` runs exactly [`service_throughput`].
 pub fn service_throughput_traced(
     scale: &ExperimentScale,
     workers: usize,
@@ -1407,6 +1464,39 @@ pub fn service_throughput_traced(
             .count(),
     );
 
+    // --- batched: the same stream through the cross-request inference
+    // aggregator, with enough workers that batches can actually pack rows
+    // from concurrent requests. Fingerprints must match the warm stream
+    // bit for bit — batching is a throughput lever, never a result lever.
+    let batched_workers = workers.max(4);
+    let mut batched_config = ServiceConfig::quick()
+        .with_workers(batched_workers)
+        .with_inference_batching(16, 200);
+    if let Some(capacity) = trace_capacity {
+        batched_config = batched_config.with_tracing(capacity);
+    }
+    let batched_service = rl.spawn_service_with(&batched_config);
+    // Same clean-slate start as the warm stream, so the two streams'
+    // throughput numbers are comparable.
+    batched_service.cache().clear();
+    let start = Instant::now();
+    let pending = batched_service.submit_batch(stream.clone());
+    let batched_responses = wait_all(&pending);
+    let batched = ServiceStreamSummary::from_responses(
+        "batched-service",
+        &batched_responses,
+        start.elapsed().as_secs_f64(),
+    );
+    let aggregator_stats = batched_service
+        .aggregator_stats()
+        .expect("batched service has batching enabled");
+    let rows_per_batch = aggregator_stats.mean_rows_per_batch();
+    let batched_fingerprints_match = warm_responses.len() == batched_responses.len()
+        && warm_responses
+            .iter()
+            .zip(&batched_responses)
+            .all(|(w, b)| w.fingerprint() == b.fingerprint());
+
     // --- cold: a fresh service (fresh cache) per request ---------------
     let service_config = ServiceConfig::quick();
     let start = Instant::now();
@@ -1446,16 +1536,26 @@ pub fn service_throughput_traced(
         fingerprints == reference
     });
 
-    let snapshot = warm_service.trace_snapshot();
+    // Prefer the batched service's snapshot: it carries the same request
+    // lifecycle events as the warm one *plus* the aggregator's
+    // `batch_formed` instants, so one trace shows requests and the
+    // batches their inference rode in.
+    let snapshot = batched_service
+        .trace_snapshot()
+        .or_else(|| warm_service.trace_snapshot());
     (
         ServiceReport {
             modules: workloads.len(),
             rounds,
             workers: workers.max(1),
+            batched_workers,
             warm,
+            batched,
             cold,
             statuses,
             determinism_invariant,
+            rows_per_batch,
+            batched_fingerprints_match,
         },
         snapshot,
     )
@@ -2324,12 +2424,30 @@ mod tests {
         assert_eq!(stopped + skipped + rejected, 0);
         assert!(report.warm.geomean_speedup > 0.0);
         assert_eq!(report.warm.geomean_speedup, report.cold.geomean_speedup);
+        // The aggregated-inference stream: same results bit for bit, with
+        // real cross-request coalescing (more than one row per batch).
+        assert_eq!(report.batched.requests, report.warm.requests);
+        assert!(
+            report.batched_fingerprints_match,
+            "aggregated inference must not move a bit of any response"
+        );
+        assert_eq!(report.batched.geomean_speedup, report.warm.geomean_speedup);
+        assert!(report.batched_workers >= 4);
+        assert!(
+            report.rows_per_batch > 1.0,
+            "the batched stream must pack more than one row per batch, got {}",
+            report.rows_per_batch
+        );
         let printed = report.to_string();
         assert!(printed.contains("warm-service"));
+        assert!(printed.contains("batched-service"));
+        assert!(printed.contains("rows/batch"));
         assert!(printed.contains("bit-identical"));
         let json = report.to_json();
         assert!(json.contains("\"exp_service\""));
         assert!(json.contains("\"hit_rate\""));
+        assert!(json.contains("\"rows_per_batch\""));
+        assert!(json.contains("\"batched_fingerprints_match\": true"));
     }
 
     #[test]

@@ -80,7 +80,9 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use mlir_rl_agent::PolicyNetwork;
+use mlir_rl_agent::{
+    AggregatorClient, AggregatorStats, InferenceAggregator, InferenceBatching, PolicyNetwork,
+};
 use mlir_rl_costmodel::{CostModel, EvalBudget, EvalCache, MachineModel, SharedEvalCache};
 use mlir_rl_env::{EnvConfig, OptimizationEnv};
 use mlir_rl_ir::Module;
@@ -151,6 +153,16 @@ pub struct ServiceConfig {
     /// purely observational: responses stay bit-identical
     /// ([`OptimizationResponse::fingerprint`] never covers trace data).
     pub trace_capacity: Option<usize>,
+    /// Cross-request inference batching, or `None` (the default) for
+    /// direct per-worker policy calls. When set, workers enqueue their
+    /// policy-inference calls with a shared [`InferenceAggregator`] whose
+    /// dedicated thread packs whatever is pending — across requests,
+    /// searchers and clients — into one batched forward pass per tick
+    /// (flushing at `max_batch` rows or after `max_wait_us`). Purely a
+    /// throughput lever: the blocked tensor kernels make every batched row
+    /// bit-identical to the per-vector path and groups keep their own RNGs,
+    /// so responses and fingerprints are unchanged by how rows coalesce.
+    pub inference_batching: Option<InferenceBatching>,
 }
 
 impl ServiceConfig {
@@ -171,6 +183,7 @@ impl ServiceConfig {
             client_weights: Vec::new(),
             start_paused: false,
             trace_capacity: None,
+            inference_batching: None,
         }
     }
 
@@ -229,6 +242,18 @@ impl ServiceConfig {
         self
     }
 
+    /// Enables cross-request inference batching: pending policy calls
+    /// flush as one shared batch at `max_batch` rows or after
+    /// `max_wait_us` microseconds, whichever comes first (see
+    /// [`ServiceConfig::inference_batching`]). Both knobs must be non-zero.
+    pub fn with_inference_batching(mut self, max_batch: usize, max_wait_us: u64) -> Self {
+        self.inference_batching = Some(InferenceBatching {
+            max_batch,
+            max_wait_us,
+        });
+        self
+    }
+
     /// Validates the serving knobs: a zero queue capacity would reject
     /// every request and a zero quota would block every client forever —
     /// both are configuration bugs, not useful modes, so they fail here
@@ -254,6 +279,22 @@ impl ServiceConfig {
                 "trace_capacity must be at least 1 (0 records nothing; use None to disable)"
                     .to_string(),
             );
+        }
+        if let Some(batching) = &self.inference_batching {
+            if batching.max_batch == 0 {
+                return Err(
+                    "inference_batching.max_batch must be at least 1 (0 can never flush; \
+                     use None to disable batching)"
+                        .to_string(),
+                );
+            }
+            if batching.max_wait_us == 0 {
+                return Err(
+                    "inference_batching.max_wait_us must be at least 1 (0 gives rows no \
+                     time to coalesce; use None to disable batching)"
+                        .to_string(),
+                );
+            }
         }
         Ok(())
     }
@@ -926,6 +967,35 @@ pub struct ServiceMetrics {
     pub budget_spent: u64,
     /// The global eval-budget cap (`None` = unlimited).
     pub budget_cap: Option<u64>,
+    /// Batches formed by the cross-request inference aggregator. Zero
+    /// when the service runs without
+    /// [`ServiceConfig::with_inference_batching`].
+    pub inference_batches: u64,
+    /// Observation rows packed across all aggregator batches.
+    pub inference_rows: u64,
+    /// Mean rows per aggregator batch (`rows / batches`; 0 when no batch
+    /// has formed). The headline coalescing gauge: values above 1 mean
+    /// cross-request work actually shared forward passes.
+    pub inference_rows_per_batch_mean: f64,
+    /// Batches flushed because pending rows reached `max_batch`.
+    pub inference_flush_size: u64,
+    /// Batches flushed because the oldest group waited `max_wait_us`.
+    pub inference_flush_timeout: u64,
+    /// Batches flushed because every registered in-flight run was already
+    /// waiting (no more rows could arrive).
+    pub inference_flush_idle: u64,
+    /// Batches flushed while draining the queue at shutdown.
+    pub inference_flush_drain: u64,
+    /// Batches run inline on the submitting worker (leader-combining)
+    /// rather than by the dedicated inference thread — a subset of the
+    /// reason counters above.
+    pub inference_flush_inline: u64,
+    /// Mean time a group spent queued before its batch ran, in seconds.
+    pub inference_queue_wait_mean_s: f64,
+    /// Rows-per-batch histogram: bucket `i` counts batches whose row
+    /// count `r` satisfies `floor(log2(r)) == i` (the last bucket absorbs
+    /// the tail). Empty when batching is off.
+    pub inference_rows_per_batch_buckets: Vec<u64>,
 }
 
 impl ServiceMetrics {
@@ -994,6 +1064,47 @@ impl ServiceMetrics {
                 "budget_cap",
                 self.budget_cap
                     .map_or("null".to_string(), |cap| json::number(cap as f64)),
+            ),
+            (
+                "inference_batches",
+                json::number(self.inference_batches as f64),
+            ),
+            ("inference_rows", json::number(self.inference_rows as f64)),
+            (
+                "inference_rows_per_batch_mean",
+                json::number(self.inference_rows_per_batch_mean),
+            ),
+            (
+                "inference_flush_size",
+                json::number(self.inference_flush_size as f64),
+            ),
+            (
+                "inference_flush_timeout",
+                json::number(self.inference_flush_timeout as f64),
+            ),
+            (
+                "inference_flush_idle",
+                json::number(self.inference_flush_idle as f64),
+            ),
+            (
+                "inference_flush_drain",
+                json::number(self.inference_flush_drain as f64),
+            ),
+            (
+                "inference_flush_inline",
+                json::number(self.inference_flush_inline as f64),
+            ),
+            (
+                "inference_queue_wait_mean_s",
+                json::number(self.inference_queue_wait_mean_s),
+            ),
+            (
+                "inference_rows_per_batch_buckets",
+                json::array(
+                    self.inference_rows_per_batch_buckets
+                        .iter()
+                        .map(|c| json::number(*c as f64)),
+                ),
             ),
         ];
         let mut out = String::from("{\n");
@@ -1186,6 +1297,98 @@ impl ServiceMetrics {
             &self.service_hist_buckets,
             self.service_mean_s,
         );
+        c(
+            registry,
+            "inference_batches_total",
+            "Batches formed by the cross-request inference aggregator",
+            self.inference_batches,
+        );
+        c(
+            registry,
+            "inference_rows_total",
+            "Observation rows packed across aggregator batches",
+            self.inference_rows,
+        );
+        g(
+            registry,
+            "inference_rows_per_batch_mean",
+            "Mean rows per aggregator batch",
+            self.inference_rows_per_batch_mean,
+        );
+        c(
+            registry,
+            "inference_flush_size_total",
+            "Aggregator flushes triggered by max_batch",
+            self.inference_flush_size,
+        );
+        c(
+            registry,
+            "inference_flush_timeout_total",
+            "Aggregator flushes triggered by max_wait_us",
+            self.inference_flush_timeout,
+        );
+        c(
+            registry,
+            "inference_flush_idle_total",
+            "Aggregator flushes with every in-flight run waiting",
+            self.inference_flush_idle,
+        );
+        c(
+            registry,
+            "inference_flush_drain_total",
+            "Aggregator flushes while draining at shutdown",
+            self.inference_flush_drain,
+        );
+        c(
+            registry,
+            "inference_flush_inline_total",
+            "Aggregator flushes run inline on a submitting worker",
+            self.inference_flush_inline,
+        );
+        g(
+            registry,
+            "inference_queue_wait_mean_s",
+            "Mean seconds a group waited for its batch",
+            self.inference_queue_wait_mean_s,
+        );
+        // Rows-per-batch distribution in the Prometheus histogram
+        // convention, but with row counts (not seconds) as the bucket
+        // bounds: bucket i holds batches with floor(log2(rows)) == i, so
+        // its inclusive upper bound is 2^(i+1) - 1. `_sum` is exact here
+        // (total rows), unlike the latency histograms' mean * count.
+        if !self.inference_rows_per_batch_buckets.is_empty() {
+            let mut cumulative = 0u64;
+            let last = self.inference_rows_per_batch_buckets.len() - 1;
+            for (i, count) in self.inference_rows_per_batch_buckets.iter().enumerate() {
+                cumulative += count;
+                if *count == 0 && i != last {
+                    continue;
+                }
+                let le = format!("{}", (1u64 << (i + 1)) - 1);
+                registry.counter_with(
+                    "mlir_rl_inference_rows_per_batch_bucket",
+                    "Rows-per-batch distribution",
+                    &[("le", le.as_str())],
+                    cumulative as f64,
+                );
+            }
+            registry.counter_with(
+                "mlir_rl_inference_rows_per_batch_bucket",
+                "Rows-per-batch distribution",
+                &[("le", "+Inf")],
+                cumulative as f64,
+            );
+            registry.counter(
+                "mlir_rl_inference_rows_per_batch_sum",
+                "Rows-per-batch distribution",
+                self.inference_rows as f64,
+            );
+            registry.counter(
+                "mlir_rl_inference_rows_per_batch_count",
+                "Rows-per-batch distribution",
+                cumulative as f64,
+            );
+        }
     }
 }
 
@@ -1198,6 +1401,11 @@ pub struct OptimizationService {
     template: OptimizationEnv,
     policy: PolicyNetwork,
     workers: Vec<JoinHandle<()>>,
+    /// Present iff the service was built with
+    /// [`ServiceConfig::with_inference_batching`]: the shared batch
+    /// pipeline the workers route their policy inference through. Shut
+    /// down *after* the workers (no client may be left waiting on it).
+    aggregator: Option<InferenceAggregator>,
     next_id: AtomicU64,
 }
 
@@ -1277,16 +1485,28 @@ impl OptimizationService {
             queue_high_water: AtomicU64::new(0),
             queue_hist: LatencyHistogram::new(),
             service_hist: LatencyHistogram::new(),
-            recorder: config
-                .trace_capacity
-                .map(|capacity| TraceRecorder::new(capacity, config.workers.max(1) + 1)),
+            recorder: config.trace_capacity.map(|capacity| {
+                // One ring per worker plus the submit side, plus one for
+                // the aggregator's inference thread when batching is on.
+                let writers =
+                    config.workers.max(1) + 1 + usize::from(config.inference_batching.is_some());
+                TraceRecorder::new(capacity, writers)
+            }),
+        });
+        let aggregator = config.inference_batching.map(|batching| {
+            let probe = match &shared.recorder {
+                Some(recorder) => recorder.probe(config.workers.max(1) + 1),
+                None => ProbeRef::none(),
+            };
+            InferenceAggregator::spawn(policy.clone(), batching, probe)
         });
         let workers = (0..config.workers.max(1))
             .map(|worker| {
                 let shared = Arc::clone(&shared);
                 let env = template.clone();
                 let policy = policy.clone();
-                std::thread::spawn(move || worker_loop(shared, env, policy, worker))
+                let client = aggregator.as_ref().map(InferenceAggregator::client);
+                std::thread::spawn(move || worker_loop(shared, env, policy, client, worker))
             })
             .collect();
         Self {
@@ -1294,6 +1514,7 @@ impl OptimizationService {
             template,
             policy,
             workers,
+            aggregator,
             next_id: AtomicU64::new(0),
         }
     }
@@ -1496,6 +1717,7 @@ impl OptimizationService {
             let state = self.shared.state.lock().expect("service state poisoned");
             (state.depth as u64, state.lanes.len() as u64)
         };
+        let inference = self.aggregator_stats().unwrap_or_default();
         let s = &self.shared;
         ServiceMetrics {
             submitted: s.submitted.load(Ordering::Relaxed),
@@ -1524,7 +1746,29 @@ impl OptimizationService {
             cache_misses: s.cache.misses(),
             budget_spent: s.budget.spent(),
             budget_cap: s.budget.cap(),
+            inference_batches: inference.batches,
+            inference_rows: inference.rows,
+            inference_rows_per_batch_mean: inference.mean_rows_per_batch(),
+            inference_flush_size: inference.flush_size,
+            inference_flush_timeout: inference.flush_timeout,
+            inference_flush_idle: inference.flush_idle,
+            inference_flush_drain: inference.flush_drain,
+            inference_flush_inline: inference.flush_inline,
+            inference_queue_wait_mean_s: inference.mean_queue_wait_s(),
+            inference_rows_per_batch_buckets: if self.aggregator.is_some() {
+                inference.rows_per_batch.to_vec()
+            } else {
+                Vec::new()
+            },
         }
+    }
+
+    /// A point-in-time snapshot of the inference aggregator's counters
+    /// (batches, rows, flush reasons, queue waits), or `None` when the
+    /// service was built without
+    /// [`ServiceConfig::with_inference_batching`].
+    pub fn aggregator_stats(&self) -> Option<AggregatorStats> {
+        self.aggregator.as_ref().map(InferenceAggregator::stats)
     }
 
     /// Whether the service records a structured trace
@@ -1607,6 +1851,11 @@ impl OptimizationService {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        // Only after every worker exited: no client can be blocked on a
+        // reply, so draining and joining the inference thread is safe.
+        if let Some(aggregator) = &mut self.aggregator {
+            aggregator.shutdown();
+        }
     }
 }
 
@@ -1639,6 +1888,7 @@ fn worker_loop(
     shared: Arc<ServiceShared>,
     mut env: OptimizationEnv,
     mut policy: PolicyNetwork,
+    client: Option<AggregatorClient>,
     worker: usize,
 ) {
     // Worker `w` owns ring `1 + w` exclusively, so its writes never
@@ -1673,7 +1923,7 @@ fn worker_loop(
         };
         match popped {
             Some((job, lane)) => {
-                execute(&shared, &mut env, &mut policy, job, &probe);
+                execute(&shared, &mut env, &mut policy, client.as_ref(), job, &probe);
                 shared.state.lock().expect("service state poisoned").lanes[lane].in_flight -= 1;
                 // Wake quota-blocked dispatchers (and the shutdown drain).
                 shared.work.notify_all();
@@ -1693,6 +1943,7 @@ fn execute(
     shared: &ServiceShared,
     env: &mut OptimizationEnv,
     policy: &mut PolicyNetwork,
+    client: Option<&AggregatorClient>,
     job: QueuedJob,
     worker_probe: &ProbeRef,
 ) {
@@ -1826,15 +2077,36 @@ fn execute(
     // scratch buffers are overwritten by every forward pass, so the worker
     // keeps serving after a caught panic.
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let searcher = job.request.spec.build::<PolicyNetwork>();
-        searcher.search_with_stop(
-            run_env,
-            policy,
-            &job.request.module,
-            job.request.seed,
-            RUN_RANK,
-            &job.stop,
-        )
+        match client {
+            // Batching on: route every policy call through the shared
+            // aggregator. The run guard registers this in-flight run so
+            // the aggregator's idle rule knows how many runs can still
+            // contribute rows to the batch under formation.
+            Some(client) => {
+                let searcher = job.request.spec.build::<AggregatorClient>();
+                let mut client = client.clone();
+                let _guard = client.run_guard();
+                searcher.search_with_stop(
+                    run_env,
+                    &mut client,
+                    &job.request.module,
+                    job.request.seed,
+                    RUN_RANK,
+                    &job.stop,
+                )
+            }
+            None => {
+                let searcher = job.request.spec.build::<PolicyNetwork>();
+                searcher.search_with_stop(
+                    run_env,
+                    policy,
+                    &job.request.module,
+                    job.request.seed,
+                    RUN_RANK,
+                    &job.stop,
+                )
+            }
+        }
     }));
     let outcome = match result {
         Ok(outcome) => outcome,
@@ -2332,5 +2604,192 @@ mod tests {
             .as_deref()
             .unwrap()
             .starts_with(BACKPRESSURE_PREFIX));
+    }
+
+    #[test]
+    fn zero_batching_knobs_fail_validation_instead_of_wedging() {
+        assert!(ServiceConfig::quick()
+            .with_inference_batching(0, 200)
+            .try_validate()
+            .is_err());
+        assert!(ServiceConfig::quick()
+            .with_inference_batching(16, 0)
+            .try_validate()
+            .is_err());
+        assert!(OptimizationService::try_new(
+            ServiceConfig::quick().with_inference_batching(0, 0),
+            policy()
+        )
+        .is_err());
+        assert!(ServiceConfig::quick()
+            .with_inference_batching(16, 200)
+            .try_validate()
+            .is_ok());
+    }
+
+    /// The tentpole determinism guarantee at the service level: routing
+    /// every worker's inference through the shared aggregator leaves all
+    /// response payloads identical to the direct per-worker path.
+    #[test]
+    fn batched_responses_are_identical_to_direct_responses() {
+        let requests = || {
+            vec![
+                OptimizationRequest::new(module(64), SearchSpec::Greedy).with_seed(7),
+                OptimizationRequest::new(module(96), SearchSpec::beam(2)).with_seed(8),
+                OptimizationRequest::new(module(64), SearchSpec::mcts(6, 2)).with_seed(9),
+                OptimizationRequest::new(module(128), SearchSpec::beam(3)).with_seed(10),
+            ]
+        };
+        let run = |config: ServiceConfig| {
+            let service = OptimizationService::new(config, policy());
+            let responses: Vec<OptimizationResponse> = service
+                .submit_batch(requests())
+                .into_iter()
+                .map(|p| p.wait())
+                .collect();
+            (responses, service.metrics())
+        };
+        let (direct, direct_metrics) = run(ServiceConfig::quick().with_workers(2));
+        let (batched, batched_metrics) = run(ServiceConfig::quick()
+            .with_workers(2)
+            .with_inference_batching(16, 500));
+        for (d, b) in direct.iter().zip(&batched) {
+            assert_eq!(d.status, ResponseStatus::Completed);
+            assert_eq!(
+                d.fingerprint(),
+                b.fingerprint(),
+                "aggregated inference changed the result for {}",
+                d.module
+            );
+            assert_eq!(d.outcome, b.outcome);
+            assert_eq!(d.evaluations, b.evaluations);
+        }
+        assert_eq!(direct_metrics.inference_batches, 0);
+        assert!(direct_metrics.inference_rows_per_batch_buckets.is_empty());
+        assert!(
+            batched_metrics.inference_batches > 0,
+            "batching on must form at least one batch"
+        );
+        assert_eq!(
+            batched_metrics
+                .inference_rows_per_batch_buckets
+                .iter()
+                .sum::<u64>(),
+            batched_metrics.inference_batches,
+            "every batch lands in exactly one rows-per-batch bucket"
+        );
+        assert!(batched_metrics.inference_rows >= batched_metrics.inference_batches);
+    }
+
+    /// `max_batch = 1` degenerates to one group per flush — bitwise the
+    /// direct path — and size/timeout configurations agree per response.
+    #[test]
+    fn flush_policies_agree_on_every_response() {
+        let requests = || {
+            vec![
+                OptimizationRequest::new(module(64), SearchSpec::Greedy).with_seed(3),
+                OptimizationRequest::new(module(96), SearchSpec::beam(2)).with_seed(4),
+            ]
+        };
+        let run = |config: ServiceConfig| -> Vec<u64> {
+            let service = OptimizationService::new(config, policy());
+            service
+                .submit_batch(requests())
+                .into_iter()
+                .map(|p| p.wait().fingerprint())
+                .collect()
+        };
+        let direct = run(ServiceConfig::quick());
+        // Degenerate size flush, generous timeout.
+        let single = run(ServiceConfig::quick().with_inference_batching(1, 1_000_000));
+        // Size-dominated: batches fill before the timeout fires.
+        let sized = run(ServiceConfig::quick()
+            .with_workers(2)
+            .with_inference_batching(64, 1_000_000));
+        // Timeout-dominated: a tiny wait forces frequent flushes.
+        let timed = run(ServiceConfig::quick()
+            .with_workers(2)
+            .with_inference_batching(64, 1));
+        assert_eq!(direct, single);
+        assert_eq!(direct, sized);
+        assert_eq!(direct, timed);
+    }
+
+    #[test]
+    fn aggregator_metrics_reach_json_and_prometheus() {
+        let service = OptimizationService::new(
+            ServiceConfig::quick()
+                .with_workers(2)
+                .with_inference_batching(16, 500),
+            policy(),
+        );
+        for p in service.submit_batch(vec![
+            OptimizationRequest::new(module(64), SearchSpec::Greedy).with_seed(1),
+            OptimizationRequest::new(module(96), SearchSpec::beam(2)).with_seed(2),
+        ]) {
+            assert_eq!(p.wait().status, ResponseStatus::Completed);
+        }
+        let stats = service.aggregator_stats().expect("batching enabled");
+        assert!(stats.batches > 0 && stats.rows >= stats.batches);
+        let metrics = service.metrics();
+        assert_eq!(metrics.inference_batches, stats.batches);
+        assert!(metrics.inference_rows_per_batch_mean >= 1.0);
+        let json = metrics.to_json();
+        for key in [
+            "\"inference_batches\"",
+            "\"inference_rows\"",
+            "\"inference_rows_per_batch_mean\"",
+            "\"inference_flush_size\"",
+            "\"inference_flush_timeout\"",
+            "\"inference_flush_idle\"",
+            "\"inference_flush_drain\"",
+            "\"inference_flush_inline\"",
+            "\"inference_queue_wait_mean_s\"",
+            "\"inference_rows_per_batch_buckets\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let text = service.prometheus();
+        for series in [
+            "mlir_rl_inference_batches_total",
+            "mlir_rl_inference_rows_total",
+            "mlir_rl_inference_rows_per_batch_mean",
+            "mlir_rl_inference_rows_per_batch_bucket",
+            "mlir_rl_inference_rows_per_batch_count",
+        ] {
+            assert!(text.contains(series), "missing {series} in exposition");
+        }
+    }
+
+    #[test]
+    fn batched_traces_carry_batch_formed_events() {
+        let mut service = OptimizationService::new(
+            ServiceConfig::quick()
+                .with_workers(2)
+                .with_inference_batching(16, 500)
+                .with_tracing(4096),
+            policy(),
+        );
+        for p in service.submit_batch(vec![
+            OptimizationRequest::new(module(64), SearchSpec::Greedy).with_seed(5),
+            OptimizationRequest::new(module(96), SearchSpec::beam(2)).with_seed(6),
+        ]) {
+            assert_eq!(p.wait().status, ResponseStatus::Completed);
+        }
+        service.shutdown();
+        let snapshot = service.trace_snapshot().expect("tracing enabled");
+        let formed: Vec<_> = snapshot
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::BatchFormed)
+            .collect();
+        assert!(
+            !formed.is_empty(),
+            "batching with tracing must record batch_formed events"
+        );
+        for event in formed {
+            assert!(event.args[0] >= 1, "a batch has at least one row");
+            assert!(event.args[1] >= 1, "a batch has at least one group");
+        }
     }
 }

@@ -151,6 +151,23 @@ impl Tensor2 {
         self.data.resize(rows * cols, 0.0);
     }
 
+    /// Copies a row-major buffer into the tensor, reshaping to
+    /// `rows x cols` while reusing the existing allocation. This is the
+    /// arena-friendly counterpart of [`Tensor2::from_flat`]: a long-lived
+    /// scratch tensor (e.g. an inference aggregator's per-tick step
+    /// tensors) can be refilled every tick without a fresh `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn assign_flat(&mut self, rows: usize, cols: usize, data: &[f64]) {
+        assert_eq!(data.len(), rows * cols, "flat buffer length mismatch");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.extend_from_slice(data);
+    }
+
     /// Consumes the tensor and returns the row-major buffer (used by the
     /// batch-of-1 wrappers to hand back a plain `Vec`).
     pub fn into_flat(self) -> Vec<f64> {

@@ -92,11 +92,15 @@ pub enum EventKind {
     BudgetCharge = 18,
     /// Evaluation budget was returned (args: `[delta, spent_after, 0]`).
     BudgetRefund = 19,
+    /// The inference aggregator flushed one cross-request batch; the label
+    /// is the flush reason (`size`, `timeout`, `idle`, `drain`) and the
+    /// args are `[rows, groups, oldest_wait_us]`.
+    BatchFormed = 20,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order (for decode and for docs/tests).
-    pub const ALL: [EventKind; 20] = [
+    pub const ALL: [EventKind; 21] = [
         EventKind::Submitted,
         EventKind::Queued,
         EventKind::Rejected,
@@ -117,6 +121,7 @@ impl EventKind {
         EventKind::CacheMiss,
         EventKind::BudgetCharge,
         EventKind::BudgetRefund,
+        EventKind::BatchFormed,
     ];
 
     /// Decodes a discriminant written by [`EventKind::as_u8`].
@@ -152,6 +157,7 @@ impl EventKind {
             EventKind::CacheMiss => "cache_miss",
             EventKind::BudgetCharge => "budget_charge",
             EventKind::BudgetRefund => "budget_refund",
+            EventKind::BatchFormed => "batch_formed",
         }
     }
 }

@@ -28,6 +28,13 @@ use crate::searcher::{
 /// exactly the greedy action at every step — step-for-step identical to
 /// greedy decoding (property-tested; the batched ranking is bit-identical
 /// to ranking each state separately).
+///
+/// The per-call RNG contract is load-bearing beyond this module: each
+/// `rank_actions_batch` call consumes exactly the draws its oversampled
+/// ranking needs, in frontier order, and nothing in between. The service's
+/// cross-request inference aggregator relies on this to route the same
+/// calls through a shared batch pipeline (`mlir_rl_agent::aggregator`)
+/// while keeping every trajectory bit-identical to the direct path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BeamSearch {
     /// Beam width: surviving states per step *and* candidate actions ranked

@@ -16,6 +16,11 @@ use crate::searcher::{
 /// Greedy decoding: one episode taking the policy's most probable action at
 /// every step. Zero search on top of the policy; every other searcher is
 /// measured against this.
+///
+/// Greedy selection consumes **no** RNG draws — a contract the service's
+/// cross-request inference aggregator (`mlir_rl_agent::aggregator`)
+/// depends on: greedy rows can join any batch without shifting another
+/// request's RNG stream, so aggregated and direct runs stay bit-identical.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GreedyPolicy;
 

@@ -155,6 +155,84 @@ fn responses_are_identical_across_worker_counts_and_submission_orders() {
 }
 
 #[test]
+fn aggregated_inference_moves_no_bit_of_any_response() {
+    // The cross-request inference aggregator battery: the same request
+    // set, in shuffled orders, against 1/2/4-worker services with
+    // batching off, batching on (coalescing config), a degenerate
+    // max_batch=1 config, and a timeout-dominated config — every
+    // deterministic response field, bit for bit.
+    let requests = request_set();
+    let n = requests.len();
+    let orders: Vec<Vec<usize>> = vec![
+        (0..n).collect(),
+        (0..n).rev().collect(),
+        (0..n).map(|i| (i * 5 + 2) % n).collect(),
+    ];
+    let batching: [Option<(usize, u64)>; 4] = [
+        None,             // direct path
+        Some((16, 500)),  // coalescing: room for the whole frontier
+        Some((1, 1_000)), // degenerate: one group per batch
+        Some((64, 1)),    // timeout-dominated: flush almost immediately
+    ];
+
+    let mut reference: Option<Vec<_>> = None;
+    let mut coalesced = false;
+    for workers in [1usize, 2, 4] {
+        for config in batching {
+            for order in &orders {
+                let mut service_config = ServiceConfig::quick().with_workers(workers);
+                if let Some((max_batch, max_wait_us)) = config {
+                    service_config = service_config.with_inference_batching(max_batch, max_wait_us);
+                }
+                let service = OptimizationService::new(service_config, policy(7));
+                let pending: Vec<_> = order
+                    .iter()
+                    .map(|&i| service.submit(requests[i].clone()))
+                    .collect();
+                let mut fields = vec![None; n];
+                for (&i, p) in order.iter().zip(&pending) {
+                    fields[i] = Some(deterministic_fields(&p.wait()));
+                }
+                let fields: Vec<_> = fields.into_iter().map(Option::unwrap).collect();
+                match &reference {
+                    None => reference = Some(fields),
+                    Some(reference) => assert_eq!(
+                        reference, &fields,
+                        "responses diverged at {workers} workers, batching {config:?}, \
+                         order {order:?}"
+                    ),
+                }
+                if let Some(stats) = service.aggregator_stats() {
+                    assert!(stats.batches > 0, "batching on must form batches");
+                    assert_eq!(
+                        stats.rows_per_batch.iter().sum::<u64>(),
+                        stats.batches,
+                        "every batch lands in one histogram bucket"
+                    );
+                    if config == Some((1, 1_000)) {
+                        assert_eq!(
+                            stats.batches, stats.groups,
+                            "max_batch=1 must degenerate to one group per batch"
+                        );
+                    }
+                    coalesced |= stats.mean_rows_per_batch() > 1.0;
+                } else {
+                    assert!(config.is_none());
+                }
+            }
+        }
+    }
+    for fields in reference.expect("at least one run") {
+        assert_eq!(fields.2, ResponseStatus::Completed);
+        assert!(fields.3.is_some());
+    }
+    assert!(
+        coalesced,
+        "at least one batching run must pack more than one row per batch"
+    );
+}
+
+#[test]
 fn tracing_is_observational_and_traces_every_request() {
     let requests = request_set();
     let n = requests.len();
