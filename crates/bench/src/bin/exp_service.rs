@@ -2,12 +2,15 @@
 //! `OptimizationRequest`s (greedy / beam / widened-MCTS / random specs over
 //! the DL-operator evaluation workloads) served by one **warm persistent**
 //! `OptimizationService`, the same service with **cross-request inference
-//! batching** (one shared `Tensor2` pipeline under the workers), and
+//! batching** (one shared `Tensor2` pipeline under the workers), a fresh
+//! service that **restored** the warm cache's snapshot at startup, a
+//! **tiny-cache** service under forced entry-wise eviction, and
 //! **cold per-request** services — with the cross-request shared-cache
 //! hit-rate gap, request throughput, mean aggregator rows-per-batch, queue
 //! and service timings, and the determinism checks (response fingerprints
 //! bit-identical across 1/2/4 workers and shuffled submission orders, and
-//! batched vs unbatched streams bit-identical response for response).
+//! batched / restored / tiny-cache streams bit-identical to the warm
+//! stream response for response).
 //!
 //! Scale with `MLIR_RL_SCALE` (`smoke` / `standard` / `full`) or pass
 //! `--smoke`; worker count with `MLIR_RL_WORKERS` (default: available
@@ -50,5 +53,27 @@ fn main() {
         report.rows_per_batch > 1.0,
         "the aggregator failed to coalesce: {} rows per batch",
         report.rows_per_batch
+    );
+    assert!(
+        report.restored_entries > 0,
+        "the warm restart restored no cache entries"
+    );
+    assert!(
+        report.restored_fingerprints_match,
+        "snapshot/restore changed a response vs the warm stream"
+    );
+    assert!(
+        report.restored.hit_rate > report.cold.hit_rate,
+        "warm restart must beat the cold hit-rate: {} vs {}",
+        report.restored.hit_rate,
+        report.cold.hit_rate
+    );
+    assert!(
+        report.tiny_cache_evictions > 0,
+        "the tiny-cache stream never evicted"
+    );
+    assert!(
+        report.tiny_fingerprints_match,
+        "entry-wise eviction changed a response vs the warm stream"
     );
 }

@@ -1107,7 +1107,8 @@ pub fn portfolio_speedups(scale: &ExperimentScale, workers: usize) -> PortfolioR
 /// Aggregates of one request stream run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceStreamSummary {
-    /// Stream label (`warm-service` / `cold-per-request`).
+    /// Stream label (`warm-service` / `batched-service` /
+    /// `restored-service` / `tiny-cache-service` / `cold-per-request`).
     pub name: String,
     /// Requests served.
     pub requests: usize,
@@ -1202,8 +1203,31 @@ pub struct ServiceReport {
     /// The warm stream re-served with cross-request inference batching
     /// ([`ServiceConfig::with_inference_batching`]).
     pub batched: ServiceStreamSummary,
+    /// The warm stream re-served by a **fresh** service that restored the
+    /// warm service's cache snapshot at startup
+    /// ([`ServiceConfig::with_cache_snapshot`]) — the storage-tier
+    /// restart: warmth survives the process.
+    pub restored: ServiceStreamSummary,
+    /// The warm stream re-served by a service with a deliberately tiny
+    /// cache capacity ([`ServiceConfig::with_cache_capacity`]), forcing
+    /// entry-wise eviction on every shard while responses stay
+    /// bit-identical.
+    pub tiny: ServiceStreamSummary,
     /// The cold per-request-service stream (fresh cache every request).
     pub cold: ServiceStreamSummary,
+    /// Entries the restored service recovered from the snapshot file.
+    pub restored_entries: u64,
+    /// Whether every restored-service response fingerprint matched its
+    /// warm counterpart bit for bit.
+    pub restored_fingerprints_match: bool,
+    /// Global cache capacity of the tiny-cache stream.
+    pub tiny_capacity: usize,
+    /// Entry-wise evictions the tiny-cache stream performed.
+    pub tiny_cache_evictions: u64,
+    /// Whether every tiny-cache response fingerprint matched its warm
+    /// counterpart bit for bit — eviction is a memory lever, never a
+    /// result lever.
+    pub tiny_fingerprints_match: bool,
     /// Request statuses of the warm stream, as
     /// `(completed, stopped, skipped, rejected)`.
     pub statuses: (usize, usize, usize, usize),
@@ -1225,7 +1249,13 @@ impl fmt::Display for ServiceReport {
             "== exp_service: request-stream serving ({} modules x {} rounds, {} workers) ==",
             self.modules, self.rounds, self.workers
         )?;
-        for s in [&self.warm, &self.batched, &self.cold] {
+        for s in [
+            &self.warm,
+            &self.batched,
+            &self.restored,
+            &self.tiny,
+            &self.cold,
+        ] {
             writeln!(
                 f,
                 "{:<18} {:>7.2} req/s  geomean {:>6.2}x  evals {:>8}  lookups {:>8}  hit-rate {:>5.1}%  queue {:>8.4}s  service {:>8.4}s",
@@ -1249,6 +1279,27 @@ impl fmt::Display for ServiceReport {
             "warm vs cold       hit-rate {:+.1} pts, evals {:+.1}%",
             (self.warm.hit_rate - self.cold.hit_rate) * 100.0,
             100.0 * (self.warm.evaluations as f64 / self.cold.evaluations.max(1) as f64 - 1.0),
+        )?;
+        writeln!(
+            f,
+            "persistence        {} entries restored after restart, fingerprints {}",
+            self.restored_entries,
+            if self.restored_fingerprints_match {
+                "bit-identical to the warm stream"
+            } else {
+                "DIVERGED"
+            }
+        )?;
+        writeln!(
+            f,
+            "eviction           {} entry-wise evictions at capacity {}, fingerprints {}",
+            self.tiny_cache_evictions,
+            self.tiny_capacity,
+            if self.tiny_fingerprints_match {
+                "bit-identical to the warm stream"
+            } else {
+                "DIVERGED"
+            }
         )?;
         writeln!(
             f,
@@ -1301,10 +1352,47 @@ impl ServiceReport {
                 [
                     self.warm.to_json(),
                     self.batched.to_json(),
+                    self.restored.to_json(),
+                    self.tiny.to_json(),
                     self.cold.to_json(),
                 ]
                 .into_iter(),
             ),
+        );
+        out.push_str(",\n");
+        json::field(
+            &mut out,
+            1,
+            "restored_entries",
+            json::number(self.restored_entries as f64),
+        );
+        out.push_str(",\n");
+        json::field(
+            &mut out,
+            1,
+            "restored_fingerprints_match",
+            self.restored_fingerprints_match.to_string(),
+        );
+        out.push_str(",\n");
+        json::field(
+            &mut out,
+            1,
+            "tiny_capacity",
+            json::number(self.tiny_capacity as f64),
+        );
+        out.push_str(",\n");
+        json::field(
+            &mut out,
+            1,
+            "tiny_cache_evictions",
+            json::number(self.tiny_cache_evictions as f64),
+        );
+        out.push_str(",\n");
+        json::field(
+            &mut out,
+            1,
+            "tiny_fingerprints_match",
+            self.tiny_fingerprints_match.to_string(),
         );
         out.push_str(",\n");
         json::field(
@@ -1381,15 +1469,23 @@ fn service_request_stream(
 /// 2. the same persistent service with **cross-request inference
 ///    batching** ([`ServiceConfig::with_inference_batching`]) — the
 ///    workers' policy calls coalesce into shared `Tensor2` batches, and
-/// 3. **cold per-request** services — a fresh service (fresh cache) per
+/// 3. a **restored** service — a fresh process-equivalent service that
+///    restores the warm cache's snapshot file at startup
+///    ([`ServiceConfig::with_cache_snapshot`]) — the storage-tier restart,
+/// 4. a **tiny-cache** service ([`ServiceConfig::with_cache_capacity`]) —
+///    the same stream under forced entry-wise eviction, and
+/// 5. **cold per-request** services — a fresh service (fresh cache) per
 ///    request, the deployment the paper's one-shot evaluate script implies,
 ///
 /// and verifies the request-level determinism contract by re-serving the
 /// same stream with 1/2/4 workers and two shuffled submission orders,
 /// comparing response fingerprints. The acceptance invariants: the warm
-/// service's shared-cache hit-rate strictly beats the cold baseline's, and
-/// the batched stream's fingerprints match the warm stream's bit for bit
-/// while packing more than one row per aggregator batch.
+/// service's shared-cache hit-rate strictly beats the cold baseline's, the
+/// warm-restarted (restored) service's hit-rate beats the cold baseline's
+/// at bit-identical fingerprints, the tiny-cache stream evicts entry-wise
+/// while staying bit-identical, and the batched stream's fingerprints
+/// match the warm stream's bit for bit while packing more than one row per
+/// aggregator batch.
 pub fn service_throughput(scale: &ExperimentScale, workers: usize) -> ServiceReport {
     service_throughput_traced(scale, workers, None).0
 }
@@ -1513,8 +1609,64 @@ pub fn service_throughput_traced(
         start.elapsed().as_secs_f64(),
     );
 
-    // --- determinism: worker counts x shuffled submission orders -------
     let reference: Vec<u64> = warm_responses.iter().map(|r| r.fingerprint()).collect();
+
+    // --- restored: snapshot the warm cache, then a *fresh* service
+    // restores it at startup and re-serves the stream — the storage-tier
+    // restart. The warm restart must beat the cold baseline's hit-rate at
+    // bit-identical fingerprints.
+    let snapshot_path =
+        std::env::temp_dir().join(format!("mlir-rl-exp-service-{}.snap", std::process::id()));
+    let snapshot_file = snapshot_path.to_string_lossy().into_owned();
+    warm_service
+        .cache()
+        .snapshot_to(&snapshot_file)
+        .expect("snapshotting the warm cache");
+    let restored_service = OptimizationService::new(
+        service_config.clone().with_cache_snapshot(&snapshot_file),
+        rl.policy().clone(),
+    );
+    let restored_entries = restored_service.metrics().cache_restored;
+    let start = Instant::now();
+    let pending = restored_service.submit_batch(stream.clone());
+    let restored_responses = wait_all(&pending);
+    let restored = ServiceStreamSummary::from_responses(
+        "restored-service",
+        &restored_responses,
+        start.elapsed().as_secs_f64(),
+    );
+    let restored_fingerprints_match = restored_responses.len() == reference.len()
+        && restored_responses
+            .iter()
+            .zip(&reference)
+            .all(|(r, &want)| r.fingerprint() == want);
+    std::fs::remove_file(&snapshot_path).ok();
+
+    // --- tiny cache: the same stream against a deliberately starved
+    // capacity, forcing entry-wise eviction on every shard. Responses must
+    // stay bit-identical — eviction only re-runs the (deterministic)
+    // estimator.
+    let tiny_capacity = 32;
+    let tiny_service = OptimizationService::new(
+        service_config.clone().with_cache_capacity(tiny_capacity),
+        rl.policy().clone(),
+    );
+    let start = Instant::now();
+    let pending = tiny_service.submit_batch(stream.clone());
+    let tiny_responses = wait_all(&pending);
+    let tiny = ServiceStreamSummary::from_responses(
+        "tiny-cache-service",
+        &tiny_responses,
+        start.elapsed().as_secs_f64(),
+    );
+    let tiny_cache_evictions = tiny_service.metrics().cache_evictions;
+    let tiny_fingerprints_match = tiny_responses.len() == reference.len()
+        && tiny_responses
+            .iter()
+            .zip(&reference)
+            .all(|(r, &want)| r.fingerprint() == want);
+
+    // --- determinism: worker counts x shuffled submission orders -------
     let mut shuffle_rng = ChaCha8Rng::seed_from_u64(4242);
     let determinism_invariant = [1usize, 2, 4].iter().all(|&check_workers| {
         let service = OptimizationService::new(
@@ -1551,11 +1703,18 @@ pub fn service_throughput_traced(
             batched_workers,
             warm,
             batched,
+            restored,
+            tiny,
             cold,
             statuses,
             determinism_invariant,
             rows_per_batch,
             batched_fingerprints_match,
+            restored_entries,
+            restored_fingerprints_match,
+            tiny_capacity,
+            tiny_cache_evictions,
+            tiny_fingerprints_match,
         },
         snapshot,
     )
@@ -1695,8 +1854,14 @@ impl fmt::Display for LoadReport {
         )?;
         writeln!(
             f,
-            "cache              hit-rate {:>5.1}%",
-            self.metrics.cache_hit_rate() * 100.0
+            "cache              hit-rate {:>5.1}%  {} entries / capacity {}  \
+             insertions {}  evictions {}  promotions {}",
+            self.metrics.cache_hit_rate() * 100.0,
+            self.metrics.cache_len,
+            self.metrics.cache_capacity,
+            self.metrics.cache_insertions,
+            self.metrics.cache_evictions,
+            self.metrics.cache_promotions,
         )
     }
 }

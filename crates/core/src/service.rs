@@ -163,6 +163,22 @@ pub struct ServiceConfig {
     /// bit-identical to the per-vector path and groups keep their own RNGs,
     /// so responses and fingerprints are unchanged by how rows coalesce.
     pub inference_batching: Option<InferenceBatching>,
+    /// Capacity of the service's persistent shared evaluation cache, or
+    /// `None` (the default) to keep the template environment's capacity.
+    /// When set, the service always starts its *own* table of this
+    /// capacity (even when the template environment already shares one).
+    /// The bound is global and exact; a full cache evicts entry-wise by
+    /// the segmented cost-aware policy (see `SharedEvalCache`). Must be at
+    /// least 1 when set.
+    pub cache_capacity: Option<usize>,
+    /// Path of the cache's persistence snapshot, or `None` (the default)
+    /// for a memory-only cache. When set, construction restores warmth
+    /// from the file if it exists and is valid (a missing or corrupt file
+    /// means a clean cold start — never an error or a panic), and
+    /// [`OptimizationService::shutdown`] writes the table back, so a
+    /// restarted service resumes with the previous process's warmth at
+    /// bit-identical responses. Must be non-empty when set.
+    pub cache_snapshot: Option<String>,
 }
 
 impl ServiceConfig {
@@ -184,6 +200,8 @@ impl ServiceConfig {
             start_paused: false,
             trace_capacity: None,
             inference_batching: None,
+            cache_capacity: None,
+            cache_snapshot: None,
         }
     }
 
@@ -254,6 +272,21 @@ impl ServiceConfig {
         self
     }
 
+    /// Bounds the persistent shared cache at `capacity` entries (see
+    /// [`ServiceConfig::cache_capacity`]).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Persists the cache across restarts via a snapshot file at `path`
+    /// (see [`ServiceConfig::cache_snapshot`]): restored on construction,
+    /// written on shutdown.
+    pub fn with_cache_snapshot(mut self, path: impl Into<String>) -> Self {
+        self.cache_snapshot = Some(path.into());
+        self
+    }
+
     /// Validates the serving knobs: a zero queue capacity would reject
     /// every request and a zero quota would block every client forever —
     /// both are configuration bugs, not useful modes, so they fail here
@@ -295,6 +328,18 @@ impl ServiceConfig {
                         .to_string(),
                 );
             }
+        }
+        if self.cache_capacity == Some(0) {
+            return Err(
+                "cache_capacity must be at least 1 (0 memoizes nothing; use None for the default)"
+                    .to_string(),
+            );
+        }
+        if self.cache_snapshot.as_deref() == Some("") {
+            return Err(
+                "cache_snapshot must name a file (empty path; use None for memory-only)"
+                    .to_string(),
+            );
         }
         Ok(())
     }
@@ -835,6 +880,12 @@ struct ServiceShared {
     work: Condvar,
     budget: EvalBudget,
     cache: SharedEvalCache,
+    /// Snapshot file the cache persists to at shutdown
+    /// ([`ServiceConfig::cache_snapshot`]); `None` = memory-only.
+    cache_snapshot: Option<String>,
+    /// Entries restored from the snapshot at construction (0 on a cold
+    /// start, including a missing or corrupt snapshot file).
+    cache_restored: u64,
     queue_capacity: Option<usize>,
     client_quota: Option<usize>,
     client_weights: Vec<(String, u64)>,
@@ -902,7 +953,8 @@ impl ServiceStats {
 /// high-water mark, the admission/backpressure/shedding counters, and
 /// fixed-bucket latency distributions for queue wait and service time.
 /// All counters are lifetime totals; reading them is lock-free except for
-/// the queue depth (one brief state lock).
+/// the queue depth (one brief state lock) and the cache occupancy (one
+/// brief lock per cache shard).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceMetrics {
     /// Requests submitted so far.
@@ -962,6 +1014,20 @@ pub struct ServiceMetrics {
     pub cache_hits: u64,
     /// Lifetime misses (estimator runs) of the persistent shared cache.
     pub cache_misses: u64,
+    /// Entries ever inserted into the persistent shared cache.
+    pub cache_insertions: u64,
+    /// Entries evicted one at a time by the cache's segmented cost-aware
+    /// policy. Stays 0 until the table actually fills.
+    pub cache_evictions: u64,
+    /// Probation→protected promotions performed by cache hits.
+    pub cache_promotions: u64,
+    /// Entries currently memoized in the persistent shared cache.
+    pub cache_len: u64,
+    /// Capacity bound of the persistent shared cache (global and exact).
+    pub cache_capacity: u64,
+    /// Entries restored from the snapshot file at construction (0 on a
+    /// cold start or when [`ServiceConfig::cache_snapshot`] is unset).
+    pub cache_restored: u64,
     /// Cost-model lookups charged against the global eval budget
     /// (includes outstanding reservations not yet reconciled).
     pub budget_spent: u64,
@@ -1059,6 +1125,18 @@ impl ServiceMetrics {
             ("cache_hits", json::number(self.cache_hits as f64)),
             ("cache_misses", json::number(self.cache_misses as f64)),
             ("cache_hit_rate", json::number(self.cache_hit_rate())),
+            (
+                "cache_insertions",
+                json::number(self.cache_insertions as f64),
+            ),
+            ("cache_evictions", json::number(self.cache_evictions as f64)),
+            (
+                "cache_promotions",
+                json::number(self.cache_promotions as f64),
+            ),
+            ("cache_len", json::number(self.cache_len as f64)),
+            ("cache_capacity", json::number(self.cache_capacity as f64)),
+            ("cache_restored", json::number(self.cache_restored as f64)),
             ("budget_spent", json::number(self.budget_spent as f64)),
             (
                 "budget_cap",
@@ -1231,6 +1309,42 @@ impl ServiceMetrics {
             "cache_hit_rate",
             "Lifetime fraction of lookups served by the cache",
             self.cache_hit_rate(),
+        );
+        c(
+            registry,
+            "cache_insertions_total",
+            "Entries inserted into the persistent shared cache",
+            self.cache_insertions,
+        );
+        c(
+            registry,
+            "cache_evictions_total",
+            "Entries evicted by the segmented cost-aware policy",
+            self.cache_evictions,
+        );
+        c(
+            registry,
+            "cache_promotions_total",
+            "Cache-hit promotions from probation to protected",
+            self.cache_promotions,
+        );
+        g(
+            registry,
+            "cache_len",
+            "Entries currently memoized in the shared cache",
+            self.cache_len as f64,
+        );
+        g(
+            registry,
+            "cache_capacity",
+            "Capacity bound of the shared cache",
+            self.cache_capacity as f64,
+        );
+        g(
+            registry,
+            "cache_restored_entries",
+            "Entries restored from the snapshot file at startup",
+            self.cache_restored as f64,
         );
         c(
             registry,
@@ -1451,7 +1565,21 @@ impl OptimizationService {
         config: &ServiceConfig,
     ) -> Self {
         let mut template = env.clone();
+        if let Some(capacity) = config.cache_capacity {
+            // A configured capacity always means a fresh table of exactly
+            // that bound, even when the template already shares one.
+            template.replace_cache(EvalCache::with_shared_backend(SharedEvalCache::new(
+                capacity,
+            )));
+        }
         let cache = template.enable_shared_cache();
+        // Warm restart: merge the previous process's snapshot in before any
+        // request runs. A missing or corrupt file is a clean cold start —
+        // determinism is unaffected either way, only the hit-rate changes.
+        let cache_restored = match &config.cache_snapshot {
+            Some(path) => cache.restore_from(path).unwrap_or(0),
+            None => 0,
+        };
         let budget = match config.eval_budget {
             Some(cap) => EvalBudget::limited(cap),
             None => EvalBudget::unlimited(),
@@ -1468,6 +1596,8 @@ impl OptimizationService {
             work: Condvar::new(),
             budget,
             cache,
+            cache_snapshot: config.cache_snapshot.clone(),
+            cache_restored,
             queue_capacity: config.queue_capacity,
             client_quota: config.client_quota,
             client_weights: config.client_weights.clone(),
@@ -1744,6 +1874,12 @@ impl OptimizationService {
             service_hist_buckets: s.service_hist.buckets(),
             cache_hits: s.cache.hits(),
             cache_misses: s.cache.misses(),
+            cache_insertions: s.cache.insertions(),
+            cache_evictions: s.cache.evictions(),
+            cache_promotions: s.cache.promotions(),
+            cache_len: s.cache.len() as u64,
+            cache_capacity: s.cache.capacity() as u64,
+            cache_restored: s.cache_restored,
             budget_spent: s.budget.spent(),
             budget_cap: s.budget.cap(),
             inference_batches: inference.batches,
@@ -1855,6 +1991,11 @@ impl OptimizationService {
         // reply, so draining and joining the inference thread is safe.
         if let Some(aggregator) = &mut self.aggregator {
             aggregator.shutdown();
+        }
+        // Quiesced: persist the cache for the next process. Best effort —
+        // a failed write costs the next start its warmth, nothing else.
+        if let Some(path) = &self.shared.cache_snapshot {
+            let _ = self.shared.cache.snapshot_to(path);
         }
     }
 }
@@ -2791,5 +2932,159 @@ mod tests {
             assert!(event.args[0] >= 1, "a batch has at least one row");
             assert!(event.args[1] >= 1, "a batch has at least one group");
         }
+    }
+
+    #[test]
+    fn cache_config_knobs_validate() {
+        assert!(ServiceConfig::quick()
+            .with_cache_capacity(0)
+            .try_validate()
+            .is_err());
+        assert!(ServiceConfig::quick()
+            .with_cache_snapshot("")
+            .try_validate()
+            .is_err());
+        assert!(ServiceConfig::quick()
+            .with_cache_capacity(8)
+            .with_cache_snapshot("/tmp/cache.snap")
+            .try_validate()
+            .is_ok());
+    }
+
+    /// Serves the same small request stream and returns its fingerprints.
+    fn serve_stream(service: &OptimizationService) -> Vec<u64> {
+        let pending = service.submit_batch(
+            [48u64, 64, 80, 96, 48, 64]
+                .iter()
+                .enumerate()
+                .map(|(i, size)| {
+                    OptimizationRequest::new(module(*size), SearchSpec::Greedy).with_seed(i as u64)
+                })
+                .collect(),
+        );
+        pending
+            .into_iter()
+            .map(|p| {
+                let response = p.wait();
+                assert_eq!(response.status, ResponseStatus::Completed);
+                response.fingerprint()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tiny_cache_evicts_entry_wise_at_identical_responses() {
+        let roomy = OptimizationService::new(ServiceConfig::quick(), policy());
+        let want = serve_stream(&roomy);
+        assert_eq!(roomy.metrics().cache_evictions, 0);
+
+        let tiny =
+            OptimizationService::new(ServiceConfig::quick().with_cache_capacity(4), policy());
+        let got = serve_stream(&tiny);
+        assert_eq!(got, want, "eviction must never change responses");
+        let metrics = tiny.metrics();
+        assert_eq!(metrics.cache_capacity, 4);
+        assert!(metrics.cache_len <= 4, "the bound is global and exact");
+        assert!(metrics.cache_evictions > 0, "churn must show in metrics");
+        assert_eq!(
+            metrics.cache_insertions - metrics.cache_evictions,
+            metrics.cache_len
+        );
+        // Accounting contract: every lookup is exactly one hit or miss.
+        assert_eq!(
+            metrics.cache_hits + metrics.cache_misses,
+            roomy.metrics().cache_hits + roomy.metrics().cache_misses,
+            "eviction changes the hit/miss split, never the lookup count"
+        );
+    }
+
+    #[test]
+    fn snapshot_restart_restores_warmth_bit_identically() {
+        let path = std::env::temp_dir().join(format!(
+            "mlir-rl-service-restart-{}.snap",
+            std::process::id()
+        ));
+        let snapshot = path.to_string_lossy().into_owned();
+        std::fs::remove_file(&path).ok();
+
+        // First process: cold start (the snapshot file does not exist yet),
+        // serve, persist at shutdown.
+        let mut first = OptimizationService::new(
+            ServiceConfig::quick().with_cache_snapshot(&snapshot),
+            policy(),
+        );
+        assert_eq!(first.metrics().cache_restored, 0, "nothing to restore yet");
+        let want = serve_stream(&first);
+        let cold = first.metrics();
+        assert!(cold.cache_misses > 0, "a cold start runs the estimator");
+        first.shutdown();
+        assert!(path.exists(), "shutdown must write the snapshot");
+
+        // Second process: restores the previous warmth before serving and
+        // beats the cold hit-rate at bit-identical responses.
+        let restarted = OptimizationService::new(
+            ServiceConfig::quick().with_cache_snapshot(&snapshot),
+            policy(),
+        );
+        let metrics = restarted.metrics();
+        assert!(metrics.cache_restored > 0, "warm restart restores entries");
+        assert_eq!(metrics.cache_len, metrics.cache_restored);
+        let got = serve_stream(&restarted);
+        assert_eq!(got, want, "restart must not change responses");
+        let warm = restarted.metrics();
+        assert!(
+            warm.cache_hit_rate() > cold.cache_hit_rate(),
+            "restored warmth must beat the cold start: {} vs {}",
+            warm.cache_hit_rate(),
+            cold.cache_hit_rate()
+        );
+
+        // The new gauges reach both exports.
+        let json = warm.to_json();
+        for key in [
+            "\"cache_insertions\"",
+            "\"cache_evictions\"",
+            "\"cache_promotions\"",
+            "\"cache_len\"",
+            "\"cache_capacity\"",
+            "\"cache_restored\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let text = restarted.prometheus();
+        for series in [
+            "mlir_rl_cache_insertions_total",
+            "mlir_rl_cache_evictions_total",
+            "mlir_rl_cache_promotions_total",
+            "mlir_rl_cache_len",
+            "mlir_rl_cache_capacity",
+            "mlir_rl_cache_restored_entries",
+        ] {
+            assert!(text.contains(series), "missing {series} in exposition");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_file_cold_starts() {
+        let path = std::env::temp_dir().join(format!(
+            "mlir-rl-service-corrupt-{}.snap",
+            std::process::id()
+        ));
+        std::fs::write(&path, b"definitely not a cache snapshot").unwrap();
+        let service = OptimizationService::new(
+            ServiceConfig::quick().with_cache_snapshot(path.to_string_lossy().into_owned()),
+            policy(),
+        );
+        assert_eq!(
+            service.metrics().cache_restored,
+            0,
+            "a corrupt snapshot must cold-start, not fail"
+        );
+        let response = service
+            .submit(OptimizationRequest::new(module(64), SearchSpec::Greedy))
+            .wait();
+        assert_eq!(response.status, ResponseStatus::Completed);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,4 +1,6 @@
-//! Schedule-keyed memoization of cost-model evaluations.
+//! Schedule-keyed memoization of cost-model evaluations, run as a storage
+//! tier: bounded shards with a real eviction policy, snapshot/restore
+//! persistence across process restarts, and cross-replica warmth exchange.
 //!
 //! Training evaluates the cost model millions of times, and early in
 //! training (and throughout the immediate-reward mode of Fig. 7) the same
@@ -23,13 +25,51 @@
 //!   search hit one cache — the parallel hit-rate matches serial collection
 //!   instead of every worker re-discovering the same schedules. Estimator
 //!   runs happen *outside* the shard locks (a lost race costs one duplicate
-//!   evaluation, never a wrong value), and eviction resets one shard at a
-//!   time.
+//!   evaluation, never a wrong value).
+//!
+//! ## Eviction policy (shared backend)
+//!
+//! Each shard is a segmented (2Q-style) table. A new key enters the
+//! *probation* segment; the first hit promotes it to the *protected*
+//! segment (bounded to half the shard, demoting the least valuable
+//! protected entry back to probation when over). A full shard evicts one
+//! entry per insert — never a wholesale wipe outside [`SharedEvalCache::clear`] —
+//! choosing the victim by least estimator-seconds-saved
+//! (`estimate.total_s × hit count`), probation before protected, oldest
+//! insertion breaking ties. Victim selection is a deterministic total order,
+//! so the surviving set never depends on hash-map iteration order.
+//!
+//! ## Accounting contract
+//!
+//! Every lookup is classified exactly once, as a hit or a miss. Every
+//! estimator run is a miss and charges one unit to the attached
+//! [`EvalBudget`], *even when* the subsequent insert loses a same-key race
+//! or is immediately evicted: two threads racing on a new key both pay,
+//! because both actually ran the estimator. Consequently
+//! `evaluations + cache_hits == total_lookups` and
+//! `budget.spent() == misses()` hold exactly, with or without eviction
+//! churn — eviction affects *which* lookups miss, never how they are
+//! counted.
 //!
 //! Per-[`EvalCache`] hit/miss counters always stay with the handle that
 //! observed the lookups (episode accounting), while a [`SharedEvalCache`]
 //! additionally keeps global atomic counters across every handle (batch
-//! accounting for the search driver).
+//! accounting for the search driver) plus insert/evict/promotion counters
+//! per shard and globally.
+//!
+//! ## Persistence and warmth exchange
+//!
+//! [`SharedEvalCache::snapshot_to`] serializes the table to a compact
+//! versioned binary file (magic `MLRC`, format version, FNV-1a checksum
+//! trailer); [`SharedEvalCache::restore_from`] merges a snapshot back in.
+//! A corrupt or truncated snapshot is rejected *before* any entry is
+//! applied — the error is returned, the table is untouched, and the caller
+//! cold-starts; restore never panics. [`SharedEvalCache::absorb`] merges
+//! another live table with a deterministic conflict rule: the incumbent
+//! entry's estimate wins, hit counts are summed (so merged warmth keeps its
+//! eviction value). Because keys determine estimates, lookup results are
+//! bit-identical regardless of eviction policy, snapshot/restore cycles, or
+//! absorb order.
 //!
 //! Keys are 128 bits (module fingerprint + schedule fingerprint), computed
 //! with [`std::collections::hash_map::DefaultHasher`], which is
@@ -38,24 +78,36 @@
 //! the `cached_estimates_match_uncached` property test exercises the
 //! construction.
 
+use std::cmp::Ordering as CmpOrdering;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use mlir_rl_ir::Module;
+use mlir_rl_ir::{Module, OpId};
 use mlir_rl_obs::{EventKind, ProbeRef};
 use mlir_rl_transforms::ScheduledModule;
 
 use crate::budget::EvalBudget;
-use crate::estimator::{CostModel, ModuleEstimate};
+use crate::estimator::{CostModel, ModuleEstimate, TimeEstimate};
 
 /// Default maximum number of memoized estimates per cache.
 pub const DEFAULT_EVAL_CACHE_CAPACITY: usize = 1 << 16;
 
-/// Number of independently locked shards of a [`SharedEvalCache`].
+/// Maximum number of independently locked shards of a [`SharedEvalCache`].
+/// A cache whose capacity is smaller than this uses one shard per entry so
+/// the global bound still holds exactly.
 pub const SHARED_CACHE_SHARDS: usize = 16;
+
+/// Magic bytes opening a cache snapshot file.
+const SNAPSHOT_MAGIC: [u8; 4] = *b"MLRC";
+
+/// Current snapshot format version. Bump on any layout change; restore
+/// rejects unknown versions as corrupt rather than guessing.
+const SNAPSHOT_VERSION: u32 = 1;
 
 /// Canonical identity of a `(module, schedule)` pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -104,36 +156,265 @@ pub fn schedule_key(scheduled: &ScheduledModule) -> ScheduleKey {
     }
 }
 
+/// Why a cache snapshot could not be written or restored. Restore failures
+/// leave the table untouched; callers cold-start instead of panicking.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The snapshot file could not be read or written.
+    Io(std::io::Error),
+    /// The snapshot bytes failed structural or checksum validation; the
+    /// message names the first check that failed.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(err) => write!(f, "snapshot io error: {err}"),
+            SnapshotError::Corrupt(what) => write!(f, "snapshot corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(err) => Some(err),
+            SnapshotError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(err: std::io::Error) -> Self {
+        SnapshotError::Io(err)
+    }
+}
+
+/// Point-in-time occupancy and lifetime counters of one cache shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheShardStats {
+    /// Entries currently memoized in this shard.
+    pub len: usize,
+    /// Maximum entries this shard may hold.
+    pub capacity: usize,
+    /// Entries currently in the protected segment.
+    pub protected: usize,
+    /// Entries ever inserted into this shard.
+    pub insertions: u64,
+    /// Entries ever evicted from this shard.
+    pub evictions: u64,
+    /// Probation→protected promotions ever performed in this shard.
+    pub promotions: u64,
+}
+
+/// Which 2Q segment a shard entry currently lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    /// Newly inserted, not yet re-referenced: first in line for eviction.
+    Probation,
+    /// Hit at least once since insertion; evicted only after probation.
+    Protected,
+}
+
+/// One memoized estimate plus the bookkeeping the eviction policy reads.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    estimate: ModuleEstimate,
+    /// Lookups served by this entry (summed across merges); together with
+    /// the estimate cost this measures estimator-seconds-saved.
+    hits: u64,
+    segment: Segment,
+    /// Per-shard insertion sequence number: the deterministic tie-break for
+    /// victim selection, so eviction never depends on hash-map order.
+    seq: u64,
+}
+
+impl CacheEntry {
+    /// Estimator-seconds this entry has saved so far: the victim-selection
+    /// value. A never-hit entry has saved nothing and goes first.
+    fn saved_s(&self) -> f64 {
+        self.estimate.total_s * self.hits as f64
+    }
+}
+
+/// Deterministic victim order: probation before protected, then least
+/// seconds-saved, then oldest insertion. Total (seq is unique per shard),
+/// so the minimum is independent of iteration order.
+fn victim_order(a: &CacheEntry, b: &CacheEntry) -> CmpOrdering {
+    let seg = |e: &CacheEntry| matches!(e.segment, Segment::Protected) as u8;
+    seg(a)
+        .cmp(&seg(b))
+        .then(a.saved_s().total_cmp(&b.saved_s()))
+        .then(a.seq.cmp(&b.seq))
+}
+
+/// What one shard insert did, for counter and probe accounting.
+#[derive(Debug, Clone, Copy, Default)]
+struct InsertOutcome {
+    /// A new entry was created (false: the key was present; incumbent kept).
+    inserted: bool,
+    /// Hit count of the entry evicted to make room, if any.
+    evicted_hits: Option<u64>,
+}
+
+/// Everything one lookup did, for probe emission by the observing handle.
+#[derive(Debug, Clone, Copy, Default)]
+struct LookupEffects {
+    was_hit: bool,
+    /// Index of the shard the key maps to.
+    shard: u64,
+    /// This hit promoted the entry from probation to protected.
+    promoted: bool,
+    /// The insert after this miss evicted a victim with this hit count.
+    evicted_hits: Option<u64>,
+}
+
+/// One independently locked segment-structured shard.
+#[derive(Debug, Default)]
+struct CacheShard {
+    map: HashMap<ScheduleKey, CacheEntry>,
+    /// Next insertion sequence number.
+    next_seq: u64,
+    /// Entries currently in the protected segment.
+    protected: usize,
+    insertions: u64,
+    evictions: u64,
+    promotions: u64,
+}
+
+impl CacheShard {
+    /// Records a hit on `key` (which must be present): bumps the entry's
+    /// hit count and promotes probation entries, demoting the least
+    /// valuable protected entry when the protected segment would exceed
+    /// `protected_cap`. Returns whether a promotion happened.
+    fn on_hit(&mut self, key: &ScheduleKey, protected_cap: usize) -> bool {
+        let entry = self.map.get_mut(key).expect("hit entry must exist");
+        entry.hits += 1;
+        if entry.segment == Segment::Protected {
+            return false;
+        }
+        entry.segment = Segment::Protected;
+        self.protected += 1;
+        self.promotions += 1;
+        if self.protected > protected_cap {
+            // Demote the least valuable *other* protected entry; the entry
+            // that just earned promotion keeps it.
+            let demote = self
+                .map
+                .iter()
+                .filter(|(k, e)| e.segment == Segment::Protected && *k != key)
+                .min_by(|a, b| {
+                    a.1.saved_s()
+                        .total_cmp(&b.1.saved_s())
+                        .then(a.1.seq.cmp(&b.1.seq))
+                })
+                .map(|(k, _)| *k);
+            if let Some(victim) = demote {
+                self.map
+                    .get_mut(&victim)
+                    .expect("victim key just observed")
+                    .segment = Segment::Probation;
+                self.protected -= 1;
+            }
+        }
+        true
+    }
+
+    /// Inserts `key` if absent, evicting one victim first when the shard is
+    /// at `cap`. An existing key keeps its incumbent entry untouched.
+    fn insert_entry(
+        &mut self,
+        key: ScheduleKey,
+        estimate: ModuleEstimate,
+        hits: u64,
+        cap: usize,
+    ) -> InsertOutcome {
+        if self.map.contains_key(&key) {
+            return InsertOutcome::default();
+        }
+        let mut outcome = InsertOutcome {
+            inserted: true,
+            evicted_hits: None,
+        };
+        if self.map.len() >= cap {
+            let victim = self
+                .map
+                .iter()
+                .min_by(|a, b| victim_order(a.1, b.1))
+                .map(|(k, _)| *k);
+            if let Some(victim) = victim {
+                let evicted = self.map.remove(&victim).expect("victim key just observed");
+                if evicted.segment == Segment::Protected {
+                    self.protected -= 1;
+                }
+                self.evictions += 1;
+                outcome.evicted_hits = Some(evicted.hits);
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.map.insert(
+            key,
+            CacheEntry {
+                estimate,
+                hits,
+                segment: Segment::Probation,
+                seq,
+            },
+        );
+        self.insertions += 1;
+        outcome
+    }
+}
+
 /// One sharded, thread-shared memoization table. Cloning shares the table
-/// (and the global hit/miss counters) by reference; handles on any thread
-/// see entries inserted by every other handle.
+/// (and the global counters) by reference; handles on any thread see
+/// entries inserted by every other handle. See the module docs for the
+/// eviction policy, the accounting contract and the persistence format.
 #[derive(Debug, Clone)]
 pub struct SharedEvalCache {
-    shards: Arc<Vec<Mutex<HashMap<ScheduleKey, ModuleEstimate>>>>,
+    shards: Arc<Vec<Mutex<CacheShard>>>,
     hits: Arc<AtomicU64>,
     misses: Arc<AtomicU64>,
+    insertions: Arc<AtomicU64>,
+    evictions: Arc<AtomicU64>,
+    promotions: Arc<AtomicU64>,
     /// Every estimator run (miss) charges one unit to this ledger, so a
     /// roster of searchers sharing the table also shares one spend account.
     budget: EvalBudget,
-    shard_capacity: usize,
+    capacity: usize,
 }
 
 impl SharedEvalCache {
-    /// Creates a shared cache holding at most (approximately) `capacity`
-    /// estimates across its shards. A shard that fills up is emptied
-    /// wholesale, like the local backend's generation reset.
+    /// Creates a shared cache holding at most `capacity` estimates across
+    /// its shards — the bound is global and exact: per-shard capacities sum
+    /// to `capacity`, and a capacity below [`SHARED_CACHE_SHARDS`] simply
+    /// uses fewer shards instead of silently inflating the bound. A
+    /// capacity of zero is clamped to one; use [`SharedEvalCache::try_new`]
+    /// to reject it instead.
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shard_count = SHARED_CACHE_SHARDS.min(capacity);
         Self {
-            shards: Arc::new(
-                (0..SHARED_CACHE_SHARDS)
-                    .map(|_| Mutex::new(HashMap::new()))
-                    .collect(),
-            ),
+            shards: Arc::new((0..shard_count).map(|_| Mutex::default()).collect()),
             hits: Arc::new(AtomicU64::new(0)),
             misses: Arc::new(AtomicU64::new(0)),
+            insertions: Arc::new(AtomicU64::new(0)),
+            evictions: Arc::new(AtomicU64::new(0)),
+            promotions: Arc::new(AtomicU64::new(0)),
             budget: EvalBudget::unlimited(),
-            shard_capacity: (capacity / SHARED_CACHE_SHARDS).max(1),
+            capacity,
         }
+    }
+
+    /// Like [`SharedEvalCache::new`] but rejecting a zero capacity, for
+    /// callers validating user-supplied configuration.
+    pub fn try_new(capacity: usize) -> Result<Self, String> {
+        if capacity == 0 {
+            return Err("shared cache capacity must be at least 1".to_string());
+        }
+        Ok(Self::new(capacity))
     }
 
     /// Replaces the table's spend ledger (call before cloning handles: a
@@ -149,37 +430,68 @@ impl SharedEvalCache {
         &self.budget
     }
 
-    fn shard(&self, key: &ScheduleKey) -> &Mutex<HashMap<ScheduleKey, ModuleEstimate>> {
+    /// Maximum number of memoized estimates, globally across shards.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn shard_index(&self, key: &ScheduleKey) -> usize {
         // The fingerprints are already well-mixed hashes; fold them down to
         // a shard index.
         let mix = key.module ^ key.schedule.rotate_left(17);
-        &self.shards[(mix as usize) % SHARED_CACHE_SHARDS]
+        (mix as usize) % self.shards.len()
+    }
+
+    /// Capacity of shard `index`: `capacity` split as evenly as possible,
+    /// remainders to the lowest indices, summing exactly to `capacity`.
+    fn shard_cap(&self, index: usize) -> usize {
+        let n = self.shards.len();
+        self.capacity / n + usize::from(index < self.capacity % n)
+    }
+
+    /// Protected-segment bound of a shard: half its capacity, rounded up so
+    /// a one-entry shard can still hold a protected entry.
+    fn protected_cap(&self, index: usize) -> usize {
+        self.shard_cap(index).div_ceil(2)
     }
 
     /// Looks up `key`, running `model` *outside* the shard lock on a miss,
-    /// and returns `project`ed view of the estimate plus whether the lookup
-    /// was a hit. Two threads racing on the same new key both run the
-    /// estimator (same deterministic result); one insert wins.
+    /// and returns the `project`ed view of the estimate plus what the
+    /// lookup did. Two threads racing on the same new key both run the
+    /// estimator (same deterministic result) and both count and charge as
+    /// misses — see the module-level accounting contract; one insert wins.
     fn lookup_with<T>(
         &self,
         key: ScheduleKey,
         model: &CostModel,
         scheduled: &ScheduledModule,
         project: impl Fn(&ModuleEstimate) -> T,
-    ) -> (T, bool) {
+    ) -> (T, LookupEffects) {
+        let index = self.shard_index(&key);
+        let mut effects = LookupEffects {
+            shard: index as u64,
+            ..LookupEffects::default()
+        };
         {
-            let shard = self.shard(&key).lock().expect("cache shard poisoned");
-            if let Some(estimate) = shard.get(&key) {
+            let mut shard = self.shards[index].lock().expect("cache shard poisoned");
+            if shard.map.contains_key(&key) {
+                effects.was_hit = true;
+                effects.promoted = shard.on_hit(&key, self.protected_cap(index));
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return (project(estimate), true);
+                if effects.promoted {
+                    self.promotions.fetch_add(1, Ordering::Relaxed);
+                }
+                let value = project(&shard.map[&key].estimate);
+                return (value, effects);
             }
         }
         let estimate = model.estimate_scheduled(scheduled);
         let value = project(&estimate);
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.budget.charge(1);
-        self.insert(key, estimate);
-        (value, false)
+        let outcome = self.apply_insert(key, estimate, 0);
+        effects.evicted_hits = outcome.evicted_hits;
+        (value, effects)
     }
 
     /// Looks up the total time for `key`, running `model` only on a miss.
@@ -190,7 +502,8 @@ impl SharedEvalCache {
         model: &CostModel,
         scheduled: &ScheduledModule,
     ) -> (f64, bool) {
-        self.lookup_with(key, model, scheduled, |estimate| estimate.total_s)
+        let (total_s, effects) = self.lookup_with(key, model, scheduled, |e| e.total_s);
+        (total_s, effects.was_hit)
     }
 
     /// Like [`SharedEvalCache::total_s_keyed`] but returning the whole
@@ -201,18 +514,76 @@ impl SharedEvalCache {
         model: &CostModel,
         scheduled: &ScheduledModule,
     ) -> (ModuleEstimate, bool) {
-        self.lookup_with(key, model, scheduled, ModuleEstimate::clone)
+        let (estimate, effects) = self.lookup_with(key, model, scheduled, ModuleEstimate::clone);
+        (estimate, effects.was_hit)
     }
 
-    /// Inserts an already-computed estimate (misses of [`Self::lookup_with`]
-    /// and migration from a local cache). A full shard is emptied wholesale
-    /// before the insert, like the local backend's generation reset.
-    fn insert(&self, key: ScheduleKey, estimate: ModuleEstimate) {
-        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
-        if shard.len() >= self.shard_capacity && !shard.contains_key(&key) {
-            shard.clear();
+    /// Locks the key's shard and inserts, updating the global counters.
+    /// `hits` seeds the entry's hit count (nonzero when merging warmth).
+    fn apply_insert(&self, key: ScheduleKey, estimate: ModuleEstimate, hits: u64) -> InsertOutcome {
+        let index = self.shard_index(&key);
+        let cap = self.shard_cap(index);
+        let outcome = {
+            let mut shard = self.shards[index].lock().expect("cache shard poisoned");
+            shard.insert_entry(key, estimate, hits, cap)
+        };
+        if outcome.inserted {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
         }
-        shard.entry(key).or_insert(estimate);
+        if outcome.evicted_hits.is_some() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    }
+
+    /// Inserts an already-computed estimate (misses of `lookup_with` and
+    /// migration from a local cache). An existing key keeps its incumbent.
+    fn insert(&self, key: ScheduleKey, estimate: ModuleEstimate) {
+        self.apply_insert(key, estimate, 0);
+    }
+
+    /// Merges one foreign entry: an incumbent keeps its estimate and gains
+    /// the foreign hit count (warmth reconciled); a new key is inserted
+    /// with the foreign hit count, evicting if needed. Returns whether a
+    /// new entry was created.
+    fn merge_entry(&self, key: ScheduleKey, estimate: ModuleEstimate, hits: u64) -> bool {
+        let index = self.shard_index(&key);
+        {
+            let mut shard = self.shards[index].lock().expect("cache shard poisoned");
+            if let Some(entry) = shard.map.get_mut(&key) {
+                entry.hits += hits;
+                return false;
+            }
+        }
+        self.apply_insert(key, estimate, hits).inserted
+    }
+
+    /// Merges every entry of `other` into this table (replica warmth
+    /// exchange). Conflict rule: the incumbent estimate wins and hit counts
+    /// are summed; new keys are inserted (evicting per policy when full) in
+    /// key order, so the merged table is deterministic regardless of
+    /// hash-map iteration order. A handle to the same table is a no-op.
+    /// Returns the number of newly created entries.
+    pub fn absorb(&self, other: &SharedEvalCache) -> u64 {
+        if self.same_table(other) {
+            return 0;
+        }
+        let mut created = 0;
+        for shard in other.shards.iter() {
+            let mut entries: Vec<(ScheduleKey, ModuleEstimate, u64)> = {
+                let shard = shard.lock().expect("cache shard poisoned");
+                shard
+                    .map
+                    .iter()
+                    .map(|(k, e)| (*k, e.estimate.clone(), e.hits))
+                    .collect()
+            };
+            entries.sort_by_key(|(k, _, _)| (k.module, k.schedule));
+            for (key, estimate, hits) in entries {
+                created += u64::from(self.merge_entry(key, estimate, hits));
+            }
+        }
+        created
     }
 
     /// Global lookups served from the table, across every handle.
@@ -223,6 +594,23 @@ impl SharedEvalCache {
     /// Global lookups that ran the estimator, across every handle.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries ever inserted, across every shard and handle.
+    pub fn insertions(&self) -> u64 {
+        self.insertions.load(Ordering::Relaxed)
+    }
+
+    /// Entries ever evicted (one at a time, by the segmented policy),
+    /// across every shard and handle. [`SharedEvalCache::clear`] does not
+    /// count as eviction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Probation→protected promotions, across every shard and handle.
+    pub fn promotions(&self) -> u64 {
+        self.promotions.load(Ordering::Relaxed)
     }
 
     /// Global fraction of lookups served from the table.
@@ -239,7 +627,7 @@ impl SharedEvalCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
             .sum()
     }
 
@@ -248,10 +636,32 @@ impl SharedEvalCache {
         self.len() == 0
     }
 
-    /// Drops all memoized estimates (counters are kept).
+    /// Per-shard occupancy and counters, in shard-index order.
+    pub fn shard_stats(&self) -> Vec<CacheShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| {
+                let shard = shard.lock().expect("cache shard poisoned");
+                CacheShardStats {
+                    len: shard.map.len(),
+                    capacity: self.shard_cap(index),
+                    protected: shard.protected,
+                    insertions: shard.insertions,
+                    evictions: shard.evictions,
+                    promotions: shard.promotions,
+                }
+            })
+            .collect()
+    }
+
+    /// Drops all memoized estimates (counters are kept; this is the one
+    /// remaining wholesale wipe, and it is explicit).
     pub fn clear(&self) {
         for shard in self.shards.iter() {
-            shard.lock().expect("cache shard poisoned").clear();
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            shard.map.clear();
+            shard.protected = 0;
         }
     }
 
@@ -259,6 +669,188 @@ impl SharedEvalCache {
     pub fn same_table(&self, other: &SharedEvalCache) -> bool {
         Arc::ptr_eq(&self.shards, &other.shards)
     }
+
+    /// Serializes the table to the versioned snapshot byte format (see the
+    /// module docs). Entries are emitted in shard order, sorted by key
+    /// within each shard, so equal tables produce equal bytes.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut entries: Vec<(ScheduleKey, ModuleEstimate, u64, Segment)> = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.lock().expect("cache shard poisoned");
+            let mut batch: Vec<_> = shard
+                .map
+                .iter()
+                .map(|(k, e)| (*k, e.estimate.clone(), e.hits, e.segment))
+                .collect();
+            batch.sort_by_key(|(k, _, _, _)| (k.module, k.schedule));
+            entries.extend(batch);
+        }
+        let mut out = Vec::with_capacity(64 + entries.len() * 64);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        for (key, estimate, hits, segment) in &entries {
+            out.extend_from_slice(&key.module.to_le_bytes());
+            out.extend_from_slice(&key.schedule.to_le_bytes());
+            out.extend_from_slice(&hits.to_le_bytes());
+            out.push(matches!(segment, Segment::Protected) as u8);
+            out.extend_from_slice(&estimate.total_s.to_bits().to_le_bytes());
+            out.extend_from_slice(&(estimate.per_op.len() as u64).to_le_bytes());
+            for (op, t) in &estimate.per_op {
+                out.extend_from_slice(&(op.0 as u64).to_le_bytes());
+                for part in [t.compute_s, t.memory_s, t.overhead_s, t.total_s] {
+                    out.extend_from_slice(&part.to_bits().to_le_bytes());
+                }
+            }
+        }
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Writes a snapshot of the table to `path` (atomic enough for a
+    /// single writer: the whole byte image is built first, then written in
+    /// one call). Returns the number of entries written.
+    pub fn snapshot_to(&self, path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
+        let bytes = self.to_snapshot_bytes();
+        // Entry count sits right after magic + version.
+        let count = u64::from_le_bytes(bytes[8..16].try_into().expect("fixed header"));
+        std::fs::write(path, &bytes)?;
+        Ok(count)
+    }
+
+    /// Merges a snapshot produced by [`SharedEvalCache::to_snapshot_bytes`]
+    /// into this table. The whole image is validated (magic, version,
+    /// structure, checksum) *before* any entry is applied: a corrupt
+    /// snapshot returns an error and leaves the table untouched. Restored
+    /// entries enter probation with their saved hit counts (one hit
+    /// re-promotes); conflicts follow the [`SharedEvalCache::absorb`] rule.
+    /// Returns the number of newly created entries.
+    pub fn restore_from_bytes(&self, bytes: &[u8]) -> Result<u64, SnapshotError> {
+        let entries = parse_snapshot(bytes)?;
+        let mut created = 0;
+        for (key, estimate, hits) in entries {
+            created += u64::from(self.merge_entry(key, estimate, hits));
+        }
+        Ok(created)
+    }
+
+    /// Reads and merges a snapshot file; see
+    /// [`SharedEvalCache::restore_from_bytes`]. A missing or unreadable
+    /// file is an [`SnapshotError::Io`]; either way the table is untouched
+    /// and the caller can cold-start.
+    pub fn restore_from(&self, path: impl AsRef<Path>) -> Result<u64, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        self.restore_from_bytes(&bytes)
+    }
+}
+
+/// FNV-1a over `bytes`: the snapshot checksum. Deterministic, dependency
+/// free, and plenty to catch truncation and bit rot (this guards against
+/// accidents, not adversaries).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Bounds-checked little-endian reader over a snapshot image.
+struct SnapshotReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapshotReader<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(SnapshotError::Corrupt("length overflow"))?;
+        if end > self.bytes.len() {
+            return Err(SnapshotError::Corrupt(what));
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8-byte slice"),
+        ))
+    }
+
+    fn f64(&mut self, what: &'static str) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, SnapshotError> {
+        Ok(self.take(1, what)?[0])
+    }
+}
+
+/// Fully validates a snapshot image and decodes its entries. Pure: touches
+/// no cache state, so callers can reject corrupt images before mutating.
+#[allow(clippy::type_complexity)]
+fn parse_snapshot(bytes: &[u8]) -> Result<Vec<(ScheduleKey, ModuleEstimate, u64)>, SnapshotError> {
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 4 + 8 + 8 {
+        return Err(SnapshotError::Corrupt("image shorter than header"));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let checksum = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    if fnv1a(body) != checksum {
+        return Err(SnapshotError::Corrupt("checksum mismatch"));
+    }
+    let mut reader = SnapshotReader {
+        bytes: body,
+        pos: 0,
+    };
+    if reader.take(4, "magic")? != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::Corrupt("bad magic"));
+    }
+    let version = u32::from_le_bytes(reader.take(4, "version")?.try_into().expect("4-byte slice"));
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::Corrupt("unknown format version"));
+    }
+    let count = reader.u64("entry count")?;
+    let mut entries = Vec::new();
+    for _ in 0..count {
+        let key = ScheduleKey {
+            module: reader.u64("key module")?,
+            schedule: reader.u64("key schedule")?,
+        };
+        let hits = reader.u64("entry hits")?;
+        let segment = reader.u8("entry segment")?;
+        if segment > 1 {
+            return Err(SnapshotError::Corrupt("unknown segment tag"));
+        }
+        let total_s = reader.f64("entry total")?;
+        let per_op_len = reader.u64("per-op count")?;
+        // 40 bytes per op record: reject counts the body cannot hold
+        // before allocating.
+        if per_op_len > (body.len() as u64) / 40 {
+            return Err(SnapshotError::Corrupt("per-op count exceeds image"));
+        }
+        let mut per_op = Vec::with_capacity(per_op_len as usize);
+        for _ in 0..per_op_len {
+            let op = OpId(reader.u64("op id")? as usize);
+            let t = TimeEstimate {
+                compute_s: reader.f64("op compute")?,
+                memory_s: reader.f64("op memory")?,
+                overhead_s: reader.f64("op overhead")?,
+                total_s: reader.f64("op total")?,
+            };
+            per_op.push((op, t));
+        }
+        entries.push((key, ModuleEstimate { per_op, total_s }, hits));
+    }
+    if reader.pos != body.len() {
+        return Err(SnapshotError::Corrupt("trailing bytes after entries"));
+    }
+    Ok(entries)
 }
 
 /// A memoization table for [`ModuleEstimate`]s with hit/miss accounting.
@@ -275,10 +867,10 @@ pub struct EvalCache {
     hits: u64,
     misses: u64,
     /// Trace probe carried by this handle: every lookup classification
-    /// (hit/miss) and shared-backend budget charge is mirrored as a trace
-    /// event. Disabled (no-op) by default; cloning shares the sink, so an
-    /// environment clone handed to a racing search thread keeps emitting
-    /// into the same trace.
+    /// (hit/miss), shared-backend budget charge, eviction and promotion is
+    /// mirrored as a trace event. Disabled (no-op) by default; cloning
+    /// shares the sink, so an environment clone handed to a racing search
+    /// thread keeps emitting into the same trace.
     probe: ProbeRef,
 }
 
@@ -289,10 +881,12 @@ impl Default for EvalCache {
 }
 
 impl EvalCache {
-    /// Creates a cache holding at most `capacity` estimates. When the cache
-    /// fills up it is emptied wholesale (generation reset) rather than
-    /// evicting entry by entry; the capacity is large enough that this is
-    /// rare in training.
+    /// Creates a cache holding at most `capacity` estimates. The local
+    /// backend bounds the snapshot-plus-overlay pair: when a new key would
+    /// exceed the bound, the overlay generation-resets (or, if the frozen
+    /// snapshot alone exhausts the capacity, the snapshot is shed and the
+    /// overlay keeps memoizing) — memoization never silently stops. The
+    /// shared backend evicts entry-wise; see [`SharedEvalCache`].
     pub fn new(capacity: usize) -> Self {
         Self {
             shared: Arc::new(HashMap::new()),
@@ -329,18 +923,24 @@ impl EvalCache {
     }
 
     /// Converts this cache to the thread-shared sharded backend, migrating
-    /// every memoized entry, and returns a handle to the shared table.
-    /// Idempotent: a cache already in shared mode just returns its handle.
-    /// Clones taken *after* the conversion share the table.
+    /// every memoized entry (in key order, so shard placement and any
+    /// overflow eviction are deterministic), and returns a handle to the
+    /// shared table. Idempotent: a cache already in shared mode just
+    /// returns its handle. Clones taken *after* the conversion share the
+    /// table.
     pub fn make_shared(&mut self) -> SharedEvalCache {
         if let Some(backend) = &self.backend {
             return backend.clone();
         }
         let backend = SharedEvalCache::new(self.capacity);
-        for (key, estimate) in self.shared.iter() {
-            backend.insert(*key, estimate.clone());
-        }
-        for (key, estimate) in self.local.drain() {
+        let mut entries: Vec<(ScheduleKey, ModuleEstimate)> = self
+            .shared
+            .iter()
+            .map(|(k, e)| (*k, e.clone()))
+            .chain(self.local.drain())
+            .collect();
+        entries.sort_by_key(|(k, _)| (k.module, k.schedule));
+        for (key, estimate) in entries {
             backend.insert(key, estimate);
         }
         self.shared = Arc::new(HashMap::new());
@@ -376,14 +976,17 @@ impl EvalCache {
         scheduled: &ScheduledModule,
     ) -> (ModuleEstimate, bool) {
         if let Some(backend) = &self.backend {
-            let (estimate, was_hit) = backend.estimate_keyed(key, model, scheduled);
-            self.count(was_hit);
-            self.emit_lookup(was_hit);
-            return (estimate, was_hit);
+            let (estimate, effects) = backend.lookup_with(key, model, scheduled, Clone::clone);
+            self.count(effects.was_hit);
+            self.emit_lookup(effects);
+            return (estimate, effects.was_hit);
         }
         let (estimate, was_hit) = self.local_lookup(key, model, scheduled);
         let estimate = estimate.clone();
-        self.emit_lookup(was_hit);
+        self.emit_lookup(LookupEffects {
+            was_hit,
+            ..LookupEffects::default()
+        });
         (estimate, was_hit)
     }
 
@@ -396,33 +999,44 @@ impl EvalCache {
         scheduled: &ScheduledModule,
     ) -> (f64, bool) {
         if let Some(backend) = &self.backend {
-            let (total_s, was_hit) = backend.total_s_keyed(key, model, scheduled);
-            self.count(was_hit);
-            self.emit_lookup(was_hit);
-            return (total_s, was_hit);
+            let (total_s, effects) = backend.lookup_with(key, model, scheduled, |e| e.total_s);
+            self.count(effects.was_hit);
+            self.emit_lookup(effects);
+            return (total_s, effects.was_hit);
         }
         let (estimate, was_hit) = self.local_lookup(key, model, scheduled);
         let total_s = estimate.total_s;
-        self.emit_lookup(was_hit);
+        self.emit_lookup(LookupEffects {
+            was_hit,
+            ..LookupEffects::default()
+        });
         (total_s, was_hit)
     }
 
-    /// Mirrors one lookup classification into the trace: a hit or a miss,
-    /// and — in shared mode, where every miss charges the common ledger —
-    /// the budget-spend delta. Purely observational: emission never touches
+    /// Mirrors one lookup into the trace: the hit/miss classification, a
+    /// shared-backend budget charge on miss, and any promotion or eviction
+    /// the lookup performed. Purely observational: emission never touches
     /// the lookup result, so traced and untraced runs stay bit-identical.
-    fn emit_lookup(&self, was_hit: bool) {
+    fn emit_lookup(&self, effects: LookupEffects) {
         if !self.probe.is_enabled() {
             return;
         }
-        if was_hit {
+        if effects.was_hit {
             self.probe.emit(EventKind::CacheHit, None, [0, 0, 0]);
+            if effects.promoted {
+                self.probe
+                    .emit(EventKind::CachePromote, None, [effects.shard, 0, 0]);
+            }
         } else {
             self.probe.emit(EventKind::CacheMiss, None, [0, 0, 0]);
             if let Some(backend) = &self.backend {
                 let budget = backend.budget();
                 self.probe
                     .emit(EventKind::BudgetCharge, None, [1, budget.spent(), 0]);
+            }
+            if let Some(victim_hits) = effects.evicted_hits {
+                self.probe
+                    .emit(EventKind::CacheEvict, None, [effects.shard, victim_hits, 0]);
             }
         }
     }
@@ -446,9 +1060,17 @@ impl EvalCache {
             self.hits += 1;
             return (self.shared.get(&key).expect("checked above"), true);
         }
-        if self.local.len() + self.shared.len() >= self.capacity && !self.local.contains_key(&key) {
-            self.local.clear();
-            self.shared = Arc::new(HashMap::new());
+        // Bound snapshot + overlay against the capacity, counting only a
+        // genuinely new key. When the frozen snapshot alone exhausts the
+        // capacity, shed the snapshot and keep memoizing through the
+        // overlay — resetting the overlay in that state would wipe it on
+        // *every* new key and silently stop memoization.
+        if !self.local.contains_key(&key) && self.local.len() + self.shared.len() >= self.capacity {
+            if self.shared.len() >= self.capacity {
+                self.shared = Arc::new(HashMap::new());
+            } else {
+                self.local.clear();
+            }
         }
         match self.local.entry(key) {
             Entry::Occupied(entry) => {
@@ -531,11 +1153,17 @@ impl EvalCache {
             }
         }
         if let Some(backend) = &self.backend {
-            // Shared receiver: push the other cache's local entries in.
-            for (key, estimate) in other.shared.iter() {
-                backend.insert(*key, estimate.clone());
-            }
-            for (key, estimate) in other.local {
+            // Shared receiver: push the other cache's entries in, sorted by
+            // key so shard placement and overflow eviction stay
+            // deterministic.
+            let mut entries: Vec<(ScheduleKey, ModuleEstimate)> = other
+                .shared
+                .iter()
+                .map(|(k, e)| (*k, e.clone()))
+                .chain(other.local)
+                .collect();
+            entries.sort_by_key(|(k, _)| (k.module, k.schedule));
+            for (key, estimate) in entries {
                 backend.insert(key, estimate);
             }
             return;
@@ -574,6 +1202,23 @@ mod tests {
         let w = b.argument("B", vec![k, n]);
         b.matmul(a, w);
         b.finish()
+    }
+
+    /// An estimate with a chosen cost, for driving the merge rules through
+    /// the private API without a real module.
+    fn synthetic_estimate(total_s: f64) -> ModuleEstimate {
+        ModuleEstimate {
+            per_op: vec![(
+                OpId(0),
+                TimeEstimate {
+                    compute_s: total_s,
+                    memory_s: 0.0,
+                    overhead_s: 0.0,
+                    total_s,
+                },
+            )],
+            total_s,
+        }
     }
 
     #[test]
@@ -655,6 +1300,30 @@ mod tests {
         }
         assert!(cache.len() <= 2, "capacity must bound the table");
         assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn consolidated_full_cache_still_memoizes() {
+        // Regression: when the frozen snapshot alone reaches capacity,
+        // every new-key insert used to wipe the (empty) overlay and drop
+        // the new entry's chance of memoization entirely. The snapshot is
+        // shed instead and the overlay keeps serving hits.
+        let cm = CostModel::new(MachineModel::default());
+        let mut cache = EvalCache::new(2);
+        for size in [32u64, 48] {
+            let sm = ScheduledModule::new(matmul(size, size, size));
+            cache.estimate(&cm, &sm);
+        }
+        cache.consolidate();
+        assert_eq!(cache.len(), 2, "snapshot holds the full capacity");
+
+        let fresh = ScheduledModule::new(matmul(96, 96, 96));
+        cache.estimate(&cm, &fresh); // sheds the snapshot, lands in overlay
+        let misses_before = cache.misses();
+        let (_, was_hit) = cache.estimate_keyed(schedule_key(&fresh), &cm, &fresh);
+        assert!(was_hit, "a consolidated-full cache must keep memoizing");
+        assert_eq!(cache.misses(), misses_before);
+        assert!(cache.len() <= 2, "the bound still holds after the shed");
     }
 
     #[test]
@@ -838,15 +1507,378 @@ mod tests {
     }
 
     #[test]
-    fn shared_shard_overflow_resets_only_that_shard() {
+    fn racing_same_key_misses_keep_accounting_exact() {
+        // Satellite contract: every estimator run is a miss and charges the
+        // ledger, even when its insert loses the race — so hits + misses
+        // equals total lookups and budget spend equals misses, exactly.
         let cm = CostModel::new(MachineModel::default());
-        // Tiny capacity: every shard holds one entry.
+        let ledger = EvalBudget::unlimited();
+        let handle = SharedEvalCache::new(1 << 8).with_budget(ledger.clone());
+        let threads = 8;
+        let rounds = 4u64;
+        let barrier = std::sync::Barrier::new(threads);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let handle = handle.clone();
+                let cm = cm.clone();
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    for round in 0..rounds {
+                        let size = 16 * (round + 1);
+                        let sm = ScheduledModule::new(matmul(size, size, size));
+                        let key = schedule_key(&sm);
+                        barrier.wait(); // all threads race on the same new key
+                        handle.total_s_keyed(key, &cm, &sm);
+                    }
+                });
+            }
+        });
+        let total = threads as u64 * rounds;
+        assert_eq!(handle.hits() + handle.misses(), total);
+        assert_eq!(ledger.spent(), handle.misses());
+        assert!(handle.misses() >= rounds, "each round misses at least once");
+        // Lost insert races must not inflate the insertion counter past
+        // one per distinct key.
+        assert_eq!(handle.insertions(), rounds);
+        assert_eq!(handle.len(), rounds as usize);
+    }
+
+    #[test]
+    fn tiny_capacity_bound_holds_under_churn() {
+        // capacity < SHARED_CACHE_SHARDS used to inflate the bound to one
+        // entry *per shard* (16x); the bound is global now.
+        let cm = CostModel::new(MachineModel::default());
+        for capacity in [1usize, 2, 5, 7] {
+            let handle = SharedEvalCache::new(capacity);
+            for i in 1..60u64 {
+                let sm = ScheduledModule::new(matmul(8 * i, 8 * i, 8 * i));
+                handle.total_s_keyed(schedule_key(&sm), &cm, &sm);
+                assert!(
+                    handle.len() <= capacity,
+                    "len {} exceeds capacity {capacity}",
+                    handle.len()
+                );
+            }
+            assert!(!handle.is_empty());
+            assert!(handle.evictions() > 0, "churn must evict entry-wise");
+            assert_eq!(
+                handle.insertions() - handle.evictions(),
+                handle.len() as u64,
+                "inserts minus evictions must equal occupancy"
+            );
+        }
+        assert_eq!(
+            SharedEvalCache::try_new(0).map(|_| ()),
+            Err(String::from("shared cache capacity must be at least 1"))
+        );
+        assert!(SharedEvalCache::try_new(1).is_ok());
+    }
+
+    #[test]
+    fn shard_overflow_evicts_entry_wise_not_wholesale() {
+        let cm = CostModel::new(MachineModel::default());
         let handle = SharedEvalCache::new(SHARED_CACHE_SHARDS);
         for i in 1..40u64 {
             let sm = ScheduledModule::new(matmul(8 * i, 8 * i, 8 * i));
             handle.total_s_keyed(schedule_key(&sm), &cm, &sm);
+            // Entry-wise eviction keeps every shard that ever held an entry
+            // non-empty: an insert into a full shard replaces, never wipes.
+            assert!(handle.len() <= SHARED_CACHE_SHARDS);
         }
-        assert!(handle.len() <= SHARED_CACHE_SHARDS);
         assert!(!handle.is_empty());
+        let stats = handle.shard_stats();
+        assert_eq!(stats.len(), SHARED_CACHE_SHARDS);
+        for stat in &stats {
+            assert!(stat.len <= stat.capacity);
+            // A shard that ever received an insert still holds an entry:
+            // the old wholesale reset would leave len == 0 after overflow.
+            if stat.insertions > 0 {
+                assert_eq!(stat.len, stat.capacity, "no shard is left wiped");
+            }
+        }
+        let (ins, ev, pr) = stats.iter().fold((0, 0, 0), |(i, e, p), s| {
+            (i + s.insertions, e + s.evictions, p + s.promotions)
+        });
+        assert_eq!(ins, handle.insertions());
+        assert_eq!(ev, handle.evictions());
+        assert_eq!(pr, handle.promotions());
+    }
+
+    #[test]
+    fn eviction_is_cost_aware_and_protects_hit_entries() {
+        let cm = CostModel::new(MachineModel::default());
+        // Keys constructed to collide on shard 0, which has room for 4.
+        let cache = SharedEvalCache::new(SHARED_CACHE_SHARDS * 4);
+        let shards = cache.shards.len();
+        let keys: Vec<ScheduleKey> = (0..8)
+            .map(|i| ScheduleKey {
+                module: (i as u64) * shards as u64,
+                schedule: 0,
+            })
+            .inspect(|k| assert_eq!(cache.shard_index(k), 0))
+            .collect();
+        let cap = cache.shard_cap(0);
+        assert_eq!(cap, 4);
+        let sm = ScheduledModule::new(matmul(64, 64, 64));
+
+        // Fill shard 0: k0..k3, all probation with zero hits.
+        for key in keys.iter().take(4) {
+            cache.total_s_keyed(*key, &cm, &sm);
+        }
+        // Hit k0 and k1: promoted to protected, nonzero seconds-saved.
+        cache.total_s_keyed(keys[0], &cm, &sm);
+        cache.total_s_keyed(keys[1], &cm, &sm);
+        assert_eq!(cache.promotions(), 2);
+
+        // Insert k4 into the full shard: the victim must be the *oldest
+        // cold probation* entry, k2 — not a protected one, and not the
+        // whole shard.
+        cache.total_s_keyed(keys[4], &cm, &sm);
+        assert_eq!(cache.evictions(), 1);
+        let (_, k0_hit) = cache.total_s_keyed(keys[0], &cm, &sm);
+        let (_, k3_hit) = cache.total_s_keyed(keys[3], &cm, &sm);
+        assert!(k0_hit, "protected entry survives");
+        assert!(k3_hit, "younger probation entry survives");
+        let (_, k2_hit) = cache.total_s_keyed(keys[2], &cm, &sm);
+        assert!(!k2_hit, "the cold oldest probation entry was the victim");
+    }
+
+    #[test]
+    fn protected_segment_is_bounded() {
+        let cache = SharedEvalCache::new(SHARED_CACHE_SHARDS * 4);
+        let cm = CostModel::new(MachineModel::default());
+        let shards = cache.shards.len();
+        let sm = ScheduledModule::new(matmul(32, 32, 32));
+        let keys: Vec<ScheduleKey> = (0..4)
+            .map(|i| ScheduleKey {
+                module: (i as u64) * shards as u64,
+                schedule: 0,
+            })
+            .collect();
+        for key in &keys {
+            cache.total_s_keyed(*key, &cm, &sm);
+        }
+        // Promote everything; the protected segment must stay within half
+        // the shard (demotions keep the balance), not swallow the shard.
+        for key in &keys {
+            cache.total_s_keyed(*key, &cm, &sm);
+            cache.total_s_keyed(*key, &cm, &sm);
+        }
+        let stats = cache.shard_stats();
+        assert!(stats[0].protected <= cache.protected_cap(0));
+        assert!(stats[0].protected >= 1);
+        assert!(
+            stats[0].promotions > stats[0].protected as u64,
+            "over-cap promotions demoted"
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_warmth_bit_identically() {
+        let cm = CostModel::new(MachineModel::default());
+        let source = SharedEvalCache::new(1 << 10);
+        let schedules: Vec<ScheduledModule> = (1..12u64)
+            .map(|i| ScheduledModule::new(matmul(16 * i, 16 * i, 16 * i)))
+            .collect();
+        for sm in &schedules {
+            source.total_s_keyed(schedule_key(sm), &cm, sm);
+        }
+        // A few repeat hits so hit counts are nonzero in the image.
+        source.total_s_keyed(schedule_key(&schedules[0]), &cm, &schedules[0]);
+
+        let bytes = source.to_snapshot_bytes();
+        let restored = SharedEvalCache::new(1 << 10);
+        let created = restored.restore_from_bytes(&bytes).expect("valid image");
+        assert_eq!(created, schedules.len() as u64);
+        assert_eq!(restored.len(), source.len());
+
+        // Every restored lookup is a hit with the bit-identical estimate.
+        for sm in &schedules {
+            let want = cm.estimate_scheduled(sm);
+            let (got, was_hit) = restored.estimate_keyed(schedule_key(sm), &cm, sm);
+            assert!(was_hit, "restored entries must serve hits");
+            assert_eq!(got, want);
+        }
+        // Snapshotting equal tables yields equal bytes (determinism).
+        assert_eq!(bytes[..], source.to_snapshot_bytes()[..]);
+
+        // File roundtrip too.
+        let path =
+            std::env::temp_dir().join(format!("mlir-rl-cache-test-{}.snap", std::process::id()));
+        source.snapshot_to(&path).expect("snapshot write");
+        let from_file = SharedEvalCache::new(1 << 10);
+        assert_eq!(
+            from_file.restore_from(&path).expect("snapshot read"),
+            schedules.len() as u64
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected_without_mutation() {
+        let cm = CostModel::new(MachineModel::default());
+        let source = SharedEvalCache::new(64);
+        for i in 1..6u64 {
+            let sm = ScheduledModule::new(matmul(16 * i, 16 * i, 16 * i));
+            source.total_s_keyed(schedule_key(&sm), &cm, &sm);
+        }
+        let good = source.to_snapshot_bytes();
+
+        let target = SharedEvalCache::new(64);
+        let reject = |bytes: &[u8]| {
+            let err = target
+                .restore_from_bytes(bytes)
+                .expect_err("corrupt image must be rejected");
+            assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+            assert!(target.is_empty(), "a rejected restore must not mutate");
+        };
+
+        reject(&[]); // empty
+        reject(&good[..good.len() - 3]); // truncated
+        let mut flipped = good.clone();
+        flipped[20] ^= 0x40;
+        reject(&flipped); // bit rot
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        reject(&bad_magic); // wrong magic (checksum also trips; both corrupt)
+        let mut bad_version = good.clone();
+        bad_version[4] = 0xEE;
+        reject(&bad_version);
+        // Missing file is an io error, also non-fatal.
+        let missing = std::env::temp_dir().join("mlir-rl-no-such-snapshot.snap");
+        assert!(matches!(
+            target.restore_from(&missing),
+            Err(SnapshotError::Io(_))
+        ));
+        assert!(target.is_empty());
+
+        // The pristine image still restores fine afterwards.
+        assert_eq!(target.restore_from_bytes(&good).expect("valid"), 5);
+    }
+
+    #[test]
+    fn absorb_keeps_incumbent_and_reconciles_hits() {
+        let key = ScheduleKey {
+            module: 7,
+            schedule: 9,
+        };
+        let a = SharedEvalCache::new(64);
+        let b = SharedEvalCache::new(64);
+        a.apply_insert(key, synthetic_estimate(1.0), 3);
+        b.apply_insert(key, synthetic_estimate(2.0), 5);
+        let other = ScheduleKey {
+            module: 8,
+            schedule: 1,
+        };
+        b.apply_insert(other, synthetic_estimate(4.0), 2);
+
+        let created = a.absorb(&b);
+        assert_eq!(created, 1, "only the non-conflicting key is new");
+        assert_eq!(a.len(), 2);
+        {
+            let shard = a.shards[a.shard_index(&key)].lock().unwrap();
+            let entry = &shard.map[&key];
+            assert_eq!(entry.estimate.total_s, 1.0, "incumbent estimate wins");
+            assert_eq!(entry.hits, 8, "hit counts are summed");
+        }
+        {
+            let shard = a.shards[a.shard_index(&other)].lock().unwrap();
+            assert_eq!(shard.map[&other].estimate.total_s, 4.0);
+            assert_eq!(shard.map[&other].hits, 2, "foreign warmth carries over");
+        }
+        // Same-table absorb is a no-op.
+        assert_eq!(a.absorb(&a.clone()), 0);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn absorb_order_does_not_change_lookup_results() {
+        let cm = CostModel::new(MachineModel::default());
+        let schedules: Vec<ScheduledModule> = (1..10u64)
+            .map(|i| ScheduledModule::new(matmul(16 * i, 16 * i, 16 * i)))
+            .collect();
+        let build = |range: std::ops::Range<usize>| {
+            let cache = SharedEvalCache::new(6); // tighter than the key count
+            for sm in &schedules[range] {
+                cache.total_s_keyed(schedule_key(sm), &cm, sm);
+            }
+            cache
+        };
+        let ab = build(0..6);
+        ab.absorb(&build(3..9));
+        let ba = build(3..9);
+        ba.absorb(&build(0..6));
+        // Which entries survive may differ with capacity pressure, but
+        // every lookup answer is bit-identical to direct evaluation in
+        // both merge orders.
+        for sm in &schedules {
+            let want = cm.estimate_scheduled(sm).total_s;
+            let (x, _) = ab.total_s_keyed(schedule_key(sm), &cm, sm);
+            let (y, _) = ba.total_s_keyed(schedule_key(sm), &cm, sm);
+            assert_eq!(x.to_bits(), want.to_bits());
+            assert_eq!(y.to_bits(), want.to_bits());
+        }
+        assert!(ab.len() <= 6 && ba.len() <= 6);
+    }
+
+    #[test]
+    fn evicted_then_recomputed_entries_stay_bit_identical() {
+        let cm = CostModel::new(MachineModel::default());
+        let tiny = SharedEvalCache::new(3);
+        let roomy = SharedEvalCache::new(1 << 10);
+        let schedules: Vec<ScheduledModule> = (1..20u64)
+            .map(|i| ScheduledModule::new(matmul(8 * i, 8 * i, 8 * i)))
+            .collect();
+        // Two passes through the keys: the tiny cache churns hard, the
+        // roomy one never evicts; every answer must agree bit for bit.
+        for _ in 0..2 {
+            for sm in &schedules {
+                let key = schedule_key(sm);
+                let (a, _) = tiny.total_s_keyed(key, &cm, sm);
+                let (b, _) = roomy.total_s_keyed(key, &cm, sm);
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert!(tiny.evictions() > 0, "the tiny cache must have churned");
+        assert_eq!(roomy.evictions(), 0);
+    }
+
+    #[test]
+    fn probe_mirrors_evictions_and_promotions() {
+        use mlir_rl_obs::TraceRecorder;
+        let cm = CostModel::new(MachineModel::default());
+        let recorder = TraceRecorder::new(1 << 10, 1);
+        let mut cache = EvalCache::with_shared_backend(SharedEvalCache::new(2));
+        cache.set_probe(recorder.probe(0));
+        let schedules: Vec<ScheduledModule> = (1..6u64)
+            .map(|i| ScheduledModule::new(matmul(16 * i, 16 * i, 16 * i)))
+            .collect();
+        // Pin one entry warm (miss, then a promoting hit), then churn the
+        // 2-entry table with fresh keys so admissions must evict.
+        cache.estimate(&cm, &schedules[0]);
+        cache.estimate(&cm, &schedules[0]);
+        for sm in &schedules[1..] {
+            cache.estimate(&cm, sm);
+        }
+        let count = |kind: EventKind| {
+            recorder
+                .snapshot()
+                .events
+                .iter()
+                .filter(|e| e.kind == kind)
+                .count()
+        };
+        assert_eq!(count(EventKind::CacheHit), 1);
+        assert_eq!(count(EventKind::CacheMiss), 5);
+        assert_eq!(
+            count(EventKind::BudgetCharge),
+            5,
+            "every miss charges the shared ledger"
+        );
+        assert_eq!(count(EventKind::CachePromote), 1, "the repeat hit promotes");
+        assert!(
+            count(EventKind::CacheEvict) >= 3,
+            "churning a 2-entry table past capacity must emit evictions"
+        );
     }
 }

@@ -42,8 +42,8 @@ pub mod noise;
 
 pub use budget::EvalBudget;
 pub use cache::{
-    module_fingerprint, schedule_fingerprint, schedule_key, EvalCache, ScheduleKey,
-    SharedEvalCache, DEFAULT_EVAL_CACHE_CAPACITY, SHARED_CACHE_SHARDS,
+    module_fingerprint, schedule_fingerprint, schedule_key, CacheShardStats, EvalCache,
+    ScheduleKey, SharedEvalCache, SnapshotError, DEFAULT_EVAL_CACHE_CAPACITY, SHARED_CACHE_SHARDS,
 };
 pub use estimator::{speedup, CostModel, ModuleEstimate, TimeEstimate};
 pub use footprint::{operand_accesses, subnest_footprint, traffic_beyond_cache, OperandAccess};

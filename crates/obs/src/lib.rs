@@ -96,11 +96,17 @@ pub enum EventKind {
     /// is the flush reason (`size`, `timeout`, `idle`, `drain`) and the
     /// args are `[rows, groups, oldest_wait_us]`.
     BatchFormed = 20,
+    /// A full cache shard evicted one entry to admit a new key
+    /// (args: `[shard, victim_hits, 0]`).
+    CacheEvict = 21,
+    /// A cache hit promoted its entry from the probation segment to the
+    /// protected segment (args: `[shard, 0, 0]`).
+    CachePromote = 22,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order (for decode and for docs/tests).
-    pub const ALL: [EventKind; 21] = [
+    pub const ALL: [EventKind; 23] = [
         EventKind::Submitted,
         EventKind::Queued,
         EventKind::Rejected,
@@ -122,6 +128,8 @@ impl EventKind {
         EventKind::BudgetCharge,
         EventKind::BudgetRefund,
         EventKind::BatchFormed,
+        EventKind::CacheEvict,
+        EventKind::CachePromote,
     ];
 
     /// Decodes a discriminant written by [`EventKind::as_u8`].
@@ -158,6 +166,8 @@ impl EventKind {
             EventKind::BudgetCharge => "budget_charge",
             EventKind::BudgetRefund => "budget_refund",
             EventKind::BatchFormed => "batch_formed",
+            EventKind::CacheEvict => "cache_evict",
+            EventKind::CachePromote => "cache_promote",
         }
     }
 }

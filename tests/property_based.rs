@@ -97,6 +97,87 @@ proptest! {
         prop_assert_eq!(cache.misses(), 1);
     }
 
+    /// The storage tier is transparent: any interleaving of keyed lookups
+    /// (which insert and, at tiny capacities, evict), snapshot/restore
+    /// cycles, and cross-replica `absorb` merges leaves every lookup
+    /// bit-identical to the uncached oracle — extending the
+    /// cached==uncached contract to the eviction era.
+    #[test]
+    fn storage_tier_interleavings_match_uncached_oracle(
+        capacity in 1usize..24,
+        seed in 1u64..1_000_000,
+        steps in 8usize..48,
+    ) {
+        use mlir_rl_costmodel::{schedule_key, SharedEvalCache};
+
+        let cm = CostModel::new(MachineModel::xeon_e5_2680_v4());
+        // A pool of distinct schedules and their uncached oracle estimates.
+        let mut pool = Vec::new();
+        for (m, n, k) in [(64u64, 96u64, 32u64), (128, 64, 48), (96, 128, 80), (48, 32, 160)] {
+            for tile in [0u64, 8, 16] {
+                let mut sm = ScheduledModule::new(matmul(m, n, k));
+                if tile > 0 {
+                    sm.apply(OpId(0), Transformation::Tiling {
+                        tile_sizes: vec![tile, tile, 0],
+                    }).unwrap();
+                }
+                let oracle = cm.estimate_scheduled(&sm);
+                pool.push((schedule_key(&sm), sm, oracle));
+            }
+        }
+
+        // Two replicas exchanging warmth; `a` additionally restarts through
+        // snapshot/restore roundtrips mid-stream.
+        let mut a = SharedEvalCache::new(capacity);
+        let b = SharedEvalCache::new(capacity);
+        let mut state = seed;
+        let mut next = move || {
+            // xorshift64; any nonzero seed cycles through distinct draws.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..steps {
+            let draw = next();
+            let (key, sm, oracle) = &pool[(draw >> 8) as usize % pool.len()];
+            match draw % 5 {
+                0 | 1 => {
+                    let (estimate, _) = a.estimate_keyed(*key, &cm, sm);
+                    prop_assert_eq!(&estimate, oracle);
+                }
+                2 => {
+                    let (estimate, _) = b.estimate_keyed(*key, &cm, sm);
+                    prop_assert_eq!(&estimate, oracle);
+                }
+                3 => {
+                    // Restart `a`: snapshot, then restore into a fresh table.
+                    let bytes = a.to_snapshot_bytes();
+                    let fresh = SharedEvalCache::new(capacity);
+                    fresh.restore_from_bytes(&bytes).unwrap();
+                    a = fresh;
+                }
+                _ => {
+                    if draw & 0x80 == 0 {
+                        a.absorb(&b);
+                    } else {
+                        b.absorb(&a);
+                    }
+                }
+            }
+            prop_assert!(a.len() <= capacity);
+            prop_assert!(b.len() <= capacity);
+        }
+        // Whatever the interleaving did to the tables, every key still
+        // resolves to the oracle estimate, bit for bit.
+        for (key, sm, oracle) in &pool {
+            let (from_a, _) = a.estimate_keyed(*key, &cm, sm);
+            let (from_b, _) = b.estimate_keyed(*key, &cm, sm);
+            prop_assert_eq!(&from_a, oracle);
+            prop_assert_eq!(&from_b, oracle);
+        }
+    }
+
     /// The speedup of any schedule is the ratio the cost model reports; it
     /// is always strictly positive and finite.
     #[test]

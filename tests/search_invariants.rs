@@ -315,6 +315,49 @@ fn battery_searches_leave_snapshots_restorable() {
 }
 
 #[test]
+fn battery_tiny_cache_eviction_is_invisible_to_every_searcher() {
+    // Storage-tier invariant: a deliberately starved shared cache forces
+    // entry-wise eviction under every roster searcher, yet the
+    // seed-determined outcome fields stay bit-identical to the roomy
+    // default environment — eviction only re-runs the deterministic
+    // estimator. (The hit/miss *split* legitimately shifts: an evicted
+    // entry's comeback is a miss.)
+    use mlir_rl_costmodel::{EvalCache, SharedEvalCache};
+    let module = chain(96, 48, 64);
+    let tiny_backend = SharedEvalCache::new(32);
+    let mut evictions_seen = 0;
+    for e in roster() {
+        let mut p = policy(3);
+        let (mut roomy_env, mut tiny_env) = (env(), env());
+        tiny_env.replace_cache(EvalCache::with_shared_backend(tiny_backend.clone()));
+        let roomy = e.searcher.search(&mut roomy_env, &mut p, &module, 17);
+        let tiny = e.searcher.search(&mut tiny_env, &mut p, &module, 17);
+        assert_eq!(
+            deterministic_fields(&roomy),
+            deterministic_fields(&tiny),
+            "{} must be bit-identical under a tiny evicting cache",
+            e.searcher.name()
+        );
+        assert_eq!(
+            roomy.best_schedule,
+            tiny.best_schedule,
+            "{}",
+            e.searcher.name()
+        );
+        assert!(
+            tiny_backend.len() <= 32,
+            "{} overflowed the global capacity bound",
+            e.searcher.name()
+        );
+        evictions_seen = tiny_backend.evictions();
+    }
+    assert!(
+        evictions_seen > 0,
+        "the 32-entry cache never evicted across the whole roster"
+    );
+}
+
+#[test]
 fn single_member_round_robin_portfolio_is_bitwise_the_member() {
     // Satellite invariant: wrapping one searcher in a portfolio changes
     // nothing but the outcome's searcher label and attribution rows.
