@@ -37,8 +37,10 @@
 
 pub mod aggregator;
 pub mod flat;
+pub mod online;
 pub mod policy;
 pub mod ppo;
+pub mod snapshot;
 pub mod value;
 
 pub use aggregator::{
@@ -46,6 +48,10 @@ pub use aggregator::{
     ROWS_PER_BATCH_BUCKETS,
 };
 pub use flat::FlatPolicyNetwork;
+pub use online::{
+    greedy_geomean, Experience, ExperienceStream, OnlineTrainer, OnlineTrainerStats,
+    OnlineTrainingConfig, PolicyRegistry, PolicySnapshot,
+};
 pub use policy::{
     permutation_log_prob, sample_permutation, ActionRecord, PolicyHyperparams, PolicyNetwork,
 };
@@ -54,4 +60,5 @@ pub use ppo::{
     GroupResult, InferenceGroup, InferenceMode, IterationStats, PolicyModel, PpoConfig, PpoTrainer,
     RolloutBatch, Trajectory, Transition,
 };
+pub use snapshot::{WeightSnapshot, WeightsError, WEIGHTS_MAGIC, WEIGHTS_VERSION};
 pub use value::ValueNetwork;

@@ -5,12 +5,22 @@
 //! bit-identical results, so the ratios are pure engine throughput.
 //!
 //! Scale with `MLIR_RL_SCALE` (`smoke` / `standard` / `full`) or pass
-//! `--smoke`.
+//! `--smoke`. `--json` prints the machine-readable report instead.
 
 use mlir_rl_bench::{cli, nn_throughput};
 
 fn main() {
-    let args = cli::parse("exp_nn_throughput", cli::Accepts::default());
+    let args = cli::parse(
+        "exp_nn_throughput",
+        cli::Accepts {
+            json: true,
+            trace: false,
+        },
+    );
     let report = nn_throughput(&args.scale());
-    println!("{report}");
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
 }

@@ -1,0 +1,66 @@
+//! Prints the online-learning experiment: a served request stream feeds
+//! the background trainer through the bounded experience stream, the
+//! trainer runs PPO on a private policy clone and hot-swaps gate-passing
+//! versions into the registry, and replay phases pin the per-version
+//! determinism contract — bit-identical fingerprints when the same
+//! (module, spec, seed) stream is replayed at a fixed policy version —
+//! plus the promotion gate's no-regression guarantee on the served
+//! greedy geomean.
+//!
+//! Scale with `MLIR_RL_SCALE` (`smoke` / `standard` / `full`) or pass
+//! `--smoke`; worker count with `MLIR_RL_WORKERS` (default: available
+//! parallelism). Pass `--json` for a machine-readable record, and
+//! `--trace <path>` to export a Chrome trace of the run (request
+//! lifecycles plus `experience_enqueued` / `train_step` / `policy_swap`
+//! instants).
+
+use mlir_rl_bench::{cli, export_trace, online_learning_traced, DEFAULT_TRACE_CAPACITY};
+
+fn main() {
+    let args = cli::parse(
+        "exp_online",
+        cli::Accepts {
+            json: true,
+            trace: true,
+        },
+    );
+    let scale = args.scale();
+    let workers = cli::workers_from_env();
+    let trace_capacity = args.trace.as_ref().map(|_| DEFAULT_TRACE_CAPACITY);
+    let (report, snapshot) = online_learning_traced(&scale, workers, trace_capacity);
+    if let (Some(path), Some(snapshot)) = (&args.trace, &snapshot) {
+        export_trace(snapshot, path);
+    }
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+    assert!(
+        report.swaps >= 1,
+        "the trainer never published a policy version"
+    );
+    assert!(
+        report.post_version >= 1,
+        "the served policy version never advanced past 0"
+    );
+    assert!(
+        report.pre_fingerprints_stable,
+        "replaying the stream at version 0 changed a response fingerprint"
+    );
+    assert!(
+        report.post_fingerprints_stable,
+        "replaying the stream at version {} changed a response fingerprint",
+        report.post_version
+    );
+    assert!(
+        report.versions_pinned,
+        "a response reported a policy version other than its admission version"
+    );
+    assert!(
+        report.post_geomean >= report.pre_geomean * (1.0 - 1e-9),
+        "the promotion gate let a regression through: {} -> {}",
+        report.pre_geomean,
+        report.post_geomean
+    );
+}

@@ -1,17 +1,24 @@
 //! Prints the rollout-throughput experiment: serial vs parallel episode
 //! collection (steps/sec) and the cost-model cache hit-rate.
 //!
-//! Scale with `MLIR_RL_SCALE` (`smoke` / `standard` / `full`) and worker
-//! count with `MLIR_RL_WORKERS` (default: available parallelism).
+//! Scale with `MLIR_RL_SCALE` (`smoke` / `standard` / `full`) or pass
+//! `--smoke`; worker count with `MLIR_RL_WORKERS` (default: available
+//! parallelism). `--json` prints the machine-readable report instead.
 
-use mlir_rl_bench::{rollout_throughput, ExperimentScale};
+use mlir_rl_bench::{cli, rollout_throughput};
 
 fn main() {
-    let workers = std::env::var("MLIR_RL_WORKERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(mlir_rl_agent::default_rollout_workers)
-        .max(1);
-    let report = rollout_throughput(&ExperimentScale::from_env(), workers);
-    println!("{report}");
+    let args = cli::parse(
+        "exp_rollout_throughput",
+        cli::Accepts {
+            json: true,
+            trace: false,
+        },
+    );
+    let report = rollout_throughput(&args.scale(), cli::workers_from_env());
+    if args.json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
 }

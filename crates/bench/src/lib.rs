@@ -516,6 +516,51 @@ impl fmt::Display for RolloutThroughput {
     }
 }
 
+impl RolloutThroughput {
+    /// Machine-readable record of the run (one JSON object) for
+    /// `BENCH_*.json` trajectories.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        json::field(
+            &mut out,
+            1,
+            "experiment",
+            json::string("exp_rollout_throughput"),
+        );
+        out.push_str(",\n");
+        json::field(&mut out, 1, "episodes", json::number(self.episodes as f64));
+        out.push_str(",\n");
+        json::field(&mut out, 1, "steps", json::number(self.steps as f64));
+        out.push_str(",\n");
+        json::field(
+            &mut out,
+            1,
+            "serial_steps_per_sec",
+            json::number(self.serial_steps_per_sec),
+        );
+        out.push_str(",\n");
+        json::field(
+            &mut out,
+            1,
+            "parallel_steps_per_sec",
+            json::number(self.parallel_steps_per_sec),
+        );
+        out.push_str(",\n");
+        json::field(&mut out, 1, "workers", json::number(self.workers as f64));
+        out.push_str(",\n");
+        json::field(&mut out, 1, "speedup", json::number(self.speedup));
+        out.push_str(",\n");
+        json::field(
+            &mut out,
+            1,
+            "cache_hit_rate",
+            json::number(self.cache_hit_rate),
+        );
+        out.push_str("\n}");
+        out
+    }
+}
+
 /// Measures rollout-collection throughput (steps/sec) for serial and
 /// parallel collection on the seed DL-operator workloads, plus the
 /// cost-model cache hit-rate.
@@ -2137,6 +2182,59 @@ pub struct NnThroughputReport {
     pub rows: Vec<NnThroughputRow>,
 }
 
+impl NnThroughputRow {
+    /// One JSON object per measured batch size.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let fields = [
+            ("batch", self.batch as f64),
+            ("forward_looped", self.forward_looped),
+            ("forward_batched", self.forward_batched),
+            ("forward_speedup", self.forward_speedup),
+            ("infer_looped", self.infer_looped),
+            ("infer_batched", self.infer_batched),
+            ("infer_speedup", self.infer_speedup),
+            ("backward_looped", self.backward_looped),
+            ("backward_batched", self.backward_batched),
+            ("backward_speedup", self.backward_speedup),
+            ("lstm_infer_looped", self.lstm_infer_looped),
+            ("lstm_infer_batched", self.lstm_infer_batched),
+            ("lstm_infer_speedup", self.lstm_infer_speedup),
+        ];
+        let last = fields.len() - 1;
+        for (i, (name, value)) in fields.into_iter().enumerate() {
+            json::field(&mut out, 2, name, json::number(value));
+            out.push_str(if i == last { "\n" } else { ",\n" });
+        }
+        out.push_str("  }");
+        out
+    }
+}
+
+impl NnThroughputReport {
+    /// Machine-readable record of the run (one JSON object) for
+    /// `BENCH_*.json` trajectories.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        json::field(&mut out, 1, "experiment", json::string("exp_nn_throughput"));
+        out.push_str(",\n");
+        json::field(&mut out, 1, "input", json::number(self.input as f64));
+        out.push_str(",\n");
+        json::field(&mut out, 1, "hidden", json::number(self.hidden as f64));
+        out.push_str(",\n");
+        json::field(&mut out, 1, "layers", json::number(self.layers as f64));
+        out.push_str(",\n");
+        json::field(
+            &mut out,
+            1,
+            "rows",
+            json::array(self.rows.iter().map(NnThroughputRow::to_json)),
+        );
+        out.push_str("\n}");
+        out
+    }
+}
+
 impl fmt::Display for NnThroughputReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -2398,6 +2496,293 @@ pub fn action_space_size() -> SpeedupTable {
     table
 }
 
+// ---------------------------------------------------------------------------
+// E16 — exp_online: closed-loop online learning on served traffic.
+// ---------------------------------------------------------------------------
+
+/// The `exp_online` report: a served traffic stream feeds the online
+/// trainer, the trainer hot-swaps promoted policy versions, and the replay
+/// phases lock the per-version determinism contract plus the promotion
+/// gate's no-regression guarantee.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineReport {
+    /// Distinct modules in the served workload.
+    pub modules: usize,
+    /// Service worker threads.
+    pub workers: usize,
+    /// Serving rounds run to feed the trainer before the first swap.
+    pub training_rounds: usize,
+    /// Policy version of the pre-training replay phase (always 0).
+    pub pre_version: u64,
+    /// Policy version of the post-training replay phase.
+    pub post_version: u64,
+    /// Policy snapshots published by the trainer.
+    pub swaps: u64,
+    /// PPO train steps the trainer ran.
+    pub train_steps: u64,
+    /// Candidates the promotion gate refused.
+    pub gate_rejects: u64,
+    /// Experiences accepted into the stream.
+    pub experiences_accepted: u64,
+    /// Experiences dropped by the bounded stream.
+    pub experiences_dropped: u64,
+    /// Geomean greedy speedup served at version 0.
+    pub pre_geomean: f64,
+    /// Geomean greedy speedup served at `post_version`.
+    pub post_geomean: f64,
+    /// Replaying the stream at version 0 reproduced every fingerprint.
+    pub pre_fingerprints_stable: bool,
+    /// Replaying the stream at `post_version` reproduced every fingerprint.
+    pub post_fingerprints_stable: bool,
+    /// Every response reported exactly the version it was admitted with.
+    pub versions_pinned: bool,
+}
+
+impl fmt::Display for OnlineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== online learning (experience feedback + hot swap) ==")?;
+        writeln!(
+            f,
+            "workload             {} modules, {} workers, {} training rounds",
+            self.modules, self.workers, self.training_rounds
+        )?;
+        writeln!(
+            f,
+            "trainer              {} train steps, {} swaps published, {} gate rejects",
+            self.train_steps, self.swaps, self.gate_rejects
+        )?;
+        writeln!(
+            f,
+            "experience stream    {} accepted, {} dropped",
+            self.experiences_accepted, self.experiences_dropped
+        )?;
+        writeln!(
+            f,
+            "geomean speedup      {:.4}x at v{}  ->  {:.4}x at v{} ({})",
+            self.pre_geomean,
+            self.pre_version,
+            self.post_geomean,
+            self.post_version,
+            if self.post_geomean >= self.pre_geomean * (1.0 - 1e-9) {
+                "no regression"
+            } else {
+                "REGRESSED"
+            }
+        )?;
+        writeln!(
+            f,
+            "determinism          v{} replay {}, v{} replay {}, versions {}",
+            self.pre_version,
+            if self.pre_fingerprints_stable {
+                "bit-identical"
+            } else {
+                "DIVERGED"
+            },
+            self.post_version,
+            if self.post_fingerprints_stable {
+                "bit-identical"
+            } else {
+                "DIVERGED"
+            },
+            if self.versions_pinned {
+                "pinned at admission"
+            } else {
+                "NOT PINNED"
+            }
+        )
+    }
+}
+
+impl OnlineReport {
+    /// Machine-readable record of the run (one JSON object) for
+    /// `BENCH_*.json` trajectories.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        json::field(&mut out, 1, "experiment", json::string("exp_online"));
+        out.push_str(",\n");
+        let numbers = [
+            ("modules", self.modules as f64),
+            ("workers", self.workers as f64),
+            ("training_rounds", self.training_rounds as f64),
+            ("pre_version", self.pre_version as f64),
+            ("post_version", self.post_version as f64),
+            ("swaps", self.swaps as f64),
+            ("train_steps", self.train_steps as f64),
+            ("gate_rejects", self.gate_rejects as f64),
+            ("experiences_accepted", self.experiences_accepted as f64),
+            ("experiences_dropped", self.experiences_dropped as f64),
+            ("pre_geomean", self.pre_geomean),
+            ("post_geomean", self.post_geomean),
+        ];
+        for (name, value) in numbers {
+            json::field(&mut out, 1, name, json::number(value));
+            out.push_str(",\n");
+        }
+        let flags = [
+            ("pre_fingerprints_stable", self.pre_fingerprints_stable),
+            ("post_fingerprints_stable", self.post_fingerprints_stable),
+            ("versions_pinned", self.versions_pinned),
+        ];
+        let last = flags.len() - 1;
+        for (i, (name, value)) in flags.into_iter().enumerate() {
+            json::field(&mut out, 1, name, value.to_string());
+            out.push_str(if i == last { "\n" } else { ",\n" });
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Runs [`online_learning_traced`] without tracing.
+pub fn online_learning(scale: &ExperimentScale, workers: usize) -> OnlineReport {
+    online_learning_traced(scale, workers, None).0
+}
+
+/// The closed online-learning loop, end to end: a fixed module set is
+/// served twice at version 0 (replay — per-version determinism), then
+/// served in rounds that feed the background trainer until it publishes at
+/// least one gate-passing version, then served twice again at the final
+/// version. The promotion gate scores candidates with the same noise-free
+/// greedy decode the served `Greedy` spec uses, so a published version can
+/// never regress the served geomean.
+pub fn online_learning_traced(
+    scale: &ExperimentScale,
+    workers: usize,
+    trace_capacity: Option<usize>,
+) -> (OnlineReport, Option<TraceSnapshot>) {
+    use mlir_rl_ir::ModuleBuilder;
+    use rand::SeedableRng;
+
+    let chain = |name: &str, m: u64, n: u64, k: u64| {
+        let mut b = ModuleBuilder::new(name);
+        let a = b.argument("A", vec![m, k]);
+        let w = b.argument("B", vec![k, n]);
+        let mm = b.matmul(a, w);
+        b.relu(mm);
+        b.finish()
+    };
+    let modules = [
+        chain("online_a", 64, 64, 64),
+        chain("online_b", 96, 48, 64),
+        chain("online_c", 48, 96, 32),
+    ];
+    let workers = workers.max(1);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let policy = mlir_rl_agent::PolicyNetwork::new(
+        EnvConfig::small(),
+        PolicyHyperparams {
+            hidden_size: scale.hidden_size,
+            backbone_layers: 1,
+        },
+        &mut rng,
+    );
+    let online = mlir_rl_agent::OnlineTrainingConfig {
+        sample_every: 1,
+        capacity: 256,
+        // One serving round fills exactly one replay batch, so every train
+        // step sees (and probes) the full module set.
+        min_batch: modules.len(),
+        train_seed: 0xC0DE,
+        ppo: PpoConfig {
+            trajectories_per_iteration: scale.trajectories_per_iteration.max(2),
+            minibatch_size: 4,
+            update_epochs: 1,
+            ..PpoConfig::paper()
+        },
+        promotion_gate: true,
+        max_probe_modules: 16,
+        max_steps: None,
+    };
+    let mut config = ServiceConfig::quick()
+        .with_workers(workers)
+        .with_online_training(online);
+    if let Some(capacity) = trace_capacity {
+        config = config.with_tracing(capacity);
+    }
+    let service = OptimizationService::new(config, policy);
+
+    // One replay of the workload: greedy requests with fixed seeds.
+    // Returns (fingerprints, versions, geomean speedup).
+    let replay = |phase_seed: u64| -> (Vec<u64>, Vec<u64>, f64) {
+        let requests: Vec<OptimizationRequest> = modules
+            .iter()
+            .enumerate()
+            .map(|(i, module)| {
+                OptimizationRequest::new(module.clone(), SearchSpec::Greedy)
+                    .with_seed(phase_seed + i as u64)
+            })
+            .collect();
+        let responses = wait_all(&service.submit_batch(requests));
+        let mut log_sum = 0.0;
+        for response in &responses {
+            assert_eq!(response.status, ResponseStatus::Completed);
+            let outcome = response.outcome.as_ref().expect("completed");
+            log_sum += outcome.speedup.max(f64::MIN_POSITIVE).ln();
+        }
+        (
+            responses.iter().map(|r| r.fingerprint()).collect(),
+            responses.iter().map(|r| r.policy_version).collect(),
+            (log_sum / responses.len() as f64).exp(),
+        )
+    };
+
+    // --- pre: two replays at version 0, trainer quiesced ----------------
+    service.pause_online_training();
+    let (pre_a, pre_versions, pre_geomean) = replay(100);
+    let (pre_b, _, _) = replay(100);
+    let pre_fingerprints_stable = pre_a == pre_b;
+    let mut versions_pinned = pre_versions.iter().all(|&v| v == 0);
+
+    // --- train: serve rounds until the trainer publishes ----------------
+    service.resume_online_training();
+    let max_rounds = 400usize;
+    let mut training_rounds = 0usize;
+    while service.policy_swaps() == 0 && training_rounds < max_rounds {
+        let requests: Vec<OptimizationRequest> = modules
+            .iter()
+            .enumerate()
+            .map(|(i, module)| {
+                OptimizationRequest::new(module.clone(), SearchSpec::Greedy)
+                    .with_seed(10_000 + (training_rounds * modules.len() + i) as u64)
+            })
+            .collect();
+        let _ = wait_all(&service.submit_batch(requests));
+        training_rounds += 1;
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // --- post: two replays at the promoted version, trainer quiesced ----
+    service.pause_online_training();
+    let post_version = service.policy_version();
+    let (post_a, post_versions, post_geomean) = replay(100);
+    let (post_b, _, _) = replay(100);
+    let post_fingerprints_stable = post_a == post_b;
+    versions_pinned &= post_versions.iter().all(|&v| v == post_version);
+
+    let stats = service.online_stats().expect("online training is on");
+    let metrics = service.metrics();
+    let report = OnlineReport {
+        modules: modules.len(),
+        workers,
+        training_rounds,
+        pre_version: 0,
+        post_version,
+        swaps: metrics.policy_swaps,
+        train_steps: stats.train_steps,
+        gate_rejects: stats.gate_rejects,
+        experiences_accepted: metrics.online_experiences_accepted,
+        experiences_dropped: metrics.online_experiences_dropped,
+        pre_geomean,
+        post_geomean,
+        pre_fingerprints_stable,
+        post_fingerprints_stable,
+        versions_pinned,
+    };
+    let snapshot = service.trace_snapshot();
+    (report, snapshot)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2647,6 +3032,32 @@ mod tests {
         assert!(json.contains("\"queue_p99_s\""));
         assert!(json.contains("\"service_p99_s\""));
         assert!(json.contains("\"unbounded_high_water\""));
+    }
+
+    #[test]
+    fn smoke_online_learning_swaps_and_keeps_per_version_determinism() {
+        let report = online_learning(&ExperimentScale::smoke(), 2);
+        // The loop must close: the trainer published at least one version
+        // from served traffic, and the served version advanced.
+        assert!(report.swaps >= 1, "no policy version was ever published");
+        assert!(report.post_version >= 1);
+        assert!(report.train_steps >= 1);
+        assert!(report.experiences_accepted >= 1);
+        // Per-version determinism and admission pinning.
+        assert!(report.pre_fingerprints_stable);
+        assert!(report.post_fingerprints_stable);
+        assert!(report.versions_pinned);
+        // The promotion gate never lets the served geomean regress.
+        assert!(report.post_geomean >= report.pre_geomean * (1.0 - 1e-9));
+        let printed = report.to_string();
+        assert!(printed.contains("swaps published"));
+        assert!(printed.contains("no regression"));
+        assert!(printed.contains("bit-identical"));
+        assert!(printed.contains("pinned at admission"));
+        let json = report.to_json();
+        assert!(json.contains("\"exp_online\""));
+        assert!(json.contains("\"post_geomean\""));
+        assert!(json.contains("\"versions_pinned\": true"));
     }
 
     #[test]

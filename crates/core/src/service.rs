@@ -49,15 +49,40 @@
 //!
 //! Responses extend the search subsystem's determinism contract to the
 //! request level: a request's outcome depends only on `(module, spec, seed,
-//! policy, environment config)` — never on the worker count, the submission
-//! order, queue priorities, client weights or what else is in flight —
-//! because cost-model values are deterministic whether they hit or miss the
-//! shared cache, and every searcher reseeds its noise stream from the
-//! request seed. [`OptimizationResponse::fingerprint`] hashes exactly the
-//! deterministic fields (accounting *counts* and timings legitimately vary
-//! with cache warmth and load); the `service_api` integration test battery
-//! locks the guarantee across worker counts and shuffled submission orders
-//! with quotas, bounded queues and admission reservations enabled.
+//! policy version, environment config)` — never on the worker count, the
+//! submission order, queue priorities, client weights or what else is in
+//! flight — because cost-model values are deterministic whether they hit or
+//! miss the shared cache, and every searcher reseeds its noise stream from
+//! the request seed. The policy version is pinned at submit: the request is
+//! served on the [`PolicySnapshot`] checked out when it was admitted, even
+//! when a hot swap (from the online trainer or a manual
+//! [`OptimizationService::swap_policy`]) lands while it queues, and the
+//! version is reported on [`OptimizationResponse::policy_version`] (a
+//! constant `0` when no swap ever happens, so services without online
+//! training keep their old fingerprints).
+//! [`OptimizationResponse::fingerprint`] hashes exactly the deterministic
+//! fields, the version included (accounting *counts* and timings
+//! legitimately vary with cache warmth and load); the `service_api`
+//! integration test battery locks the guarantee across worker counts and
+//! shuffled submission orders — per policy version, with swaps landing
+//! mid-stream — with quotas, bounded queues and admission reservations
+//! enabled.
+//!
+//! ## Online learning
+//!
+//! [`ServiceConfig::with_online_training`] closes the loop between serving
+//! and training: every `Completed` response (sampling-gated — the serving
+//! path pays one branch when the subsystem is off) feeds an
+//! [`Experience`] (module, fingerprint, spec, seed, best action trace,
+//! speedup, policy version) into a bounded lock-free [`ExperienceStream`];
+//! a background [`OnlineTrainer`] thread drains the stream into replay
+//! batches, runs PPO updates against a private policy clone on a private
+//! environment (its rollouts never touch the serving cache or budget), and
+//! publishes a new [`PolicySnapshot`] into the service's
+//! [`PolicyRegistry`] only when the candidate's greedy geomean speedup on
+//! recently-served modules is at least the incumbent's. Swaps are atomic
+//! `Arc` exchanges; checkouts pinned before a swap keep the old snapshot
+//! alive for as long as their requests need it.
 //!
 //! The *liveness* knobs are deliberately outside the guarantee, like the
 //! racing portfolio's preempted-loser rows: **which** requests a deadline
@@ -81,9 +106,13 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use mlir_rl_agent::{
-    AggregatorClient, AggregatorStats, InferenceAggregator, InferenceBatching, PolicyNetwork,
+    AggregatorClient, AggregatorStats, Experience, ExperienceStream, InferenceAggregator,
+    InferenceBatching, OnlineTrainer, OnlineTrainerStats, OnlineTrainingConfig, PolicyNetwork,
+    PolicyRegistry, PolicySnapshot,
 };
-use mlir_rl_costmodel::{CostModel, EvalBudget, EvalCache, MachineModel, SharedEvalCache};
+use mlir_rl_costmodel::{
+    module_fingerprint, CostModel, EvalBudget, EvalCache, MachineModel, SharedEvalCache,
+};
 use mlir_rl_env::{EnvConfig, OptimizationEnv};
 use mlir_rl_ir::Module;
 use mlir_rl_obs::{EventKind, MetricsRegistry, ProbeRef, TraceRecorder, TraceSnapshot};
@@ -179,6 +208,20 @@ pub struct ServiceConfig {
     /// restarted service resumes with the previous process's warmth at
     /// bit-identical responses. Must be non-empty when set.
     pub cache_snapshot: Option<String>,
+    /// Online learning from served traffic, or `None` (the default) for a
+    /// frozen policy. When set, every `sample_every`-th
+    /// [`ResponseStatus::Completed`] response is fed into a bounded
+    /// lock-free experience stream, a background trainer drains the
+    /// stream into PPO updates against a private policy clone, and
+    /// gate-passing candidates are hot-swapped in as new *versions*
+    /// through the service's policy registry. Requests pin the published
+    /// version at submit and finish on it regardless of later swaps;
+    /// [`OptimizationResponse::policy_version`] reports the version each
+    /// response ran under. Incompatible with
+    /// [`ServiceConfig::inference_batching`] (the aggregator's shared
+    /// inference thread holds one policy clone and cannot honor per-run
+    /// version pinning).
+    pub online_training: Option<OnlineTrainingConfig>,
 }
 
 impl ServiceConfig {
@@ -202,6 +245,7 @@ impl ServiceConfig {
             inference_batching: None,
             cache_capacity: None,
             cache_snapshot: None,
+            online_training: None,
         }
     }
 
@@ -287,6 +331,13 @@ impl ServiceConfig {
         self
     }
 
+    /// Enables online learning from served traffic (see
+    /// [`ServiceConfig::online_training`]).
+    pub fn with_online_training(mut self, config: OnlineTrainingConfig) -> Self {
+        self.online_training = Some(config);
+        self
+    }
+
     /// Validates the serving knobs: a zero queue capacity would reject
     /// every request and a zero quota would block every client forever —
     /// both are configuration bugs, not useful modes, so they fail here
@@ -340,6 +391,17 @@ impl ServiceConfig {
                 "cache_snapshot must name a file (empty path; use None for memory-only)"
                     .to_string(),
             );
+        }
+        if let Some(online) = &self.online_training {
+            online.try_validate()?;
+            if self.inference_batching.is_some() {
+                return Err(
+                    "online_training is incompatible with inference_batching: the \
+                     aggregator's shared inference thread holds one policy clone and \
+                     cannot honor per-run policy-version pinning"
+                        .to_string(),
+                );
+            }
         }
         Ok(())
     }
@@ -493,6 +555,15 @@ pub struct OptimizationResponse {
     /// excluded from [`OptimizationResponse::fingerprint`]: which id a
     /// request drew depends on submission order, never on the outcome.
     pub trace_id: Option<u64>,
+    /// The policy version this request was admitted with (and therefore
+    /// ran under — in-flight requests are immune to later swaps). Always
+    /// 0 when the service runs without
+    /// [`ServiceConfig::with_online_training`] and no manual
+    /// [`OptimizationService::swap_policy`] happened. Part of the
+    /// request-level determinism contract and of
+    /// [`OptimizationResponse::fingerprint`]: the outcome depends only on
+    /// `(module, spec, seed, policy version, env config)`.
+    pub policy_version: u64,
 }
 
 impl OptimizationResponse {
@@ -508,7 +579,10 @@ impl OptimizationResponse {
     }
 
     /// FNV-1a hash of exactly the fields the service's determinism
-    /// guarantee covers: module, searcher, status, the rejection reason
+    /// guarantee covers: module, searcher, status, the policy version the
+    /// request was admitted with (a constant 0 when online training is
+    /// off, so fingerprint comparisons across runs are unaffected by the
+    /// field's existence), the rejection reason
     /// (validation messages are a deterministic function of the request),
     /// and the outcome's baseline/best estimates, speedup, action
     /// sequence, schedule and nodes expanded. Excludes the request id,
@@ -526,6 +600,7 @@ impl OptimizationResponse {
         h.write(self.module.as_bytes());
         h.write(self.searcher.as_bytes());
         h.write(format!("{:?}", self.status).as_bytes());
+        h.write(&self.policy_version.to_le_bytes());
         let backpressure = self
             .error
             .as_deref()
@@ -662,6 +737,9 @@ struct QueuedJob {
     /// Eval-budget reservation charged at submit, reconciled (refunded or
     /// topped up to the real spend) when the request leaves the service.
     reserved: u64,
+    /// The policy snapshot checked out at submit: the request runs on this
+    /// version no matter how many hot swaps happen while it is queued.
+    policy: Arc<PolicySnapshot>,
     request: OptimizationRequest,
     stop: StopToken,
     slot: Arc<ResponseSlot>,
@@ -907,6 +985,25 @@ struct ServiceShared {
     /// [`ServiceConfig::with_tracing`]: ring 0 records submit-side
     /// lifecycle events, ring `1 + w` records worker `w`'s events.
     recorder: Option<TraceRecorder>,
+    /// Versioned policy publication. Always present: version 0 is the
+    /// policy the service was constructed with; the online trainer (or a
+    /// manual [`OptimizationService::swap_policy`]) publishes later
+    /// versions. Submits check out the current snapshot and pin it on the
+    /// job.
+    registry: Arc<PolicyRegistry>,
+    /// Present iff the service was built with
+    /// [`ServiceConfig::with_online_training`]: the experience feed the
+    /// workers fill on `Completed` responses.
+    online: Option<OnlineShared>,
+}
+
+/// The worker-facing half of the online learning subsystem.
+struct OnlineShared {
+    stream: Arc<ExperienceStream>,
+    /// Feed every `sample_every`-th completed response.
+    sample_every: u64,
+    /// Completed responses seen by the sampling gate.
+    sample_counter: AtomicU64,
 }
 
 /// Aggregate serving statistics, snapshot by
@@ -1062,6 +1159,23 @@ pub struct ServiceMetrics {
     /// count `r` satisfies `floor(log2(r)) == i` (the last bucket absorbs
     /// the tail). Empty when batching is off.
     pub inference_rows_per_batch_buckets: Vec<u64>,
+    /// The policy version new submits are admitted with right now (0
+    /// until a swap is published).
+    pub policy_version: u64,
+    /// Policy snapshots published so far (online-trainer promotions plus
+    /// manual [`OptimizationService::swap_policy`] calls).
+    pub policy_swaps: u64,
+    /// Experiences accepted into the online experience stream. Zero when
+    /// the service runs without [`ServiceConfig::with_online_training`].
+    pub online_experiences_accepted: u64,
+    /// Experiences dropped because the bounded experience stream was full
+    /// (the hot path never blocks on the trainer).
+    pub online_experiences_dropped: u64,
+    /// PPO updates the background online trainer has run.
+    pub online_train_steps: u64,
+    /// Candidate policies the promotion gate refused to publish (their
+    /// greedy geomean fell below the incumbent's).
+    pub online_gate_rejects: u64,
 }
 
 impl ServiceMetrics {
@@ -1183,6 +1297,24 @@ impl ServiceMetrics {
                         .iter()
                         .map(|c| json::number(*c as f64)),
                 ),
+            ),
+            ("policy_version", json::number(self.policy_version as f64)),
+            ("policy_swaps", json::number(self.policy_swaps as f64)),
+            (
+                "online_experiences_accepted",
+                json::number(self.online_experiences_accepted as f64),
+            ),
+            (
+                "online_experiences_dropped",
+                json::number(self.online_experiences_dropped as f64),
+            ),
+            (
+                "online_train_steps",
+                json::number(self.online_train_steps as f64),
+            ),
+            (
+                "online_gate_rejects",
+                json::number(self.online_gate_rejects as f64),
             ),
         ];
         let mut out = String::from("{\n");
@@ -1503,6 +1635,42 @@ impl ServiceMetrics {
                 cumulative as f64,
             );
         }
+        g(
+            registry,
+            "online_policy_version",
+            "Policy version new submits are admitted with",
+            self.policy_version as f64,
+        );
+        c(
+            registry,
+            "online_policy_swaps_total",
+            "Policy snapshots published (trainer promotions + manual swaps)",
+            self.policy_swaps,
+        );
+        c(
+            registry,
+            "online_experiences_accepted_total",
+            "Experiences accepted into the online experience stream",
+            self.online_experiences_accepted,
+        );
+        c(
+            registry,
+            "online_experiences_dropped_total",
+            "Experiences dropped because the bounded stream was full",
+            self.online_experiences_dropped,
+        );
+        c(
+            registry,
+            "online_train_steps_total",
+            "PPO updates run by the background online trainer",
+            self.online_train_steps,
+        );
+        c(
+            registry,
+            "online_gate_rejects_total",
+            "Candidate policies the promotion gate refused to publish",
+            self.online_gate_rejects,
+        );
     }
 }
 
@@ -1520,6 +1688,12 @@ pub struct OptimizationService {
     /// pipeline the workers route their policy inference through. Shut
     /// down *after* the workers (no client may be left waiting on it).
     aggregator: Option<InferenceAggregator>,
+    /// Present iff the service was built with
+    /// [`ServiceConfig::with_online_training`]: the background PPO trainer
+    /// that drains the experience stream and publishes promoted policy
+    /// versions into the registry. Shut down after the workers (they feed
+    /// its stream) and before the aggregator.
+    trainer: Option<OnlineTrainer>,
     next_id: AtomicU64,
 }
 
@@ -1617,10 +1791,20 @@ impl OptimizationService {
             service_hist: LatencyHistogram::new(),
             recorder: config.trace_capacity.map(|capacity| {
                 // One ring per worker plus the submit side, plus one for
-                // the aggregator's inference thread when batching is on.
-                let writers =
-                    config.workers.max(1) + 1 + usize::from(config.inference_batching.is_some());
+                // the aggregator's inference thread when batching is on,
+                // plus one for the online trainer when training is on —
+                // every ring stays single-writer.
+                let writers = config.workers.max(1)
+                    + 1
+                    + usize::from(config.inference_batching.is_some())
+                    + usize::from(config.online_training.is_some());
                 TraceRecorder::new(capacity, writers)
+            }),
+            registry: Arc::new(PolicyRegistry::new(policy.clone())),
+            online: config.online_training.as_ref().map(|online| OnlineShared {
+                stream: Arc::new(ExperienceStream::new(online.capacity)),
+                sample_every: online.sample_every,
+                sample_counter: AtomicU64::new(0),
             }),
         });
         let aggregator = config.inference_batching.map(|batching| {
@@ -1629,6 +1813,33 @@ impl OptimizationService {
                 None => ProbeRef::none(),
             };
             InferenceAggregator::spawn(policy.clone(), batching, probe)
+        });
+        // The trainer runs against a *private* environment (own cache, own
+        // cost model clone): its gate probes and PPO rollouts must never
+        // perturb the serving cache's hit-rate metrics or the eval budget.
+        let trainer = config.online_training.as_ref().map(|online| {
+            let probe = match &shared.recorder {
+                Some(recorder) => recorder.probe(
+                    config.workers.max(1) + 1 + usize::from(config.inference_batching.is_some()),
+                ),
+                None => ProbeRef::none(),
+            };
+            let trainer_env =
+                OptimizationEnv::new(template.config().clone(), template.cost_model().clone());
+            let stream = Arc::clone(
+                &shared
+                    .online
+                    .as_ref()
+                    .expect("online shared state exists when training is configured")
+                    .stream,
+            );
+            OnlineTrainer::spawn(
+                online.clone(),
+                Arc::clone(&shared.registry),
+                stream,
+                trainer_env,
+                probe,
+            )
         });
         let workers = (0..config.workers.max(1))
             .map(|worker| {
@@ -1645,6 +1856,7 @@ impl OptimizationService {
             policy,
             workers,
             aggregator,
+            trainer,
             next_id: AtomicU64::new(0),
         }
     }
@@ -1690,6 +1902,9 @@ impl OptimizationService {
         let probe = submit_probe(&self.shared, id);
         let trace_id = probe.trace_id_if_enabled();
         probe.emit(EventKind::Submitted, None, [request.priority as u64, 0, 0]);
+        // Admission pins the policy version: the request runs (and is
+        // answered) on this snapshot even if swaps land while it queues.
+        let snapshot = self.shared.registry.checkout();
         let refusal = |status: ResponseStatus, error: String| OptimizationResponse {
             id,
             module: request.module.name().to_string(),
@@ -1702,6 +1917,7 @@ impl OptimizationService {
             queue_s: 0.0,
             service_s: 0.0,
             trace_id,
+            policy_version: snapshot.version,
         };
         // The reservation estimate is a pure function of the request, so
         // computing it outside the lock keeps the critical section short.
@@ -1762,6 +1978,7 @@ impl OptimizationService {
             id,
             submitted: Instant::now(),
             reserved,
+            policy: snapshot,
             request,
             stop,
             slot,
@@ -1803,9 +2020,74 @@ impl OptimizationService {
         self.workers.len()
     }
 
-    /// The policy snapshot requests are served with.
+    /// The version-0 policy the service was constructed with. Requests are
+    /// served from the *registry's* current snapshot (see
+    /// [`OptimizationService::policy_version`]), which starts as a clone
+    /// of this network.
     pub fn policy(&self) -> &PolicyNetwork {
         &self.policy
+    }
+
+    /// The policy version new submits are admitted with right now. `0`
+    /// until a swap is published; each published snapshot increments it.
+    pub fn policy_version(&self) -> u64 {
+        self.shared.registry.version()
+    }
+
+    /// Policy snapshots published so far (trainer promotions plus manual
+    /// [`OptimizationService::swap_policy`] calls).
+    pub fn policy_swaps(&self) -> u64 {
+        self.shared.registry.swaps()
+    }
+
+    /// Publishes `policy` as the next version and returns that version —
+    /// the manual counterpart of the online trainer's promotion. In-flight
+    /// and already-queued requests keep the version they were admitted
+    /// with; only later submits see the new weights. The network must have
+    /// the same observation/action shape as the service policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the service was built with
+    /// [`ServiceConfig::with_inference_batching`]: the aggregator's shared
+    /// inference thread holds one policy clone and cannot honor
+    /// per-request version pinning.
+    pub fn swap_policy(&self, policy: PolicyNetwork) -> u64 {
+        assert!(
+            self.aggregator.is_none(),
+            "swap_policy is incompatible with inference batching: the aggregator \
+             holds one policy clone and cannot honor per-request version pinning"
+        );
+        self.shared.registry.publish(policy)
+    }
+
+    /// Whether the service was built with
+    /// [`ServiceConfig::with_online_training`].
+    pub fn online_training_enabled(&self) -> bool {
+        self.trainer.is_some()
+    }
+
+    /// A point-in-time snapshot of the online trainer's counters, or
+    /// `None` when the service runs without
+    /// [`ServiceConfig::with_online_training`].
+    pub fn online_stats(&self) -> Option<OnlineTrainerStats> {
+        self.trainer.as_ref().map(OnlineTrainer::stats)
+    }
+
+    /// Pauses the background online trainer (blocking until it
+    /// acknowledges — no train step or swap is in flight afterwards).
+    /// No-op when online training is off. Serving is unaffected.
+    pub fn pause_online_training(&self) {
+        if let Some(trainer) = &self.trainer {
+            trainer.pause();
+        }
+    }
+
+    /// Resumes a paused online trainer. No-op when online training is off.
+    pub fn resume_online_training(&self) {
+        if let Some(trainer) = &self.trainer {
+            trainer.resume();
+        }
     }
 
     /// The global admission ledger.
@@ -1848,6 +2130,7 @@ impl OptimizationService {
             (state.depth as u64, state.lanes.len() as u64)
         };
         let inference = self.aggregator_stats().unwrap_or_default();
+        let online_stats = self.online_stats().unwrap_or_default();
         let s = &self.shared;
         ServiceMetrics {
             submitted: s.submitted.load(Ordering::Relaxed),
@@ -1896,6 +2179,18 @@ impl OptimizationService {
             } else {
                 Vec::new()
             },
+            policy_version: s.registry.version(),
+            policy_swaps: s.registry.swaps(),
+            online_experiences_accepted: s
+                .online
+                .as_ref()
+                .map_or(0, |online| online.stream.accepted()),
+            online_experiences_dropped: s
+                .online
+                .as_ref()
+                .map_or(0, |online| online.stream.dropped()),
+            online_train_steps: online_stats.train_steps,
+            online_gate_rejects: online_stats.gate_rejects,
         }
     }
 
@@ -1947,7 +2242,8 @@ impl OptimizationService {
         seed: u64,
     ) -> SearchOutcome {
         let jobs = [SearchJob::new(module, searcher, seed)];
-        let mut report = SearchDriver::new(1).run_jobs(&self.template, &self.policy, &jobs);
+        let snapshot = self.shared.registry.checkout();
+        let mut report = SearchDriver::new(1).run_jobs(&self.template, &snapshot.policy, &jobs);
         report.outcomes.remove(0)
     }
 
@@ -1963,9 +2259,10 @@ impl OptimizationService {
         base_seed: u64,
         workers: usize,
     ) -> BatchSearchReport {
+        let snapshot = self.shared.registry.checkout();
         SearchDriver::new(workers).with_seed(base_seed).run(
             &self.template,
-            &self.policy,
+            &snapshot.policy,
             &searcher,
             modules,
         )
@@ -1986,6 +2283,12 @@ impl OptimizationService {
         self.shared.work.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        // After the workers: nothing feeds the experience stream anymore,
+        // so the trainer can stop without losing late experiences it might
+        // still want to drain.
+        if let Some(trainer) = &mut self.trainer {
+            trainer.shutdown();
         }
         // Only after every worker exited: no client can be blocked on a
         // reply, so draining and joining the inference thread is safe.
@@ -2038,6 +2341,11 @@ fn worker_loop(
         Some(recorder) => recorder.probe(worker + 1),
         None => ProbeRef::none(),
     };
+    // The worker caches one policy clone and the version it came from;
+    // `execute` re-clones from the job's pinned snapshot only when the
+    // version changed since the last run (swaps are rare, clones are not
+    // free).
+    let mut policy_version = 0u64;
     loop {
         let popped = {
             let mut state = shared.state.lock().expect("service state poisoned");
@@ -2064,7 +2372,15 @@ fn worker_loop(
         };
         match popped {
             Some((job, lane)) => {
-                execute(&shared, &mut env, &mut policy, client.as_ref(), job, &probe);
+                execute(
+                    &shared,
+                    &mut env,
+                    &mut policy,
+                    &mut policy_version,
+                    client.as_ref(),
+                    job,
+                    &probe,
+                );
                 shared.state.lock().expect("service state poisoned").lanes[lane].in_flight -= 1;
                 // Wake quota-blocked dispatchers (and the shutdown drain).
                 shared.work.notify_all();
@@ -2084,10 +2400,17 @@ fn execute(
     shared: &ServiceShared,
     env: &mut OptimizationEnv,
     policy: &mut PolicyNetwork,
+    policy_version: &mut u64,
     client: Option<&AggregatorClient>,
     job: QueuedJob,
     worker_probe: &ProbeRef,
 ) {
+    // Serve on the snapshot the request was admitted with — never on
+    // whatever the registry publishes later.
+    if job.policy.version != *policy_version {
+        *policy = job.policy.policy.clone();
+        *policy_version = job.policy.version;
+    }
     let queue_s = job.submitted.elapsed().as_secs_f64();
     shared.queue_hist.record(queue_s);
     let probe = worker_probe.with_trace(job.id + 1);
@@ -2106,6 +2429,7 @@ fn execute(
         queue_s,
         service_s: 0.0,
         trace_id,
+        policy_version: job.policy.version,
     };
 
     // --- dequeue admission -------------------------------------------
@@ -2309,6 +2633,34 @@ fn execute(
             outcome.cache_hits as u64,
         ],
     );
+    // Feed served traffic back to the online trainer. Sampling-gated so a
+    // disabled subsystem costs the hot path exactly one branch; a full
+    // stream drops (and counts) rather than blocks.
+    if status == ResponseStatus::Completed {
+        if let Some(online) = &shared.online {
+            let n = online.sample_counter.fetch_add(1, Ordering::Relaxed);
+            if n % online.sample_every == 0 {
+                online.stream.push(Experience {
+                    module: job.request.module.clone(),
+                    module_fingerprint: module_fingerprint(&job.request.module),
+                    searcher: job.request.spec.name(),
+                    seed: job.request.seed,
+                    actions: outcome.best_actions.clone(),
+                    speedup: outcome.speedup,
+                    policy_version: job.policy.version,
+                });
+                probe.emit(
+                    EventKind::ExperienceEnqueued,
+                    None,
+                    [
+                        job.policy.version,
+                        online.stream.accepted(),
+                        online.stream.dropped(),
+                    ],
+                );
+            }
+        }
+    }
     let mut response = skeleton(status, error);
     response.evaluations = outcome.evaluations;
     response.cache_hits = outcome.cache_hits;

@@ -102,11 +102,20 @@ pub enum EventKind {
     /// A cache hit promoted its entry from the probation segment to the
     /// protected segment (args: `[shard, 0, 0]`).
     CachePromote = 22,
+    /// The online trainer published a new policy version
+    /// (args: `[version, probe_modules, train_step]`).
+    PolicySwap = 23,
+    /// A completed response was fed into the experience stream
+    /// (args: `[policy_version, accepted_total, dropped_total]`).
+    ExperienceEnqueued = 24,
+    /// The online trainer finished one PPO iteration
+    /// (args: `[step, dataset_modules, geomean_speedup_milli]`).
+    TrainStep = 25,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order (for decode and for docs/tests).
-    pub const ALL: [EventKind; 23] = [
+    pub const ALL: [EventKind; 26] = [
         EventKind::Submitted,
         EventKind::Queued,
         EventKind::Rejected,
@@ -130,6 +139,9 @@ impl EventKind {
         EventKind::BatchFormed,
         EventKind::CacheEvict,
         EventKind::CachePromote,
+        EventKind::PolicySwap,
+        EventKind::ExperienceEnqueued,
+        EventKind::TrainStep,
     ];
 
     /// Decodes a discriminant written by [`EventKind::as_u8`].
@@ -168,6 +180,9 @@ impl EventKind {
             EventKind::BatchFormed => "batch_formed",
             EventKind::CacheEvict => "cache_evict",
             EventKind::CachePromote => "cache_promote",
+            EventKind::PolicySwap => "policy_swap",
+            EventKind::ExperienceEnqueued => "experience_enqueued",
+            EventKind::TrainStep => "train_step",
         }
     }
 }

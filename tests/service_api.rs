@@ -593,3 +593,332 @@ fn facade_wrappers_share_the_service_cache() {
     assert!(standalone.cache_hits > 0, "spawned service joins the table");
     assert_eq!(standalone.fingerprint(), response.fingerprint());
 }
+
+// ---------------------------------------------------------------------------
+// Online learning: versioned policy swaps
+// ---------------------------------------------------------------------------
+
+/// Per-version determinism with swaps landing mid-stream: the full request
+/// set is admitted under version 0, a hot swap publishes version 1 while
+/// those requests are still queued (the service is paused), and the set is
+/// admitted again under version 1. At 1/2/4 workers and shuffled orders
+/// within each half, every response must be bit-identical *per version* —
+/// and the pre-swap half must be served on version 0 even though the swap
+/// landed before any of it ran.
+#[test]
+fn responses_are_identical_per_policy_version_while_swaps_land_mid_stream() {
+    let requests = request_set();
+    let n = requests.len();
+    let orders: Vec<Vec<usize>> = vec![
+        (0..n).collect(),
+        (0..n).rev().collect(),
+        (0..n).map(|i| (i * 5 + 2) % n).collect(),
+    ];
+
+    let mut reference: Option<(Vec<_>, Vec<_>)> = None;
+    for workers in [1usize, 2, 4] {
+        for order in &orders {
+            let service = OptimizationService::new(
+                ServiceConfig::quick().with_workers(workers).paused(),
+                policy(7),
+            );
+            assert_eq!(service.policy_version(), 0);
+            // First half of the stream: admitted (and pinned) at version 0.
+            let before: Vec<_> = order
+                .iter()
+                .map(|&i| service.submit(requests[i].clone()))
+                .collect();
+            // The swap lands while every one of those requests is queued.
+            assert_eq!(service.swap_policy(policy(23)), 1);
+            assert_eq!(service.policy_version(), 1);
+            assert_eq!(service.policy_swaps(), 1);
+            // Second half: the same logical requests, now admitted at v1.
+            let after: Vec<_> = order
+                .iter()
+                .map(|&i| service.submit(requests[i].clone()))
+                .collect();
+            service.resume();
+
+            let mut v0 = vec![None; n];
+            let mut v1 = vec![None; n];
+            for (&i, p) in order.iter().zip(&before) {
+                let response = p.wait();
+                assert_eq!(
+                    response.policy_version, 0,
+                    "a request admitted before the swap must be served on its \
+                     admission version"
+                );
+                v0[i] = Some(deterministic_fields(&response));
+            }
+            for (&i, p) in order.iter().zip(&after) {
+                let response = p.wait();
+                assert_eq!(response.policy_version, 1);
+                v1[i] = Some(deterministic_fields(&response));
+            }
+            let v0: Vec<_> = v0.into_iter().map(Option::unwrap).collect();
+            let v1: Vec<_> = v1.into_iter().map(Option::unwrap).collect();
+            match &reference {
+                None => reference = Some((v0, v1)),
+                Some((r0, r1)) => {
+                    assert_eq!(
+                        r0, &v0,
+                        "version-0 responses diverged at {workers} workers, order {order:?}"
+                    );
+                    assert_eq!(
+                        r1, &v1,
+                        "version-1 responses diverged at {workers} workers, order {order:?}"
+                    );
+                }
+            }
+        }
+    }
+    let (v0, v1) = reference.expect("at least one run");
+    for fields in v0.iter().chain(&v1) {
+        assert_eq!(fields.2, ResponseStatus::Completed);
+        assert!(fields.3.is_some());
+    }
+}
+
+/// The fingerprint covers the policy version: swapping in a bitwise copy of
+/// the current weights changes *nothing* about the outcome, yet the
+/// response fingerprints must diverge — `(module, spec, seed, policy
+/// version, env config)` is the determinism key, and version 0 vs 1 are
+/// different keys even when the weights collide.
+#[test]
+fn fingerprint_distinguishes_policy_versions_even_with_identical_weights() {
+    let request = OptimizationRequest::new(chain(64, 64, 64), SearchSpec::Greedy).with_seed(42);
+
+    let service = OptimizationService::new(ServiceConfig::quick(), policy(7));
+    let v0 = service.submit(request.clone()).wait();
+    assert_eq!(v0.policy_version, 0);
+    // Same weights, new version.
+    service.swap_policy(policy(7));
+    let v1 = service.submit(request.clone()).wait();
+    assert_eq!(v1.policy_version, 1);
+
+    let o0 = v0.outcome.as_ref().expect("completed");
+    let o1 = v1.outcome.as_ref().expect("completed");
+    assert_eq!(o0.best_s.to_bits(), o1.best_s.to_bits());
+    assert_eq!(
+        format!("{:?}", o0.best_actions),
+        format!("{:?}", o1.best_actions)
+    );
+    assert_ne!(
+        v0.fingerprint(),
+        v1.fingerprint(),
+        "the version is part of the fingerprint"
+    );
+
+    // And a genuinely different policy at version 1 reproduces bit-for-bit
+    // against a fresh service that starts from those weights (modulo the
+    // version field, which admission stamps differently).
+    service.swap_policy(policy(23));
+    let swapped = service.submit(request.clone()).wait();
+    assert_eq!(swapped.policy_version, 2);
+    let fresh = OptimizationService::new(ServiceConfig::quick(), policy(23))
+        .submit(request)
+        .wait();
+    assert_eq!(fresh.policy_version, 0);
+    let a = swapped.outcome.as_ref().expect("completed");
+    let b = fresh.outcome.as_ref().expect("completed");
+    assert_eq!(a.best_s.to_bits(), b.best_s.to_bits());
+    assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+    assert_eq!(
+        format!("{:?}", a.best_actions),
+        format!("{:?}", b.best_actions)
+    );
+}
+
+/// Tracing stays purely observational while swaps land mid-stream.
+#[test]
+fn tracing_moves_no_bit_while_swaps_land() {
+    let requests = request_set();
+    let run = |config: ServiceConfig| {
+        let service = OptimizationService::new(config.paused(), policy(7));
+        let before: Vec<_> = requests.iter().map(|r| service.submit(r.clone())).collect();
+        service.swap_policy(policy(23));
+        let after: Vec<_> = requests.iter().map(|r| service.submit(r.clone())).collect();
+        service.resume();
+        let mut responses = wait_all(&before);
+        responses.extend(wait_all(&after));
+        responses
+    };
+    let untraced = run(ServiceConfig::quick().with_workers(2));
+    let traced = run(ServiceConfig::quick().with_workers(2).with_tracing(4096));
+    for (u, t) in untraced.iter().zip(&traced) {
+        assert_eq!(deterministic_fields(u), deterministic_fields(t));
+        assert_eq!(u.policy_version, t.policy_version);
+        assert_eq!(u.fingerprint(), t.fingerprint());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Online learning: the background trainer
+// ---------------------------------------------------------------------------
+
+fn online_config() -> mlir_rl::agent::OnlineTrainingConfig {
+    mlir_rl::agent::OnlineTrainingConfig {
+        sample_every: 1,
+        capacity: 64,
+        min_batch: 1,
+        train_seed: 7,
+        ppo: mlir_rl::agent::PpoConfig {
+            trajectories_per_iteration: 2,
+            minibatch_size: 4,
+            update_epochs: 1,
+            ..mlir_rl::agent::PpoConfig::paper()
+        },
+        // Gate off: every train step publishes, so the smoke test needs no
+        // luck to observe a swap. The gate's metric itself is covered by
+        // the agent crate's greedy_geomean tests and the exp_online CI run.
+        promotion_gate: false,
+        max_probe_modules: 8,
+        max_steps: None,
+    }
+}
+
+/// The closed loop end to end: served `Completed` responses feed the
+/// experience stream, the background trainer runs PPO steps and publishes
+/// new versions, later submits are admitted on those versions, and the
+/// whole subsystem shows up on the metrics/trace surfaces.
+#[test]
+fn online_training_feeds_experiences_and_hot_swaps_the_policy() {
+    let service = OptimizationService::new(
+        ServiceConfig::quick()
+            .with_workers(2)
+            .with_online_training(online_config())
+            .with_tracing(8192),
+        policy(7),
+    );
+    assert!(service.online_training_enabled());
+
+    let request =
+        |seed: u64| OptimizationRequest::new(chain(16, 16, 16), SearchSpec::Greedy).with_seed(seed);
+    // Keep serving until the trainer has published at least one version
+    // (bounded: the loop is cheap and the trainer needs one experience).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    let mut seed = 0u64;
+    while service.policy_swaps() == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "trainer published no version within the bound; stats: {:?}",
+            service.online_stats()
+        );
+        let responses = wait_all(&service.submit_batch(vec![request(seed), request(seed + 1)]));
+        assert!(responses
+            .iter()
+            .all(|r| r.status == ResponseStatus::Completed));
+        seed += 2;
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // Quiesce the trainer so the version stops moving, then check the
+    // loop actually closed: a new submit is admitted on a version > 0.
+    service.pause_online_training();
+    let version = service.policy_version();
+    assert!(version >= 1);
+    let response = service.submit(request(1_000)).wait();
+    assert_eq!(response.status, ResponseStatus::Completed);
+    assert_eq!(response.policy_version, version);
+
+    let stats = service.online_stats().expect("online training is on");
+    assert!(stats.train_steps >= 1);
+    assert!(stats.experiences_consumed >= 1);
+
+    let metrics = service.metrics();
+    assert!(metrics.online_experiences_accepted >= 1);
+    assert!(metrics.online_train_steps >= 1);
+    assert!(metrics.policy_swaps >= 1);
+    assert_eq!(metrics.policy_version, version);
+    for field in [
+        "\"policy_version\"",
+        "\"policy_swaps\"",
+        "\"online_experiences_accepted\"",
+        "\"online_experiences_dropped\"",
+        "\"online_train_steps\"",
+        "\"online_gate_rejects\"",
+    ] {
+        assert!(
+            metrics.to_json().contains(field),
+            "{field} missing from ServiceMetrics::to_json"
+        );
+    }
+    let exposition = service.prometheus();
+    for series in [
+        "mlir_rl_online_policy_version",
+        "mlir_rl_online_policy_swaps_total",
+        "mlir_rl_online_experiences_accepted_total",
+        "mlir_rl_online_experiences_dropped_total",
+        "mlir_rl_online_train_steps_total",
+        "mlir_rl_online_gate_rejects_total",
+    ] {
+        assert!(
+            exposition.contains(series),
+            "{series} missing from the Prometheus exposition"
+        );
+    }
+
+    // The trace holds the subsystem's lifecycle events.
+    let snapshot = service.trace_snapshot().expect("tracing is on");
+    assert!(snapshot.count(EventKind::ExperienceEnqueued) > 0);
+    assert!(snapshot.count(EventKind::TrainStep) > 0);
+    assert!(snapshot.count(EventKind::PolicySwap) > 0);
+}
+
+/// Config validation: the online knobs are checked, and online training is
+/// refused alongside inference batching (the aggregator's shared inference
+/// thread cannot honor per-request version pinning).
+#[test]
+fn online_training_config_is_validated_against_the_service_config() {
+    let mut zero = online_config();
+    zero.sample_every = 0;
+    assert!(OptimizationService::try_new(
+        ServiceConfig::quick().with_online_training(zero),
+        policy(7),
+    )
+    .is_err());
+
+    let err = OptimizationService::try_new(
+        ServiceConfig::quick()
+            .with_online_training(online_config())
+            .with_inference_batching(4, 100),
+        policy(7),
+    )
+    .expect_err("online training + inference batching must be refused");
+    assert!(err.contains("incompatible"));
+}
+
+/// Regression: `MlirRlOptimizer::train` must invalidate the lazily-built
+/// internal service, and the service rebuilt afterwards must serve the
+/// *new* weights (checked bitwise through the weight-snapshot
+/// fingerprint), not a stale pre-training snapshot.
+#[test]
+fn facade_training_invalidates_the_internal_service_policy_snapshot() {
+    use mlir_rl::agent::WeightSnapshot;
+    let mut opt = MlirRlOptimizer::new(OptimizerConfig::quick());
+    let module = chain(64, 64, 64);
+
+    // Force the internal service into existence and pin its weights.
+    let request = OptimizationRequest::new(module.clone(), SearchSpec::Greedy).with_seed(3);
+    let before = opt.submit(request.clone()).wait();
+    assert_eq!(before.status, ResponseStatus::Completed);
+    let before_fp = opt.service().policy().clone().weights_fingerprint();
+    assert_eq!(before_fp, opt.policy().clone().weights_fingerprint());
+
+    // Training moves the trainer's weights...
+    opt.train(&[module], 1);
+    let trained_fp = opt.policy().clone().weights_fingerprint();
+    assert_ne!(
+        before_fp, trained_fp,
+        "a PPO iteration must move the policy weights"
+    );
+
+    // ...and the next deployment call rebuilds the service on them.
+    let after = opt.submit(request).wait();
+    assert_eq!(after.status, ResponseStatus::Completed);
+    assert_eq!(
+        opt.service().policy().clone().weights_fingerprint(),
+        trained_fp,
+        "the rebuilt service must serve the post-training weights"
+    );
+}
